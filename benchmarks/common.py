@@ -1,0 +1,12 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark timing.
+
+    The drivers already aggregate over several instances and anneals, so a
+    single timed round keeps the suite fast while still recording a
+    meaningful wall-clock figure for each table/figure regeneration.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,56 @@
+"""Ablation benchmark: embedding overhead (Chimera vs denser future topology).
+
+The paper's future-work section expects next-generation topologies (Pegasus)
+with roughly twice the connectivity to shorten chains and increase the
+parallelization opportunity.  This ablation quantifies both effects with the
+library's PegasusLikeGraph model: chain length, physical-qubit footprint and
+the resulting parallelization factor for representative MIMO sizes.
+"""
+
+from benchmarks.common import run_once
+
+from repro.annealer.chimera import ChimeraGraph, PegasusLikeGraph
+from repro.annealer.embedding import TriangleCliqueEmbedder
+from repro.annealer.parallel import parallelization_factor
+
+
+def _run_ablation():
+    chimera = TriangleCliqueEmbedder(ChimeraGraph.ideal())
+    pegasus = TriangleCliqueEmbedder(PegasusLikeGraph(rows=16, columns=16))
+    rows = []
+    for num_logical in (36, 48, 60):
+        chimera_embedding = chimera.embed(num_logical)
+        pegasus_embedding = pegasus.embed(num_logical)
+        rows.append({
+            "logical": num_logical,
+            "chimera_chain": chimera_embedding.max_chain_length,
+            "pegasus_chain": pegasus_embedding.max_chain_length,
+            "chimera_physical": chimera_embedding.num_physical,
+            "pegasus_physical": pegasus_embedding.num_physical,
+            "chimera_pf": parallelization_factor(
+                num_logical, total_qubits=2031, shore_size=4),
+            "pegasus_pf": parallelization_factor(
+                num_logical,
+                total_qubits=PegasusLikeGraph(16, 16).num_working_qubits,
+                shore_size=8),
+        })
+    return rows
+
+
+def test_ablation_embedding_overhead(benchmark, record_table):
+    rows = run_once(benchmark, _run_ablation)
+    lines = ["Ablation: embedding overhead, Chimera vs denser (Pegasus-like) topology",
+             "  N    chain C/P   physical C/P     Pf C/P"]
+    for row in rows:
+        lines.append(
+            f"  {row['logical']:<4} {row['chimera_chain']}/{row['pegasus_chain']:<9} "
+            f"{row['chimera_physical']}/{row['pegasus_physical']:<12} "
+            f"{row['chimera_pf']:.1f}/{row['pegasus_pf']:.1f}")
+    record_table("ablation_embedding_overhead", "\n".join(lines))
+
+    for row in rows:
+        # Denser connectivity shortens chains and shrinks the footprint.
+        assert row["pegasus_chain"] < row["chimera_chain"]
+        assert row["pegasus_physical"] < row["chimera_physical"]
+        # And therefore increases the parallelization opportunity.
+        assert row["pegasus_pf"] > row["chimera_pf"]

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Fig. 4 (energy-ranked solution distributions).
+
+Shape checks: at a fixed logical size (36 qubits in the paper, scaled down
+here), the ground-state probability does not improve as the modulation order
+increases, and the lowest-rank solutions carry the fewest bit errors.
+"""
+
+import numpy as np
+
+from benchmarks.common import run_once
+
+from repro.experiments import fig04
+
+
+def test_fig04_energy_rank_profiles(benchmark, bench_config, record_table):
+    scenarios = (("BPSK", 16), ("QPSK", 8), ("16-QAM", 4))
+    result = run_once(benchmark, fig04.run, bench_config, scenarios=scenarios,
+                      instances_per_scenario=2)
+    record_table("fig04_solution_ranks", fig04.format_result(result))
+
+    bpsk = result.median_ground_state_probability("BPSK")
+    qam16 = result.median_ground_state_probability("16-QAM")
+    # Higher-order modulation at the same logical size is not easier.
+    assert qam16 <= bpsk + 0.05
+
+    for profile in result.profiles:
+        # Rank 0 is the lowest-energy solution found.
+        assert profile.energy_gaps[0] == 0.0
+        # Low-energy solutions carry no more errors than the worst solution.
+        assert profile.bit_errors[0] <= profile.bit_errors.max()
+        assert np.isclose(profile.probabilities.sum(), 1.0)

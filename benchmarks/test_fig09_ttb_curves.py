@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Fig. 9 (expected BER versus compute time).
+
+Shape checks: BER falls with time for every scenario, and at a fixed time
+budget smaller/easier configurations (BPSK, fewer users) reach lower BER than
+larger/higher-order ones.
+"""
+
+import numpy as np
+
+from benchmarks.common import run_once
+
+from repro.experiments import fig09
+
+
+def test_fig09_ber_vs_time_curves(benchmark, bench_config, record_table):
+    scenarios = (("BPSK", 16), ("BPSK", 24), ("QPSK", 8), ("QPSK", 12))
+    result = run_once(benchmark, fig09.run, bench_config, scenarios=scenarios,
+                      time_grid_us=(2.0, 10.0, 50.0, 250.0), target_ber=1e-4)
+    record_table("fig09_ttb_curves", fig09.format_result(result))
+
+    for curve in result.curves:
+        assert np.all(np.diff(curve.median_ber) <= 1e-12)
+
+    # Fewer users decode at least as fast (median TTB ordering).
+    bpsk_small = result.curve("16x16 BPSK (noiseless)").median_ttb_us
+    bpsk_large = result.curve("24x24 BPSK (noiseless)").median_ttb_us
+    if np.isfinite(bpsk_small) and np.isfinite(bpsk_large):
+        assert bpsk_small <= bpsk_large * 1.5
+
+    qpsk_small = result.curve("8x8 QPSK (noiseless)").median_ttb_us
+    qpsk_large = result.curve("12x12 QPSK (noiseless)").median_ttb_us
+    if np.isfinite(qpsk_small) and np.isfinite(qpsk_large):
+        assert qpsk_small <= qpsk_large * 1.5

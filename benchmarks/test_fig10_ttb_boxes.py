@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Fig. 10 (per-instance TTB distributions).
+
+Shape checks: median TTB grows with the number of users within a modulation,
+and the easiest configurations reach the target within the single-run budget
+for most instances.
+"""
+
+import numpy as np
+
+from benchmarks.common import run_once
+
+from repro.experiments import fig10
+
+
+def test_fig10_ttb_distributions(benchmark, bench_config, record_table):
+    scenarios = (("BPSK", 12), ("BPSK", 24), ("QPSK", 8), ("QPSK", 12))
+    result = run_once(benchmark, fig10.run, bench_config, scenarios=scenarios,
+                      target_ber=1e-4, deadline_us=10_000.0)
+    record_table("fig10_ttb_boxes", fig10.format_result(result))
+
+    small_bpsk = result.box("12x12 BPSK (noiseless)")
+    large_bpsk = result.box("24x24 BPSK (noiseless)")
+    # The smallest BPSK configuration reaches the target for most instances.
+    assert small_bpsk.fraction_reached >= 0.5
+    # Larger problems are not faster.
+    if large_bpsk.reached.size and small_bpsk.reached.size:
+        assert small_bpsk.median_us <= large_bpsk.median_us * 1.5
+
+    small_qpsk = result.box("8x8 QPSK (noiseless)")
+    large_qpsk = result.box("12x12 QPSK (noiseless)")
+    if large_qpsk.reached.size and small_qpsk.reached.size:
+        assert small_qpsk.median_us <= large_qpsk.median_us * 1.5
+
+    for box in result.boxes:
+        if box.reached.size:
+            assert box.percentile(5) <= box.median_us <= box.percentile(95)

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Fig. 11 (time-to-FER versus frame size).
+
+Shape checks: TTF grows (weakly) with frame size but stays within a small
+factor from TCP-ACK-sized frames to full MTUs — the paper's "low sensitivity
+to frame size" observation — and easier modulations reach the target faster.
+"""
+
+import numpy as np
+
+from benchmarks.common import run_once
+
+from repro.experiments import fig11
+
+
+def test_fig11_time_to_fer(benchmark, bench_config, record_table):
+    scenarios = (("BPSK", 16), ("QPSK", 8))
+    result = run_once(benchmark, fig11.run, bench_config, scenarios=scenarios,
+                      frame_sizes=(50, 200, 1500), target_fer=1e-3)
+    record_table("fig11_ttf", fig11.format_result(result))
+
+    for modulation, users in scenarios:
+        label = f"{users}x{users} {'BPSK' if modulation == 'BPSK' else 'QPSK'} (noiseless)"
+        per_size = [result.point(label, size).median_ttf_us
+                    for size in (50, 200, 1500)]
+        finite = [value for value in per_size if np.isfinite(value)]
+        if len(finite) == len(per_size):
+            # Monotone (weakly) in frame size and within a modest factor.
+            assert per_size[0] <= per_size[1] + 1e-9
+            assert per_size[1] <= per_size[2] + 1e-9
+            assert result.sensitivity_to_frame_size(label) < 50.0
+
+    # At least the BPSK scenario must reach the target for most instances.
+    bpsk_point = result.point("16x16 BPSK (noiseless)", 1500)
+    assert bpsk_point.fraction_reached >= 0.5

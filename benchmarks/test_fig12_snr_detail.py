@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 12 (solution-rank detail versus SNR).
+
+Shape checks: as the AWGN SNR increases the ground-state probability does not
+degrade and the best solution's bit errors do not increase — the channel
+noise, not the annealer, dominates at low SNR.
+"""
+
+from benchmarks.common import run_once
+
+from repro.experiments import fig12
+
+
+def test_fig12_snr_detail(benchmark, bench_config, record_table):
+    snrs = (10.0, 20.0, 30.0)
+    result = run_once(benchmark, fig12.run, bench_config, scenario=("QPSK", 12),
+                      snrs_db=snrs)
+    record_table("fig12_snr_detail", fig12.format_result(result))
+
+    low = result.point(10.0)
+    high = result.point(30.0)
+    # Higher SNR: at least as likely to find the ground state.
+    assert high.ground_state_probability >= low.ground_state_probability - 0.1
+    # Higher SNR: the best solution carries no more bit errors.
+    assert high.best_solution_bit_errors <= low.best_solution_bit_errors + 1
+    # All probabilities are proper probabilities.
+    for point in result.points:
+        assert 0.0 <= point.ground_state_probability <= 1.0

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Fig. 13 (TTB under AWGN vs users and vs SNR).
+
+Shape checks: at a fixed 20 dB SNR, TTB degrades gracefully (monotonically,
+within noise) as the number of users grows; at a fixed user count, the
+residual BER floor does not get worse as the SNR improves.
+"""
+
+import numpy as np
+
+from benchmarks.common import run_once
+
+from repro.experiments import fig13
+
+
+def test_fig13_awgn_ttb(benchmark, bench_config, record_table):
+    result = run_once(
+        benchmark, fig13.run, bench_config,
+        user_sweeps=(("BPSK", (12, 20)), ("QPSK", (8, 12))),
+        snrs_db=(10.0, 20.0, 30.0),
+        right_panel_scenario=("QPSK", 8),
+        target_ber=1e-4)
+    record_table("fig13_ttb_awgn", fig13.format_result(result))
+
+    # Left panel: more users never helps.
+    for modulation in ("BPSK", "QPSK"):
+        sweep = result.user_sweep(modulation)
+        ttbs = [p.median_ttb_us for p in sweep]
+        if all(np.isfinite(t) for t in ttbs):
+            assert ttbs[0] <= ttbs[-1] * 1.5
+
+    # Right panel: the BER floor improves (or stays flat) with SNR.
+    snr_sweep = result.snr_sweep()
+    floors = [p.median_final_ber for p in snr_sweep]
+    assert floors[-1] <= floors[0] + 1e-9

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Fig. 14 (QuAMax versus the zero-forcing baseline).
+
+Shape checks: on square, low-SNR channels zero-forcing shows a clear error
+floor; QuAMax's asymptotic BER is at least as good; and QuAMax reaches the
+zero-forcing BER in less time than the zero-forcing single-core processing
+time (the paper reports a 10-1000x gap).
+"""
+
+import numpy as np
+
+from benchmarks.common import run_once
+
+from repro.experiments import fig14
+
+
+def test_fig14_quamax_vs_zero_forcing(benchmark, bench_config, record_table):
+    scenarios = (("BPSK", (16, 24), 10.0), ("QPSK", (8, 12), 15.0))
+    result = run_once(benchmark, fig14.run, bench_config, scenarios=scenarios)
+    record_table("fig14_vs_zero_forcing", fig14.format_result(result))
+
+    # Zero-forcing struggles in this regime on at least half the points.
+    floored = [p for p in result.points if p.zero_forcing_ber > 0.005]
+    assert len(floored) >= len(result.points) // 2
+
+    for point in result.points:
+        # QuAMax converges to a BER no worse than zero-forcing's.
+        assert point.quamax_floor_ber <= point.zero_forcing_ber + 0.02
+        # Who-wins: QuAMax matches the ZF BER faster than ZF computes it
+        # (allowing slack for the reduced benchmark configuration).
+        if np.isfinite(point.quamax_time_to_match_us):
+            assert point.speedup > 0.5
+
+    # At least one point shows a clear (>2x) speedup, the Fig. 14 headline.
+    speedups = [p.speedup for p in result.points
+                if np.isfinite(p.quamax_time_to_match_us)]
+    assert speedups and max(speedups) > 2.0

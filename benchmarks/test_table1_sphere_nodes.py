@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Table 1 (Sphere Decoder visited-node counts).
+
+Shape checks: visited-node counts grow sharply with system size, and the
+largest band lands in the "unfeasible" region while the smallest stays
+"feasible", as in the paper.
+"""
+
+from benchmarks.common import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_sphere_decoder_complexity(benchmark, bench_config, record_table):
+    # Sphere decoding is cheap compared to the annealer benchmarks, and its
+    # visited-node distribution is heavy tailed, so use more instances here
+    # to keep the per-band averages representative.
+    config = bench_config.scaled(num_instances=max(15, bench_config.num_instances))
+    result = run_once(benchmark, table1.run, config,
+                      rows=((12, 7, 4), (21, 11, 6), (30, 15, 8)))
+    record_table("table1_sphere_nodes", table1.format_result(result))
+
+    nodes = [row.mean_visited_nodes for row in result.rows]
+    # Monotone growth down the table and a large factor between the ends.
+    assert nodes[0] < nodes[1] < nodes[2]
+    assert nodes[2] / nodes[0] > 5.0
+    # The smallest band is feasible; the largest is not.
+    assert result.rows[0].verdict == "feasible"
+    assert result.rows[2].verdict in ("borderline", "unfeasible")

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table 2 (embedding qubit counts and feasibility)."""
+
+from benchmarks.common import run_once
+
+from repro.experiments import table2
+
+
+def test_table2_qubit_counts(benchmark, bench_config, record_table):
+    result = run_once(benchmark, table2.run)
+    record_table("table2_qubit_counts", table2.format_result(result))
+
+    # Exact reproduction of the paper's cells (logical, physical).
+    expected = {
+        (10, "BPSK"): (10, 40), (10, "QPSK"): (20, 120),
+        (10, "16-QAM"): (40, 440), (10, "64-QAM"): (60, 960),
+        (20, "BPSK"): (20, 120), (20, "QPSK"): (40, 440),
+        (20, "16-QAM"): (80, 1680), (20, "64-QAM"): (120, 3720),
+        (40, "BPSK"): (40, 440), (40, "QPSK"): (80, 1680),
+        (60, "BPSK"): (60, 960), (60, "QPSK"): (120, 3720),
+    }
+    for (users, modulation), (logical, physical) in expected.items():
+        entry = result.entry(users, modulation)
+        assert (entry.logical_qubits, entry.physical_qubits) == (logical, physical)
+
+    # Feasibility frontier on the 2,031-qubit DW2Q, as colour-coded in the
+    # paper: 60-user BPSK and 20-user 16-QAM fit; 60-user QPSK does not.
+    assert result.entry(60, "BPSK").fits_dw2q
+    assert result.entry(20, "16-QAM").fits_dw2q
+    assert not result.entry(60, "QPSK").fits_dw2q
+    assert not result.entry(40, "16-QAM").fits_dw2q

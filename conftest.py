@@ -1,0 +1,17 @@
+"""Pytest path bootstrap.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (e.g. a fully offline checkout where ``pip install -e .`` is not
+possible); an installed copy always takes precedence because ``src`` is
+appended rather than prepended when the package is already importable.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401  (already installed somewhere)
+    except ImportError:
+        sys.path.insert(0, _SRC)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Annealer parameter tuning: chain strength, dynamic range and pausing.
+
+Reproduces, in miniature, the microbenchmark methodology of the paper's
+Section 5.3.1: for a fixed problem class (18-user QPSK by default), sweep the
+chain strength ``|J_F|`` with both coupler dynamic ranges and compare the
+pausing and non-pausing schedules, reporting the Time-to-Solution of each
+setting.  This is how a deployment would pick its fixed (``Fix``) operating
+point.
+
+Run with::
+
+    python examples/annealer_parameter_tuning.py [--users 18] [--modulation QPSK]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import MimoUplink, QuAMaxDecoder
+from repro.annealer.machine import AnnealerParameters
+from repro.annealer.schedule import AnnealSchedule
+from repro.channel import RandomPhaseChannel
+from repro.metrics import time_to_solution
+from repro.transform import MLToIsingReducer
+
+
+def median_tts(num_users: int, modulation: str, chain_strength: float,
+               extended_range: bool, pause_time_us: float,
+               num_instances: int, num_anneals: int, seed: int) -> float:
+    """Median TTS(0.99) across instances for one parameter setting."""
+    link = MimoUplink(num_users=num_users, constellation=modulation,
+                      channel_model=RandomPhaseChannel())
+    reducer = MLToIsingReducer()
+    schedule = AnnealSchedule(anneal_time_us=1.0, pause_time_us=pause_time_us)
+    parameters = AnnealerParameters(schedule=schedule,
+                                    chain_strength=chain_strength,
+                                    extended_range=extended_range,
+                                    num_anneals=num_anneals)
+    decoder = QuAMaxDecoder(parameters=parameters, random_state=seed)
+
+    values = []
+    for instance in range(num_instances):
+        channel_use = link.transmit(random_state=seed + instance)
+        reduced = reducer.reduce(channel_use)
+        ground_energy = reduced.ising.energy(reduced.ground_truth_spins())
+        outcome = decoder.detect_with_run(channel_use)
+        probability = outcome.run.ground_state_probability(ground_energy)
+        values.append(time_to_solution(probability, schedule.duration_us))
+    finite = [v for v in values if np.isfinite(v)]
+    return float(np.median(finite)) if finite else float("inf")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--users", type=int, default=18)
+    parser.add_argument("--modulation", default="QPSK")
+    parser.add_argument("--chain-strengths", type=float, nargs="+",
+                        default=[2.0, 4.0, 6.0, 8.0])
+    parser.add_argument("--instances", type=int, default=3)
+    parser.add_argument("--anneals", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=2019)
+    args = parser.parse_args()
+
+    print(f"Scenario: {args.users}x{args.users} {args.modulation} "
+          f"(noiseless, {args.instances} instances, {args.anneals} anneals)\n")
+    header = (f"{'|J_F|':>6}  {'range':>9}  {'pause':>6}  {'median TTS (us)':>16}")
+    print(header)
+    print("-" * len(header))
+    for chain_strength in args.chain_strengths:
+        for extended in (False, True):
+            for pause in (0.0, 1.0):
+                tts = median_tts(args.users, args.modulation, chain_strength,
+                                 extended, pause, args.instances,
+                                 args.anneals, args.seed)
+                range_name = "extended" if extended else "standard"
+                pause_name = f"{pause:g}us" if pause else "none"
+                tts_text = f"{tts:.1f}" if np.isfinite(tts) else "inf"
+                print(f"{chain_strength:>6.1f}  {range_name:>9}  "
+                      f"{pause_name:>6}  {tts_text:>16}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that fully offline environments (no ``wheel`` package available for
+PEP 660 editable builds) can still do a legacy editable install via
+``pip install -e . --no-use-pep517 --no-build-isolation`` or
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,203 @@
+"""Construction of the embedded (hardware-ready) Ising problem.
+
+Appendix B of the paper: once a logical Ising problem and a chain embedding
+are fixed, the problem actually programmed on the chip consists of
+
+* ferromagnetic couplings of maximal negative strength holding each chain
+  together (``-1`` in hardware units, ``-2`` when the extended dynamic range
+  is enabled);
+* the logical couplings ``g_ij`` scaled down by ``1 / |J_F|`` and placed on
+  the single physical coupler where chains *i* and *j* meet;
+* the logical fields ``f_i`` scaled by ``1 / (|J_F| * chain_length)`` and
+  spread uniformly over the qubits of chain *i*.
+
+Because the chain couplings are pinned at the hardware maximum, increasing
+``|J_F|`` shrinks the programmed problem coefficients; combined with the
+absolute ICE noise this is what produces the performance optimum in
+``|J_F|`` observed in the paper's Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.annealer.embedding import Embedding
+from repro.exceptions import EmbeddingError
+from repro.ising.model import IsingModel
+from repro.utils.validation import check_positive
+
+#: Hardware coefficient ranges of the DW2Q (in dimensionless machine units).
+COUPLER_MIN_STANDARD = -1.0
+COUPLER_MIN_EXTENDED = -2.0
+COUPLER_MAX = 1.0
+FIELD_MIN = -2.0
+FIELD_MAX = 2.0
+
+
+@dataclass(frozen=True)
+class EmbeddedIsing:
+    """A hardware-ready Ising problem plus the bookkeeping to unembed it.
+
+    Attributes
+    ----------
+    ising:
+        Ising problem over *compact* physical indices ``0 .. P-1``.
+    embedding:
+        The logical-to-physical chain embedding used.
+    qubit_order:
+        ``qubit_order[c]`` is the hardware qubit id of compact index ``c``.
+    logical_of:
+        ``logical_of[c]`` is the logical variable represented by compact
+        index ``c``.
+    chain_strength:
+        The ``|J_F|`` used.
+    extended_range:
+        Whether the extended (doubled negative) coupler range was used.
+    problem_scale:
+        The factor the logical coefficients were multiplied by before
+        embedding (auto-ranging to the hardware interval).
+    clipped_coefficients:
+        Number of programmed coefficients that had to be clipped into the
+        hardware range (a precision-loss indicator).
+    """
+
+    ising: IsingModel
+    embedding: Embedding
+    qubit_order: Tuple[int, ...]
+    logical_of: Tuple[int, ...]
+    chain_strength: float
+    extended_range: bool
+    problem_scale: float
+    clipped_coefficients: int
+
+    @property
+    def num_physical(self) -> int:
+        """Number of physical qubits programmed."""
+        return len(self.qubit_order)
+
+    @property
+    def compact_chains(self) -> Dict[int, Tuple[int, ...]]:
+        """Chains expressed in compact physical indices."""
+        position = {qubit: index for index, qubit in enumerate(self.qubit_order)}
+        return {
+            logical: tuple(position[qubit] for qubit in chain)
+            for logical, chain in self.embedding.chains.items()
+        }
+
+
+def embed_ising(logical: IsingModel, embedding: Embedding, *,
+                chain_strength: float, extended_range: bool = False,
+                normalize: bool = True) -> EmbeddedIsing:
+    """Compile a logical Ising problem onto an embedding (Appendix B).
+
+    Parameters
+    ----------
+    logical:
+        The logical Ising problem (e.g. produced by the ML reduction).
+    embedding:
+        Chain embedding covering all of the problem's variables.
+    chain_strength:
+        ``|J_F|`` — the ratio between the chain coupling magnitude and the
+        largest programmed problem coefficient.
+    extended_range:
+        Use the DW2Q extended dynamic range (chain couplers at ``-2``).
+    normalize:
+        Auto-range the logical problem so its largest absolute coefficient is
+        1 before applying the ``1 / |J_F|`` scaling, mirroring the machine's
+        auto-scaling step.
+    """
+    chain_strength = check_positive("chain_strength", chain_strength)
+    if embedding.num_logical < logical.num_variables:
+        raise EmbeddingError(
+            f"embedding covers {embedding.num_logical} variables, the problem "
+            f"has {logical.num_variables}"
+        )
+
+    chain_coupling = (COUPLER_MIN_EXTENDED if extended_range
+                      else COUPLER_MIN_STANDARD)
+    chain_magnitude = abs(chain_coupling)
+
+    # Auto-ranging: normalise the logical couplings to unit magnitude, then
+    # program them at |chain coupling| / |J_F| so that the chain-to-problem
+    # ratio is exactly the requested chain strength.  The extended range
+    # therefore doubles the programmed problem coefficients for the same
+    # |J_F|, which is why it is more robust to ICE.
+    problem_scale = chain_magnitude / chain_strength
+    if normalize:
+        largest_coupling = (max(abs(v) for v in logical.couplings.values())
+                            if logical.couplings else 0.0)
+        reference = largest_coupling or logical.max_abs_coefficient
+        if reference > 0:
+            problem_scale /= reference
+    scaled = logical.scaled(problem_scale)
+
+    qubit_order: Tuple[int, ...] = tuple(
+        sorted({qubit for index in range(logical.num_variables)
+                for qubit in embedding.chains[index]})
+    )
+    position = {qubit: index for index, qubit in enumerate(qubit_order)}
+    logical_of_list = [0] * len(qubit_order)
+    for logical_index in range(logical.num_variables):
+        for qubit in embedding.chains[logical_index]:
+            logical_of_list[position[qubit]] = logical_index
+
+    coupler_min = chain_coupling
+    num_physical = len(qubit_order)
+    linear = np.zeros(num_physical)
+    couplings: Dict[Tuple[int, int], float] = {}
+    clipped = 0
+
+    def add_coupling(qubit_a: int, qubit_b: int, value: float) -> None:
+        nonlocal clipped
+        a, b = position[qubit_a], position[qubit_b]
+        key = (a, b) if a < b else (b, a)
+        total = couplings.get(key, 0.0) + value
+        if total < coupler_min or total > COUPLER_MAX:
+            clipped += 1
+            total = float(np.clip(total, coupler_min, COUPLER_MAX))
+        couplings[key] = total
+
+    # Chain ferromagnetic couplings (Eq. 10).
+    for logical_index in range(logical.num_variables):
+        for edge in embedding.chain_edges[logical_index]:
+            add_coupling(edge[0], edge[1], chain_coupling)
+
+    # Logical fields spread over the chain (Eq. 11).  The scaled field is
+    # already expressed relative to the chain coupling (problem_scale folds in
+    # the 1 / |J_F| factor), so only the per-chain split remains.
+    for logical_index in range(logical.num_variables):
+        chain = embedding.chains[logical_index]
+        share = scaled.linear[logical_index] / len(chain)
+        for qubit in chain:
+            linear[position[qubit]] += share
+
+    # Logical couplings on the designated crossing coupler (Eq. 12).
+    for (i, j), value in scaled.couplings.items():
+        coupler = embedding.logical_couplers.get((i, j))
+        if coupler is None:
+            coupler = embedding.logical_couplers.get((j, i))
+        if coupler is None:
+            raise EmbeddingError(
+                f"embedding provides no coupler for logical pair ({i}, {j})"
+            )
+        add_coupling(coupler[0], coupler[1], value)
+
+    before = int(np.count_nonzero(np.abs(linear) > FIELD_MAX))
+    clipped += before
+    linear = np.clip(linear, FIELD_MIN, FIELD_MAX)
+
+    embedded = IsingModel(num_variables=num_physical, linear=linear,
+                          couplings=couplings, offset=0.0)
+    return EmbeddedIsing(
+        ising=embedded,
+        embedding=embedding,
+        qubit_order=qubit_order,
+        logical_of=tuple(logical_of_list),
+        chain_strength=chain_strength,
+        extended_range=extended_range,
+        problem_scale=problem_scale,
+        clipped_coefficients=clipped,
+    )

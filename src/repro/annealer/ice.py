@@ -1,0 +1,74 @@
+"""Intrinsic control error (ICE) model.
+
+The DW2Q is an analog device, so the coefficients actually realised on the
+chip differ from the programmed values.  Section 4 of the paper models ICE as
+Gaussian perturbations applied on every anneal: the linear terms receive a
+shift of mean 0.008 and standard deviation 0.02, the couplings a shift of
+mean -0.015 and standard deviation 0.025 (in hardware units, i.e. relative to
+the +/-1 coupler range).  Because the perturbation is *absolute*, problems
+whose information has been squeezed into a small coefficient range (for
+example by an over-large chain strength) lose their ground state to the
+noise — the mechanism behind the ``|J_F|`` performance optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.ising.model import IsingModel
+from repro.utils.random import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class ICEModel:
+    """Gaussian intrinsic-control-error noise on programmed coefficients.
+
+    Parameters
+    ----------
+    linear_mean, linear_std:
+        Mean and standard deviation of the perturbation added to each field.
+    quadratic_mean, quadratic_std:
+        Mean and standard deviation of the perturbation added to each coupling.
+    enabled:
+        Set to ``False`` for an idealised noise-free machine (useful in tests
+        that need exact ground-state recovery).
+    """
+
+    linear_mean: float = constants.ICE_LINEAR_MEAN
+    linear_std: float = constants.ICE_LINEAR_STD
+    quadratic_mean: float = constants.ICE_QUADRATIC_MEAN
+    quadratic_std: float = constants.ICE_QUADRATIC_STD
+    enabled: bool = True
+
+    @classmethod
+    def disabled(cls) -> "ICEModel":
+        """An ICE model that applies no perturbation."""
+        return cls(enabled=False)
+
+    def perturb(self, ising: IsingModel,
+                random_state: RandomState = None) -> IsingModel:
+        """Return a copy of *ising* with one ICE realisation applied."""
+        if not self.enabled:
+            return ising
+        rng = ensure_rng(random_state)
+        linear = ising.linear + rng.normal(self.linear_mean, self.linear_std,
+                                           size=ising.num_variables)
+        couplings = {
+            key: value + rng.normal(self.quadratic_mean, self.quadratic_std)
+            for key, value in ising.couplings.items()
+        }
+        return IsingModel(num_variables=ising.num_variables, linear=linear,
+                          couplings=couplings, offset=ising.offset)
+
+    def scaled(self, factor: float) -> "ICEModel":
+        """An ICE model with all statistics multiplied by *factor*."""
+        return ICEModel(
+            linear_mean=self.linear_mean * factor,
+            linear_std=self.linear_std * factor,
+            quadratic_mean=self.quadratic_mean * factor,
+            quadratic_std=self.quadratic_std * factor,
+            enabled=self.enabled,
+        )

@@ -1,0 +1,271 @@
+"""The simulated D-Wave 2000Q front end.
+
+This module ties the hardware substrate together: it accepts a *logical*
+Ising problem, embeds it on the Chimera chip (or reuses a caller-provided
+embedding), applies ICE coefficient noise, runs batches of annealing
+trajectories according to the requested schedule, unembeds the physical
+samples by majority vote, and reports the per-run statistics (distinct
+solutions, energies, occurrence counts, ground-state probability) that the
+paper's TTS / TTB metrics are computed from.
+
+Time accounting follows the paper's convention (Section 5.2): the reported
+compute time of a run is ``N_a * (T_a + T_p) / P_f`` — pure anneal time
+divided by the parallelization factor — while programming, readout and
+preprocessing overheads are tracked separately in :class:`OverheadModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import constants
+from repro.annealer.chimera import ChimeraGraph
+from repro.annealer.embedded import EmbeddedIsing, embed_ising
+from repro.annealer.embedding import Embedding, TriangleCliqueEmbedder
+from repro.annealer.engine import IsingSampler
+from repro.annealer.ice import ICEModel
+from repro.annealer.parallel import parallelization_factor
+from repro.annealer.schedule import AnnealSchedule
+from repro.annealer.unembed import UnembeddingReport, unembed_samples
+from repro.exceptions import AnnealerError
+from repro.ising.model import IsingModel
+from repro.ising.solver import SolverResult, aggregate_samples
+from repro.utils.random import RandomState, ensure_rng
+from repro.utils.validation import check_integer_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class AnnealerParameters:
+    """User-settable parameters of one QA run (one job submission).
+
+    Attributes
+    ----------
+    schedule:
+        Anneal time / pause configuration per anneal.
+    chain_strength:
+        ``|J_F|`` used when compiling the embedded problem.
+    extended_range:
+        Whether to use the DW2Q extended (doubled negative) coupler range.
+    num_anneals:
+        ``N_a`` — anneal cycles per run; the run returns the statistics of
+        all of them.
+    """
+
+    schedule: AnnealSchedule = field(default_factory=AnnealSchedule)
+    chain_strength: float = 4.0
+    extended_range: bool = True
+    num_anneals: int = 100
+
+    def __post_init__(self) -> None:
+        check_positive("chain_strength", self.chain_strength)
+        check_integer_in_range("num_anneals", self.num_anneals, minimum=1)
+
+    def with_num_anneals(self, num_anneals: int) -> "AnnealerParameters":
+        """Copy of these parameters with a different anneal count."""
+        return replace(self, num_anneals=num_anneals)
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Non-fundamental per-job overheads of current QPU technology (Section 7)."""
+
+    preprocessing_us: float = constants.PREPROCESSING_TIME_US
+    programming_us: float = constants.PROGRAMMING_TIME_US
+    readout_per_anneal_us: float = constants.READOUT_TIME_PER_ANNEAL_US
+
+    def total_us(self, num_anneals: int) -> float:
+        """Total overhead of a job with *num_anneals* anneals."""
+        num_anneals = check_integer_in_range("num_anneals", num_anneals, minimum=0)
+        return (self.preprocessing_us + self.programming_us
+                + self.readout_per_anneal_us * num_anneals)
+
+
+@dataclass(frozen=True)
+class AnnealResult:
+    """Everything a QA run returns, expressed over logical variables."""
+
+    #: Distinct logical samples with energies and occurrence counts.
+    solutions: SolverResult
+    #: The embedded problem that was programmed.
+    embedded: EmbeddedIsing
+    #: Parameters of the run.
+    parameters: AnnealerParameters
+    #: Chain-break statistics of the unembedding pass.
+    unembedding: UnembeddingReport
+    #: Per-instance parallelization factor available on this chip.
+    parallelization: float
+    #: Logical Ising problem the energies refer to.
+    logical_ising: IsingModel
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_anneals(self) -> int:
+        """Number of anneal cycles performed."""
+        return self.parameters.num_anneals
+
+    @property
+    def anneal_duration_us(self) -> float:
+        """Wall-clock duration of a single anneal (ramp + pause)."""
+        return self.parameters.schedule.duration_us
+
+    @property
+    def compute_time_us(self) -> float:
+        """Pure compute time of the run, amortised by parallelization."""
+        return self.num_anneals * self.anneal_duration_us / self.parallelization
+
+    @property
+    def best_spins(self) -> np.ndarray:
+        """Lowest-energy logical spin configuration found."""
+        return self.solutions.best_sample
+
+    @property
+    def best_bits(self) -> np.ndarray:
+        """Lowest-energy configuration as QUBO bits."""
+        return self.solutions.best_bits
+
+    @property
+    def best_energy(self) -> float:
+        """Lowest logical Ising energy found."""
+        return self.solutions.best_energy
+
+    def ground_state_probability(self, ground_energy: Optional[float] = None,
+                                 tolerance: float = 1e-6) -> float:
+        """Per-anneal probability of reaching the ground state.
+
+        When *ground_energy* is omitted the lowest energy observed in this run
+        is used (an optimistic estimate, as in empirical QA practice when the
+        true ground state is unknown).
+        """
+        reference = self.best_energy if ground_energy is None else ground_energy
+        return self.solutions.ground_state_probability(reference, tolerance)
+
+    def solution_probabilities(self) -> np.ndarray:
+        """Empirical probability of each distinct solution (energy-ranked)."""
+        occurrences = self.solutions.num_occurrences.astype(float)
+        return occurrences / occurrences.sum()
+
+
+class QuantumAnnealerSimulator:
+    """Software model of the DW2Q quantum annealer.
+
+    Parameters
+    ----------
+    topology:
+        Hardware graph; defaults to a DW2Q-like Chimera C16 with defects.
+    sweeps_per_us:
+        Metropolis sweeps simulated per microsecond of schedule time; this is
+        the fidelity knob translating physical anneal time into sampling
+        effort.
+    hot_temperature, cold_temperature:
+        End points of the annealing temperature ramp, in units of the largest
+        programmed coefficient.
+    ice:
+        Intrinsic-control-error model applied to the programmed coefficients.
+    ice_batch_size:
+        Number of anneals sharing one ICE realisation (the perturbation is
+        redrawn between batches).
+    """
+
+    def __init__(self, topology: Optional[ChimeraGraph] = None, *,
+                 sweeps_per_us: float = 30.0,
+                 hot_temperature: float = 1.5,
+                 cold_temperature: float = 0.02,
+                 ice: Optional[ICEModel] = None,
+                 ice_batch_size: int = 25):
+        self.topology = topology if topology is not None else ChimeraGraph.dw2q()
+        self.sweeps_per_us = check_positive("sweeps_per_us", sweeps_per_us)
+        self.hot_temperature = check_positive("hot_temperature", hot_temperature)
+        self.cold_temperature = check_positive("cold_temperature", cold_temperature)
+        if self.cold_temperature > self.hot_temperature:
+            raise AnnealerError("cold_temperature must not exceed hot_temperature")
+        self.ice = ice if ice is not None else ICEModel()
+        self.ice_batch_size = check_integer_in_range("ice_batch_size",
+                                                     ice_batch_size, minimum=1)
+        self.overheads = OverheadModel()
+        self._embedder = TriangleCliqueEmbedder(self.topology)
+        self._embedding_cache: Dict[int, Embedding] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        """Number of working physical qubits of the simulated chip."""
+        return self.topology.num_working_qubits
+
+    def embedding_for(self, num_logical: int) -> Embedding:
+        """Return (and cache) a clique embedding for *num_logical* variables."""
+        if num_logical not in self._embedding_cache:
+            self._embedding_cache[num_logical] = self._embedder.embed(num_logical)
+        return self._embedding_cache[num_logical]
+
+    # ------------------------------------------------------------------ #
+    def run(self, logical_ising: IsingModel,
+            parameters: Optional[AnnealerParameters] = None,
+            random_state: RandomState = None,
+            embedding: Optional[Embedding] = None) -> AnnealResult:
+        """Submit one QA job: embed, anneal ``N_a`` times, unembed, aggregate.
+
+        Parameters
+        ----------
+        logical_ising:
+            The logical problem (e.g. from the ML reduction).
+        parameters:
+            Run parameters; defaults to :class:`AnnealerParameters` defaults.
+        random_state:
+            Seed or generator for ICE draws, Metropolis moves and tie breaks.
+        embedding:
+            Optional pre-computed embedding (must cover the problem).
+        """
+        parameters = parameters or AnnealerParameters()
+        rng = ensure_rng(random_state)
+        if embedding is None:
+            embedding = self.embedding_for(logical_ising.num_variables)
+        embedded = embed_ising(
+            logical_ising, embedding,
+            chain_strength=parameters.chain_strength,
+            extended_range=parameters.extended_range,
+        )
+        temperatures = parameters.schedule.temperature_profile(
+            sweeps_per_us=self.sweeps_per_us,
+            hot=self.hot_temperature,
+            cold=self.cold_temperature,
+        )
+
+        num_anneals = parameters.num_anneals
+        physical = np.empty((num_anneals, embedded.num_physical), dtype=np.int8)
+        clusters = [np.asarray(chain, dtype=np.intp)
+                    for chain in embedded.compact_chains.values()]
+        classes = None
+        produced = 0
+        while produced < num_anneals:
+            batch = min(self.ice_batch_size, num_anneals - produced)
+            perturbed = self.ice.perturb(embedded.ising, rng)
+            sampler = IsingSampler(perturbed, classes=classes, clusters=clusters)
+            classes = sampler.classes
+            physical[produced:produced + batch] = sampler.anneal(
+                temperatures, batch, random_state=rng)
+            produced += batch
+
+        logical_spins, unembedding_report = unembed_samples(embedded, physical,
+                                                            random_state=rng)
+        solutions = aggregate_samples(logical_ising, logical_spins)
+        factor = parallelization_factor(
+            logical_ising.num_variables,
+            total_qubits=self.num_qubits,
+            shore_size=self.topology.shore_size,
+        )
+        return AnnealResult(
+            solutions=solutions,
+            embedded=embedded,
+            parameters=parameters,
+            unembedding=unembedding_report,
+            parallelization=factor,
+            logical_ising=logical_ising,
+        )
+
+    def __repr__(self) -> str:
+        return (f"QuantumAnnealerSimulator(qubits={self.num_qubits}, "
+                f"sweeps_per_us={self.sweeps_per_us}, "
+                f"ice_enabled={self.ice.enabled})")

@@ -1,0 +1,99 @@
+"""Unembedding: mapping physical chain spins back to logical variables.
+
+Section 3.3 of the paper: the bit string the machine returns is expressed in
+terms of the embedded problem, so each logical variable's value is recovered
+from its chain of physical qubits.  If all spins of a chain agree the logical
+value is that spin; otherwise the chain is *broken* and the logical value is
+decided by majority vote, with ties resolved at random.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.annealer.embedded import EmbeddedIsing
+from repro.exceptions import AnnealerError
+from repro.utils.random import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class UnembeddingReport:
+    """Statistics of one unembedding pass over a batch of samples."""
+
+    #: Number of (sample, chain) pairs whose spins were not all in agreement.
+    broken_chains: int
+    #: Number of (sample, chain) pairs decided by a coin flip (exact ties).
+    tie_breaks: int
+    #: Total number of (sample, chain) pairs processed.
+    total_chains: int
+
+    @property
+    def broken_fraction(self) -> float:
+        """Fraction of chains that were broken."""
+        if self.total_chains == 0:
+            return 0.0
+        return self.broken_chains / self.total_chains
+
+
+def unembed_sample(embedded: EmbeddedIsing, physical_spins,
+                   random_state: RandomState = None) -> np.ndarray:
+    """Unembed one physical sample into logical spins (majority vote)."""
+    logical, _ = unembed_samples(embedded, np.asarray(physical_spins)[None, :],
+                                 random_state=random_state)
+    return logical[0]
+
+
+def unembed_samples(embedded: EmbeddedIsing, physical_spins,
+                    random_state: RandomState = None
+                    ) -> Tuple[np.ndarray, UnembeddingReport]:
+    """Unembed a batch of physical samples into logical spins.
+
+    Parameters
+    ----------
+    embedded:
+        The embedded problem the samples were drawn from.
+    physical_spins:
+        Matrix of shape ``(num_samples, num_physical)`` with entries ±1, in
+        the compact physical index order of *embedded*.
+    random_state:
+        Seed or generator used only for majority-vote tie breaking.
+
+    Returns
+    -------
+    (logical_spins, report):
+        ``logical_spins`` has shape ``(num_samples, num_logical)``; the report
+        counts broken chains and tie breaks.
+    """
+    physical = np.asarray(physical_spins, dtype=np.int8)
+    if physical.ndim != 2 or physical.shape[1] != embedded.num_physical:
+        raise AnnealerError(
+            f"physical_spins must have shape (num_samples, "
+            f"{embedded.num_physical}), got {physical.shape}"
+        )
+    rng = ensure_rng(random_state)
+    chains = embedded.compact_chains
+    num_logical = embedded.embedding.num_logical
+    num_samples = physical.shape[0]
+    logical = np.empty((num_samples, num_logical), dtype=np.int8)
+    broken = 0
+    ties = 0
+    for logical_index in range(num_logical):
+        chain = np.asarray(chains[logical_index], dtype=np.intp)
+        chain_spins = physical[:, chain]
+        sums = chain_spins.sum(axis=1)
+        values = np.sign(sums).astype(np.int8)
+        agreement = np.abs(sums) == chain.size
+        broken += int(np.count_nonzero(~agreement))
+        tie_mask = values == 0
+        num_ties = int(np.count_nonzero(tie_mask))
+        if num_ties:
+            ties += num_ties
+            values[tie_mask] = rng.choice(np.array([-1, 1], dtype=np.int8),
+                                          size=num_ties)
+        logical[:, logical_index] = values
+    report = UnembeddingReport(broken_chains=broken, tie_breaks=ties,
+                               total_chains=num_samples * num_logical)
+    return logical, report

@@ -1,0 +1,26 @@
+"""Wireless channel substrate: fading models, AWGN, and channel traces."""
+
+from repro.channel.models import (
+    ChannelModel,
+    FixedChannel,
+    RandomPhaseChannel,
+    RayleighChannel,
+    RicianChannel,
+)
+from repro.channel.noise import awgn, noise_variance_for_snr, snr_db_to_linear, snr_linear_to_db
+from repro.channel.trace import ArgosLikeTraceGenerator, ChannelTrace, TraceChannel
+
+__all__ = [
+    "ChannelModel",
+    "RayleighChannel",
+    "RandomPhaseChannel",
+    "RicianChannel",
+    "FixedChannel",
+    "awgn",
+    "noise_variance_for_snr",
+    "snr_db_to_linear",
+    "snr_linear_to_db",
+    "ArgosLikeTraceGenerator",
+    "ChannelTrace",
+    "TraceChannel",
+]

@@ -1,0 +1,80 @@
+"""Physical and machine constants shared across the QuAMax reproduction.
+
+Times are expressed in microseconds everywhere in the annealer and metrics
+layers; this module centralises the few magic numbers taken directly from the
+paper so they are defined exactly once.
+"""
+
+from __future__ import annotations
+
+#: Number of physical qubits of an ideal Chimera C16 lattice (16 x 16 cells
+#: of 8 qubits).  The D-Wave 2000Q chip used in the paper exposes 2,031 of
+#: these due to manufacturing defects.
+CHIMERA_C16_IDEAL_QUBITS = 2048
+
+#: Working qubits of the specific "Whistler" DW2Q processor used in the paper.
+DW2Q_WORKING_QUBITS = 2031
+
+#: Number of programmable couplers reported for the DW2Q chip in the paper.
+DW2Q_COUPLERS = 5019
+
+#: Valid anneal-time range of the DW2Q, in microseconds (Section 2.2).
+MIN_ANNEAL_TIME_US = 1.0
+MAX_ANNEAL_TIME_US = 300.0
+
+#: Default anneal time adopted by the paper after the sensitivity study.
+DEFAULT_ANNEAL_TIME_US = 1.0
+
+#: Default pause time adopted by the paper (Section 5.3.1).
+DEFAULT_PAUSE_TIME_US = 1.0
+
+#: Default pause position (fraction of the schedule at which the pause is
+#: inserted); the paper sweeps 0.15-0.55 and typically finds optima near 0.3.
+DEFAULT_PAUSE_POSITION = 0.31
+
+#: ICE (intrinsic control error) statistics measured on the DW2Q
+#: (Section 4, "Precision Issues"): mean and standard deviation of the
+#: Gaussian perturbations applied to linear (f) and quadratic (g) terms.
+ICE_LINEAR_MEAN = 0.008
+ICE_LINEAR_STD = 0.02
+ICE_QUADRATIC_MEAN = -0.015
+ICE_QUADRATIC_STD = 0.025
+
+#: Chain-strength sweep range used by the paper's microbenchmarks (Section 4).
+JF_SWEEP_MIN = 1.0
+JF_SWEEP_MAX = 10.0
+JF_SWEEP_STEP = 0.5
+
+#: Pause-position sweep used by the paper (Section 4).
+PAUSE_POSITION_MIN = 0.15
+PAUSE_POSITION_MAX = 0.55
+PAUSE_POSITION_STEP = 0.02
+
+#: Probability target used for Time-to-Solution, TTS(0.99) (Section 5.2.1).
+TTS_TARGET_PROBABILITY = 0.99
+
+#: Bit-error-rate target headline in the paper (10^-6).
+TARGET_BER = 1e-6
+
+#: Frame-error-rate target headline in the paper (10^-4).
+TARGET_FER = 1e-4
+
+#: Frame sizes (bytes) evaluated in Fig. 11: TCP-ACK sized up to full MTU.
+FRAME_SIZES_BYTES = (50, 200, 576, 1500)
+
+#: Non-fundamental DW2Q overheads discussed in Section 7 (microseconds).
+PREPROCESSING_TIME_US = 40_000.0
+PROGRAMMING_TIME_US = 7_000.0
+READOUT_TIME_PER_ANNEAL_US = 125.0
+
+#: Processing-time budgets of deployed wireless technologies (microseconds),
+#: quoted in the introduction: Wi-Fi SIFS-scale feedback, LTE and WCDMA.
+WIFI_DECODE_BUDGET_US = 25.0
+LTE_DECODE_BUDGET_US = 3_000.0
+WCDMA_DECODE_BUDGET_US = 10_000.0
+
+#: Visited-node budget above which the paper deems the Sphere Decoder
+#: unfeasible on a Skylake-class core (Table 1 discussion).
+SPHERE_DECODER_FEASIBLE_NODES = 40
+SPHERE_DECODER_BORDERLINE_NODES = 270
+SPHERE_DECODER_UNFEASIBLE_NODES = 1900

@@ -1,0 +1,11 @@
+"""End-to-end QuAMax decoder built on the annealer simulator."""
+
+from repro.decoder.quamax import QuAMaxDecoder, QuAMaxDetectionResult
+from repro.decoder.pipeline import OFDMDecodingPipeline, SubcarrierResult
+
+__all__ = [
+    "QuAMaxDecoder",
+    "QuAMaxDetectionResult",
+    "OFDMDecodingPipeline",
+    "SubcarrierResult",
+]

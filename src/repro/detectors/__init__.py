@@ -1,0 +1,29 @@
+"""Classical MIMO detectors: linear filters, brute-force ML, Sphere Decoder.
+
+These are the baselines the paper compares against (zero-forcing in Fig. 14,
+the Sphere Decoder in Table 1) and the reference implementations used to
+validate that the QuAMax reduction's ground state really is the ML solution.
+"""
+
+from repro.detectors.base import Detector, DetectionResult
+from repro.detectors.linear import MMSEDetector, ZeroForcingDetector
+from repro.detectors.ml import ExhaustiveMLDetector
+from repro.detectors.sphere import SphereDecoder, SphereDecoderStats
+from repro.detectors.timing import (
+    ClassicalTimingModel,
+    sphere_decoder_time_us,
+    zero_forcing_time_us,
+)
+
+__all__ = [
+    "Detector",
+    "DetectionResult",
+    "ZeroForcingDetector",
+    "MMSEDetector",
+    "ExhaustiveMLDetector",
+    "SphereDecoder",
+    "SphereDecoderStats",
+    "ClassicalTimingModel",
+    "zero_forcing_time_us",
+    "sphere_decoder_time_us",
+]

@@ -1,0 +1,67 @@
+"""Linear MIMO detectors: zero-forcing and MMSE.
+
+These are the low-complexity filters used by current large-MIMO systems
+(Argos, BigStation, SAM) and the baselines of the paper's Fig. 14.  Both
+suffer from noise enhancement when the channel is poorly conditioned, which
+is exactly the regime (``N_t`` close to ``N_r``) where ML detection — and
+hence QuAMax — pays off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import DetectionResult, Detector
+from repro.exceptions import DetectionError
+from repro.mimo.system import ChannelUse
+
+
+class ZeroForcingDetector(Detector):
+    """Zero-forcing (channel-inverting) detector.
+
+    Computes the pseudo-inverse equalised estimate ``x = H^+ y`` and slices
+    each entry independently to the nearest constellation point.
+    """
+
+    name = "zero-forcing"
+
+    def detect(self, channel_use: ChannelUse) -> DetectionResult:
+        self._check_square_or_tall(channel_use)
+        equalized = np.linalg.pinv(channel_use.channel) @ channel_use.received
+        return self._slice(channel_use, equalized)
+
+    def _slice(self, channel_use: ChannelUse, equalized: np.ndarray) -> DetectionResult:
+        constellation = channel_use.constellation
+        symbols = np.array([constellation.hard_decision(value) for value in equalized],
+                           dtype=np.complex128)
+        bits = constellation.demodulate(symbols)
+        metric = self.euclidean_metric(channel_use, symbols)
+        return DetectionResult(symbols=symbols, bits=bits, metric=metric,
+                               detector=self.name,
+                               extra={"equalized": equalized})
+
+
+class MMSEDetector(ZeroForcingDetector):
+    """Linear minimum mean squared error detector.
+
+    Uses the regularised filter ``(H^H H + (N0 / Es) I)^{-1} H^H`` which
+    trades residual interference against noise enhancement; it degenerates to
+    zero forcing when the channel use is noiseless.
+    """
+
+    name = "mmse"
+
+    def detect(self, channel_use: ChannelUse) -> DetectionResult:
+        self._check_square_or_tall(channel_use)
+        channel = channel_use.channel
+        gram = channel.conj().T @ channel
+        symbol_energy = channel_use.constellation.average_energy
+        if symbol_energy <= 0:
+            raise DetectionError("constellation average energy must be positive")
+        regularization = channel_use.noise_variance / symbol_energy
+        filter_matrix = np.linalg.solve(
+            gram + regularization * np.eye(channel_use.num_tx),
+            channel.conj().T,
+        )
+        equalized = filter_matrix @ channel_use.received
+        return self._slice(channel_use, equalized)

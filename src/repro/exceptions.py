@@ -1,0 +1,48 @@
+"""Exception hierarchy for the QuAMax reproduction.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single base class at API boundaries while tests can assert on the
+precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class ModulationError(ReproError):
+    """A modulation/constellation operation received invalid input."""
+
+
+class ChannelError(ReproError):
+    """A channel model or trace operation received invalid input."""
+
+
+class DetectionError(ReproError):
+    """A detector failed or was invoked with inconsistent dimensions."""
+
+
+class ReductionError(ReproError):
+    """The ML-to-QUBO/Ising reduction was asked to do something unsupported."""
+
+
+class EmbeddingError(ReproError):
+    """A problem could not be embedded into the target hardware graph."""
+
+
+class AnnealerError(ReproError):
+    """The annealer simulator was misconfigured or given an invalid job."""
+
+
+class MetricsError(ReproError):
+    """A metric (TTS/TTB/TTF) computation received inconsistent data."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was configured inconsistently."""

@@ -1,0 +1,131 @@
+"""Figure 5: TTS sensitivity to the chain strength ``|J_F|``.
+
+The paper sweeps ``|J_F|`` from 1 to 10 for several BPSK and QPSK sizes, with
+the standard and the extended (improved) coupler dynamic range, and reports
+median TTS(0.99) across 10 random instances.  The observations to reproduce:
+the standard range shows a size-dependent performance optimum in ``|J_F|``,
+while the extended range is flatter and roughly attains the standard range's
+best performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig, MimoScenario
+from repro.experiments.runner import ScenarioRunner, format_table
+from repro.metrics.statistics import summarize
+
+#: Scenarios of the paper's Fig. 5 (a representative subset).
+PAPER_SCENARIOS: Tuple[Tuple[str, int], ...] = (
+    ("BPSK", 24), ("BPSK", 36), ("QPSK", 12), ("QPSK", 18),
+)
+
+#: Default chain-strength sweep (a coarse version of the paper's 0.5 steps).
+DEFAULT_CHAIN_STRENGTHS: Tuple[float, ...] = (1.0, 2.0, 4.0, 6.0, 8.0, 10.0)
+
+
+@dataclass(frozen=True)
+class ChainStrengthPoint:
+    """Median TTS at one (scenario, dynamic range, |J_F|) point."""
+
+    scenario: MimoScenario
+    extended_range: bool
+    chain_strength: float
+    median_tts_us: float
+    p10_tts_us: float
+    p90_tts_us: float
+    median_bit_errors: float
+
+
+@dataclass(frozen=True)
+class Fig05Result:
+    """The full |J_F| sweep."""
+
+    points: List[ChainStrengthPoint]
+
+    def curve(self, scenario_label: str,
+              extended_range: bool) -> List[ChainStrengthPoint]:
+        """The TTS-vs-|J_F| curve of one scenario and range setting."""
+        return sorted(
+            [p for p in self.points
+             if p.scenario.label == scenario_label
+             and p.extended_range == extended_range],
+            key=lambda p: p.chain_strength)
+
+    def best_chain_strength(self, scenario_label: str,
+                            extended_range: bool) -> float:
+        """The |J_F| minimising median TTS for one curve."""
+        curve = self.curve(scenario_label, extended_range)
+        if not curve:
+            raise KeyError(f"no curve for {scenario_label!r}")
+        best = min(curve, key=lambda p: p.median_tts_us)
+        return best.chain_strength
+
+    def sensitivity(self, scenario_label: str, extended_range: bool) -> float:
+        """Spread (max/min) of finite median TTS across the sweep.
+
+        A smaller value means the setting is less sensitive to |J_F|; the
+        paper's finding is that the extended range has lower sensitivity.
+        Infinite points (ground state never seen) are treated as a large
+        penalty factor.
+        """
+        curve = self.curve(scenario_label, extended_range)
+        values = np.array([p.median_tts_us for p in curve])
+        finite = values[np.isfinite(values)]
+        if finite.size == 0:
+            return float("inf")
+        penalty = 10.0 ** np.count_nonzero(~np.isfinite(values))
+        return float(finite.max() / finite.min() * penalty)
+
+
+def run(config: ExperimentConfig,
+        scenarios: Sequence[Tuple[str, int]] = PAPER_SCENARIOS,
+        chain_strengths: Sequence[float] = DEFAULT_CHAIN_STRENGTHS,
+        ranges: Sequence[bool] = (False, True)) -> Fig05Result:
+    """Sweep |J_F| for each scenario and dynamic-range setting."""
+    runner = ScenarioRunner(config)
+    points: List[ChainStrengthPoint] = []
+    for modulation, num_users in scenarios:
+        scenario = MimoScenario(modulation, num_users, snr_db=None)
+        for extended in ranges:
+            for chain_strength in chain_strengths:
+                parameters = runner.default_parameters(
+                    chain_strength=chain_strength, extended_range=extended)
+                records = runner.run_scenario(scenario, parameters)
+                tts_values = [record.tts() for record in records]
+                errors = [record.bit_errors for record in records]
+                summary = summarize(tts_values, ignore_infinite=True)
+                median = (summary.median if summary.count
+                          else float("inf"))
+                p10 = summary.percentile_10 if summary.count else float("inf")
+                p90 = summary.percentile_90 if summary.count else float("inf")
+                points.append(ChainStrengthPoint(
+                    scenario=scenario,
+                    extended_range=extended,
+                    chain_strength=chain_strength,
+                    median_tts_us=median,
+                    p10_tts_us=p10,
+                    p90_tts_us=p90,
+                    median_bit_errors=float(np.median(errors)),
+                ))
+    return Fig05Result(points=points)
+
+
+def format_result(result: Fig05Result) -> str:
+    """Render the |J_F| sweep as text."""
+    rows = [[point.scenario.label,
+             "extended" if point.extended_range else "standard",
+             point.chain_strength,
+             point.median_tts_us,
+             point.p90_tts_us,
+             point.median_bit_errors]
+            for point in result.points]
+    return format_table(
+        ["scenario", "range", "|J_F|", "median TTS (us)", "p90 TTS (us)",
+         "median bit errors"],
+        rows,
+        title="Figure 5: TTS vs chain strength |J_F|")

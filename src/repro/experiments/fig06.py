@@ -1,0 +1,98 @@
+"""Figure 6: TTS sensitivity to the anneal time ``T_a``.
+
+The paper varies ``T_a`` over {1, 10, 100} µs for several QPSK user counts
+and finds that, with the extended dynamic range, ``T_a = 1`` µs is best
+regardless of problem size (longer anneals improve the per-anneal success
+probability, but not enough to pay for their extra duration), and that the
+sensitivity to a non-optimal ``|J_F|`` grows with ``T_a``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.annealer.schedule import AnnealSchedule
+from repro.experiments.config import ExperimentConfig, MimoScenario
+from repro.experiments.runner import ScenarioRunner, format_table
+from repro.metrics.statistics import summarize
+
+#: QPSK user counts of the paper's Fig. 6 study.
+PAPER_USER_COUNTS: Tuple[int, ...] = (12, 14, 16, 18)
+
+#: Anneal times swept by the paper.
+PAPER_ANNEAL_TIMES_US: Tuple[float, ...] = (1.0, 10.0, 100.0)
+
+
+@dataclass(frozen=True)
+class AnnealTimePoint:
+    """Median TTS and ground-state probability at one (scenario, T_a) point."""
+
+    scenario: MimoScenario
+    anneal_time_us: float
+    chain_strength: float
+    median_tts_us: float
+    median_ground_state_probability: float
+
+
+@dataclass(frozen=True)
+class Fig06Result:
+    """The full anneal-time sweep."""
+
+    points: List[AnnealTimePoint]
+
+    def curve(self, scenario_label: str) -> List[AnnealTimePoint]:
+        """TTS-vs-anneal-time curve of one scenario."""
+        return sorted([p for p in self.points
+                       if p.scenario.label == scenario_label],
+                      key=lambda p: p.anneal_time_us)
+
+    def best_anneal_time(self, scenario_label: str) -> float:
+        """Anneal time minimising median TTS for one scenario."""
+        curve = self.curve(scenario_label)
+        if not curve:
+            raise KeyError(f"no curve for {scenario_label!r}")
+        return min(curve, key=lambda p: p.median_tts_us).anneal_time_us
+
+
+def run(config: ExperimentConfig,
+        user_counts: Sequence[int] = PAPER_USER_COUNTS,
+        anneal_times_us: Sequence[float] = PAPER_ANNEAL_TIMES_US,
+        modulation: str = "QPSK") -> Fig06Result:
+    """Sweep the anneal time for each user count (extended range, no pause)."""
+    runner = ScenarioRunner(config)
+    points: List[AnnealTimePoint] = []
+    for num_users in user_counts:
+        scenario = MimoScenario(modulation, num_users, snr_db=None)
+        for anneal_time in anneal_times_us:
+            schedule = AnnealSchedule(anneal_time_us=anneal_time,
+                                      pause_time_us=0.0)
+            parameters = runner.default_parameters(schedule=schedule)
+            records = runner.run_scenario(scenario, parameters)
+            tts_values = [record.tts() for record in records]
+            probabilities = [
+                record.outcome.run.ground_state_probability(
+                    record.ground_truth_energy)
+                for record in records
+            ]
+            summary = summarize(tts_values, ignore_infinite=True)
+            points.append(AnnealTimePoint(
+                scenario=scenario,
+                anneal_time_us=anneal_time,
+                chain_strength=parameters.chain_strength,
+                median_tts_us=summary.median if summary.count else float("inf"),
+                median_ground_state_probability=float(np.median(probabilities)),
+            ))
+    return Fig06Result(points=points)
+
+
+def format_result(result: Fig06Result) -> str:
+    """Render the anneal-time sweep as text."""
+    rows = [[point.scenario.label, point.anneal_time_us,
+             point.median_tts_us, point.median_ground_state_probability]
+            for point in result.points]
+    return format_table(
+        ["scenario", "T_a (us)", "median TTS (us)", "median P0"],
+        rows, title="Figure 6: TTS vs anneal time (QPSK, extended range)")

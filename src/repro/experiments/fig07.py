@@ -1,0 +1,103 @@
+"""Figure 7: TTS sensitivity to the anneal pause time and position.
+
+The paper inserts pauses of ``T_p`` in {1, 10, 100} µs at positions ``s_p``
+between 0.15 and 0.55 of the (1 µs) anneal for 18-user QPSK, finding that a
+short pause (1 µs) at a well-chosen position slightly improves TTS relative
+to the best no-pause setting, while long pauses cost more time than they
+save.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.annealer.schedule import AnnealSchedule
+from repro.experiments.config import ExperimentConfig, MimoScenario
+from repro.experiments.runner import ScenarioRunner, format_table
+from repro.metrics.statistics import summarize
+
+#: The paper's Fig. 7 studies 18-user QPSK.
+PAPER_SCENARIO: Tuple[str, int] = ("QPSK", 18)
+
+#: Pause times swept by the paper.
+PAPER_PAUSE_TIMES_US: Tuple[float, ...] = (1.0, 10.0, 100.0)
+
+#: A coarse version of the paper's 0.15-0.55 pause-position sweep.
+DEFAULT_PAUSE_POSITIONS: Tuple[float, ...] = (0.15, 0.25, 0.35, 0.45, 0.55)
+
+
+@dataclass(frozen=True)
+class PausePoint:
+    """Median TTS at one (pause time, pause position) point."""
+
+    scenario: MimoScenario
+    pause_time_us: float
+    pause_position: float
+    median_tts_us: float
+    median_ground_state_probability: float
+
+
+@dataclass(frozen=True)
+class Fig07Result:
+    """The full pause sweep."""
+
+    points: List[PausePoint]
+
+    def curve(self, pause_time_us: float) -> List[PausePoint]:
+        """TTS-vs-position curve at one pause duration."""
+        return sorted([p for p in self.points
+                       if p.pause_time_us == pause_time_us],
+                      key=lambda p: p.pause_position)
+
+    def best_point(self) -> PausePoint:
+        """The overall best (lowest median TTS) pause setting."""
+        finite = [p for p in self.points if np.isfinite(p.median_tts_us)]
+        if not finite:
+            return min(self.points, key=lambda p: p.median_tts_us)
+        return min(finite, key=lambda p: p.median_tts_us)
+
+
+def run(config: ExperimentConfig,
+        scenario: Tuple[str, int] = PAPER_SCENARIO,
+        pause_times_us: Sequence[float] = PAPER_PAUSE_TIMES_US,
+        pause_positions: Sequence[float] = DEFAULT_PAUSE_POSITIONS) -> Fig07Result:
+    """Sweep pause time and position for the configured scenario."""
+    runner = ScenarioRunner(config)
+    modulation, num_users = scenario
+    mimo_scenario = MimoScenario(modulation, num_users, snr_db=None)
+    points: List[PausePoint] = []
+    for pause_time in pause_times_us:
+        for position in pause_positions:
+            schedule = AnnealSchedule(anneal_time_us=1.0,
+                                      pause_time_us=pause_time,
+                                      pause_position=position)
+            parameters = runner.default_parameters(schedule=schedule)
+            records = runner.run_scenario(mimo_scenario, parameters)
+            tts_values = [record.tts() for record in records]
+            probabilities = [
+                record.outcome.run.ground_state_probability(
+                    record.ground_truth_energy)
+                for record in records
+            ]
+            summary = summarize(tts_values, ignore_infinite=True)
+            points.append(PausePoint(
+                scenario=mimo_scenario,
+                pause_time_us=pause_time,
+                pause_position=position,
+                median_tts_us=summary.median if summary.count else float("inf"),
+                median_ground_state_probability=float(np.median(probabilities)),
+            ))
+    return Fig07Result(points=points)
+
+
+def format_result(result: Fig07Result) -> str:
+    """Render the pause sweep as text."""
+    rows = [[point.scenario.label, point.pause_time_us, point.pause_position,
+             point.median_tts_us, point.median_ground_state_probability]
+            for point in result.points]
+    return format_table(
+        ["scenario", "T_p (us)", "s_p", "median TTS (us)", "median P0"],
+        rows, title="Figure 7: TTS vs anneal pause time and position")

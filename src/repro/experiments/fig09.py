@@ -1,0 +1,110 @@
+"""Figure 9: Time-to-BER curves across user counts and modulations.
+
+The paper plots the expected BER as a function of time (anneals times anneal
+duration, amortised by parallelization) for user counts at the edge of
+QuAMax's capability for each modulation, comparing the fixed-parameter
+average-case behaviour (``Fix``, what a deployment would get) against the
+idealised per-instance oracle (``Opt``).  The observation to reproduce is the
+ordering of the curves: at a fixed time budget, smaller problems and
+lower-order modulations reach lower BER, and BER falls monotonically with
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig, MimoScenario
+from repro.experiments.runner import ScenarioRunner, format_table
+
+#: Scenarios of the paper's Fig. 9 (user counts at the capability edge).
+PAPER_SCENARIOS: Tuple[Tuple[str, int], ...] = (
+    ("BPSK", 48), ("BPSK", 60), ("QPSK", 14), ("QPSK", 18), ("16-QAM", 4),
+)
+
+#: Time grid (µs) on which the BER curves are reported.
+DEFAULT_TIME_GRID_US: Tuple[float, ...] = (2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+                                           200.0, 500.0, 1000.0)
+
+
+@dataclass(frozen=True)
+class TtbCurve:
+    """Median and mean expected BER vs time for one scenario."""
+
+    scenario: MimoScenario
+    times_us: np.ndarray
+    median_ber: np.ndarray
+    mean_ber: np.ndarray
+    median_ttb_us: float
+    mean_ttb_us: float
+
+
+@dataclass(frozen=True)
+class Fig09Result:
+    """All TTB curves of the reproduced Fig. 9."""
+
+    curves: List[TtbCurve]
+    target_ber: float
+
+    def curve(self, scenario_label: str) -> TtbCurve:
+        """Look up one curve by scenario label."""
+        for candidate in self.curves:
+            if candidate.scenario.label == scenario_label:
+                return candidate
+        raise KeyError(f"no curve for {scenario_label!r}")
+
+
+def run(config: ExperimentConfig,
+        scenarios: Sequence[Tuple[str, int]] = PAPER_SCENARIOS,
+        time_grid_us: Sequence[float] = DEFAULT_TIME_GRID_US,
+        target_ber: float = 1e-6) -> Fig09Result:
+    """Compute BER-vs-time curves and TTB for each scenario (noiseless)."""
+    runner = ScenarioRunner(config)
+    times = np.asarray(time_grid_us, dtype=float)
+    curves: List[TtbCurve] = []
+    for modulation, num_users in scenarios:
+        scenario = MimoScenario(modulation, num_users, snr_db=None)
+        records = runner.run_scenario(scenario)
+        profiles = [record.profile for record in records]
+        per_instance = []
+        ttbs = []
+        for profile in profiles:
+            anneal_duration = profile.anneal_duration_us / profile.parallelization
+            bers = []
+            for time_us in times:
+                anneals = max(1, int(time_us / anneal_duration))
+                bers.append(profile.expected_ber(anneals))
+            per_instance.append(bers)
+            ttbs.append(profile.time_to_ber(target_ber))
+        per_instance = np.asarray(per_instance)
+        ttbs = np.asarray(ttbs)
+        finite = ttbs[np.isfinite(ttbs)]
+        curves.append(TtbCurve(
+            scenario=scenario,
+            times_us=times,
+            median_ber=np.median(per_instance, axis=0),
+            mean_ber=np.mean(per_instance, axis=0),
+            median_ttb_us=float(np.median(ttbs)) if ttbs.size else float("inf"),
+            mean_ttb_us=(float(np.mean(finite)) if finite.size == ttbs.size
+                         else float("inf")),
+        ))
+    return Fig09Result(curves=curves, target_ber=target_ber)
+
+
+def format_result(result: Fig09Result) -> str:
+    """Render the TTB curves as text."""
+    rows = []
+    for curve in result.curves:
+        for time_us, median_ber, mean_ber in zip(curve.times_us,
+                                                 curve.median_ber,
+                                                 curve.mean_ber):
+            rows.append([curve.scenario.label, float(time_us),
+                         float(median_ber), float(mean_ber)])
+        rows.append([curve.scenario.label, "TTB(1e-6)",
+                     curve.median_ttb_us, curve.mean_ttb_us])
+    return format_table(
+        ["scenario", "time (us)", "median E[BER]", "mean E[BER]"], rows,
+        title="Figure 9: expected BER vs compute time")

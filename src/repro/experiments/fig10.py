@@ -1,0 +1,110 @@
+"""Figure 10: distribution of TTB at target BER 1e-6 across instances.
+
+The paper reports, for each modulation and user count, the distribution
+(box plot: 5th/25th/median/75th/95th percentiles) of the per-instance time
+needed to reach an expected BER of 1e-6, restricted to instances that reach
+it within 10 ms.  The shape to reproduce: TTB grows with the number of users
+and with the modulation order, with BPSK instances amortised below the
+single-anneal duration thanks to parallelization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig, MimoScenario
+from repro.experiments.runner import ScenarioRunner, format_table
+
+#: Scenarios of the paper's Fig. 10 (a representative subset per modulation).
+PAPER_SCENARIOS: Tuple[Tuple[str, int], ...] = (
+    ("BPSK", 36), ("BPSK", 48), ("BPSK", 60),
+    ("QPSK", 12), ("QPSK", 14), ("QPSK", 16), ("QPSK", 18),
+    ("16-QAM", 4), ("16-QAM", 6),
+)
+
+#: Instances that do not reach the target within this budget are excluded
+#: from the box statistics (as in the paper).
+DEFAULT_DEADLINE_US = 10_000.0
+
+
+@dataclass(frozen=True)
+class TtbBox:
+    """Box-plot statistics of TTB for one scenario."""
+
+    scenario: MimoScenario
+    ttb_values_us: np.ndarray
+    deadline_us: float
+
+    @property
+    def reached(self) -> np.ndarray:
+        """TTB values of the instances that met the deadline."""
+        finite = self.ttb_values_us[np.isfinite(self.ttb_values_us)]
+        return finite[finite <= self.deadline_us]
+
+    @property
+    def fraction_reached(self) -> float:
+        """Fraction of instances that reached the target within the deadline."""
+        if self.ttb_values_us.size == 0:
+            return 0.0
+        return self.reached.size / self.ttb_values_us.size
+
+    def percentile(self, q: float) -> float:
+        """Percentile of the reached-instance TTB distribution."""
+        reached = self.reached
+        if reached.size == 0:
+            return float("inf")
+        return float(np.percentile(reached, q))
+
+    @property
+    def median_us(self) -> float:
+        """Median TTB among reached instances."""
+        return self.percentile(50.0)
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """All TTB boxes of the reproduced Fig. 10."""
+
+    boxes: List[TtbBox]
+    target_ber: float
+
+    def box(self, scenario_label: str) -> TtbBox:
+        """Look up one box by scenario label."""
+        for candidate in self.boxes:
+            if candidate.scenario.label == scenario_label:
+                return candidate
+        raise KeyError(f"no box for {scenario_label!r}")
+
+
+def run(config: ExperimentConfig,
+        scenarios: Sequence[Tuple[str, int]] = PAPER_SCENARIOS,
+        target_ber: float = 1e-6,
+        deadline_us: float = DEFAULT_DEADLINE_US) -> Fig10Result:
+    """Compute per-instance TTB distributions for each scenario."""
+    runner = ScenarioRunner(config)
+    boxes: List[TtbBox] = []
+    for modulation, num_users in scenarios:
+        scenario = MimoScenario(modulation, num_users, snr_db=None)
+        records = runner.run_scenario(scenario)
+        ttbs = np.array([record.ttb(target_ber) for record in records])
+        boxes.append(TtbBox(scenario=scenario, ttb_values_us=ttbs,
+                            deadline_us=deadline_us))
+    return Fig10Result(boxes=boxes, target_ber=target_ber)
+
+
+def format_result(result: Fig10Result) -> str:
+    """Render the TTB boxes as text."""
+    rows = []
+    for box in result.boxes:
+        rows.append([
+            box.scenario.label,
+            box.fraction_reached,
+            box.percentile(5), box.percentile(25), box.median_us,
+            box.percentile(75), box.percentile(95),
+        ])
+    return format_table(
+        ["scenario", "reached", "p5", "p25", "median", "p75", "p95"], rows,
+        title=f"Figure 10: TTB (us) to BER {result.target_ber:g}")

@@ -1,0 +1,118 @@
+"""Figure 13: Time-to-BER under AWGN, varying user count and SNR.
+
+Left panel of the paper's Fig. 13: TTB at 20 dB SNR as the number of users
+grows, for each modulation — TTB degrades gracefully with user count.
+Right panel: TTB at a fixed user count as the SNR varies — performance
+improves with SNR, and the idealised ``Opt`` policy is only weakly sensitive
+to SNR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig, MimoScenario
+from repro.experiments.runner import ScenarioRunner, format_table
+
+#: (modulation, user counts) studied at fixed SNR in the left panel.
+PAPER_USER_SWEEPS: Tuple[Tuple[str, Tuple[int, ...]], ...] = (
+    ("BPSK", (36, 48, 60)),
+    ("QPSK", (12, 14, 16)),
+)
+
+#: SNRs studied at a fixed user count in the right panel.
+PAPER_SNRS_DB: Tuple[float, ...] = (10.0, 15.0, 20.0, 25.0, 30.0, 40.0)
+
+#: Fixed SNR of the left panel.
+LEFT_PANEL_SNR_DB = 20.0
+
+#: Fixed (modulation, users) of the right panel.
+RIGHT_PANEL_SCENARIO: Tuple[str, int] = ("QPSK", 14)
+
+
+@dataclass(frozen=True)
+class AwgnTtbPoint:
+    """TTB statistics for one (modulation, users, SNR) point."""
+
+    scenario: MimoScenario
+    median_ttb_us: float
+    mean_ttb_us: float
+    median_final_ber: float
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    """Both panels of the reproduced Fig. 13."""
+
+    user_sweep_points: List[AwgnTtbPoint]
+    snr_sweep_points: List[AwgnTtbPoint]
+    target_ber: float
+
+    def user_sweep(self, modulation: str) -> List[AwgnTtbPoint]:
+        """The TTB-vs-users curve of one modulation (left panel)."""
+        return sorted([p for p in self.user_sweep_points
+                       if p.scenario.modulation.name == modulation],
+                      key=lambda p: p.scenario.num_users)
+
+    def snr_sweep(self) -> List[AwgnTtbPoint]:
+        """The TTB-vs-SNR curve (right panel)."""
+        return sorted(self.snr_sweep_points, key=lambda p: p.scenario.snr_db)
+
+
+def _point(runner: ScenarioRunner, scenario: MimoScenario,
+           target_ber: float, max_anneals: int) -> AwgnTtbPoint:
+    records = runner.run_scenario(scenario)
+    profiles = [record.profile for record in records]
+    ttbs = np.array([profile.time_to_ber(target_ber, max_anneals=max_anneals)
+                     for profile in profiles])
+    finals = np.array([profile.floor_ber for profile in profiles])
+    finite = ttbs[np.isfinite(ttbs)]
+    return AwgnTtbPoint(
+        scenario=scenario,
+        median_ttb_us=float(np.median(ttbs)) if ttbs.size else float("inf"),
+        mean_ttb_us=(float(np.mean(finite)) if finite.size == ttbs.size
+                     else float("inf")),
+        median_final_ber=float(np.median(finals)),
+    )
+
+
+def run(config: ExperimentConfig,
+        user_sweeps: Sequence[Tuple[str, Sequence[int]]] = PAPER_USER_SWEEPS,
+        snrs_db: Sequence[float] = PAPER_SNRS_DB,
+        left_panel_snr_db: float = LEFT_PANEL_SNR_DB,
+        right_panel_scenario: Tuple[str, int] = RIGHT_PANEL_SCENARIO,
+        target_ber: float = 1e-6,
+        max_anneals: int = 1_000_000) -> Fig13Result:
+    """Reproduce both panels of Fig. 13."""
+    runner = ScenarioRunner(config)
+    user_points: List[AwgnTtbPoint] = []
+    for modulation, user_counts in user_sweeps:
+        for num_users in user_counts:
+            scenario = MimoScenario(modulation, num_users, left_panel_snr_db)
+            user_points.append(_point(runner, scenario, target_ber, max_anneals))
+    snr_points: List[AwgnTtbPoint] = []
+    modulation, num_users = right_panel_scenario
+    for snr_db in snrs_db:
+        scenario = MimoScenario(modulation, num_users, float(snr_db))
+        snr_points.append(_point(runner, scenario, target_ber, max_anneals))
+    return Fig13Result(user_sweep_points=user_points,
+                       snr_sweep_points=snr_points,
+                       target_ber=target_ber)
+
+
+def format_result(result: Fig13Result) -> str:
+    """Render both panels as text."""
+    rows = []
+    for point in result.user_sweep_points:
+        rows.append(["users sweep", point.scenario.label, point.median_ttb_us,
+                     point.mean_ttb_us, point.median_final_ber])
+    for point in result.snr_sweep_points:
+        rows.append(["SNR sweep", point.scenario.label, point.median_ttb_us,
+                     point.mean_ttb_us, point.median_final_ber])
+    return format_table(
+        ["panel", "scenario", "median TTB (us)", "mean TTB (us)",
+         "median floor BER"],
+        rows, title=f"Figure 13: TTB to BER {result.target_ber:g} under AWGN")

@@ -1,0 +1,119 @@
+"""Figure 14: QuAMax versus the zero-forcing linear detector.
+
+The paper compares, at low SNR where the channel is poorly conditioned, the
+BER that zero-forcing attains (and the single-core processing time inferred
+from BigStation) against the time QuAMax needs to reach the same or better
+BER.  The shape to reproduce: zero-forcing's BER saturates at a high error
+floor for square (N_t = N_r) systems while QuAMax reaches that BER one to
+three orders of magnitude faster than the zero-forcing processing time, and
+keeps improving beyond it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.detectors.linear import ZeroForcingDetector
+from repro.detectors.timing import zero_forcing_time_us
+from repro.experiments.config import ExperimentConfig, MimoScenario
+from repro.experiments.runner import ScenarioRunner, format_table
+from repro.metrics.error_rates import bit_error_rate
+
+#: Scenarios of the paper's Fig. 14 (modulation, user counts, SNR).
+PAPER_SCENARIOS: Tuple[Tuple[str, Tuple[int, ...], float], ...] = (
+    ("BPSK", (36, 48, 60), 10.0),
+    ("QPSK", (12, 14, 16), 15.0),
+)
+
+#: Number of OFDM subcarriers a deployed system would equalise per channel
+#: estimate; used for the zero-forcing time model (BigStation-like).
+DEFAULT_SUBCARRIERS = 1
+
+
+@dataclass(frozen=True)
+class ZfComparisonPoint:
+    """One (modulation, users, SNR) comparison point."""
+
+    scenario: MimoScenario
+    zero_forcing_ber: float
+    zero_forcing_time_us: float
+    quamax_time_to_match_us: float
+    quamax_floor_ber: float
+
+    @property
+    def speedup(self) -> float:
+        """Zero-forcing time divided by QuAMax's time to match its BER."""
+        if self.quamax_time_to_match_us == 0:
+            return float("inf")
+        return self.zero_forcing_time_us / self.quamax_time_to_match_us
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    """All comparison points of the reproduced Fig. 14."""
+
+    points: List[ZfComparisonPoint]
+
+    def point(self, scenario_label: str) -> ZfComparisonPoint:
+        """Look up one comparison point by scenario label."""
+        for candidate in self.points:
+            if candidate.scenario.label == scenario_label:
+                return candidate
+        raise KeyError(f"no point for {scenario_label!r}")
+
+
+def run(config: ExperimentConfig,
+        scenarios: Sequence[Tuple[str, Sequence[int], float]] = PAPER_SCENARIOS,
+        subcarriers: int = DEFAULT_SUBCARRIERS) -> Fig14Result:
+    """Compare QuAMax against zero-forcing on poorly conditioned channels."""
+    runner = ScenarioRunner(config)
+    zero_forcing = ZeroForcingDetector()
+    points: List[ZfComparisonPoint] = []
+    for modulation, user_counts, snr_db in scenarios:
+        for num_users in user_counts:
+            scenario = MimoScenario(modulation, num_users, float(snr_db))
+            records = runner.run_scenario(scenario)
+
+            zf_bers = []
+            match_times = []
+            floor_bers = []
+            for record in records:
+                channel_use = record.outcome.reduced.channel_use
+                zf_result = zero_forcing.detect(channel_use)
+                zf_ber = bit_error_rate(channel_use.transmitted_bits,
+                                        zf_result.bits)
+                zf_bers.append(zf_ber)
+                profile = record.profile
+                floor_bers.append(profile.floor_ber)
+                # Time for QuAMax's expected BER to drop to the ZF BER (a BER
+                # of zero is matched as soon as the expected BER reaches one
+                # bit error in a thousand frames' worth of bits).
+                target = max(zf_ber, 1e-7)
+                match_times.append(profile.time_to_ber(target))
+            zf_time = zero_forcing_time_us(num_users, num_users, subcarriers)
+            finite = np.asarray(match_times)
+            finite = finite[np.isfinite(finite)]
+            points.append(ZfComparisonPoint(
+                scenario=scenario,
+                zero_forcing_ber=float(np.median(zf_bers)),
+                zero_forcing_time_us=zf_time,
+                quamax_time_to_match_us=(float(np.median(match_times))
+                                         if len(match_times) else float("inf")),
+                quamax_floor_ber=float(np.median(floor_bers)),
+            ))
+    return Fig14Result(points=points)
+
+
+def format_result(result: Fig14Result) -> str:
+    """Render the zero-forcing comparison as text."""
+    rows = [[point.scenario.label, point.zero_forcing_ber,
+             point.zero_forcing_time_us, point.quamax_time_to_match_us,
+             point.speedup, point.quamax_floor_ber]
+            for point in result.points]
+    return format_table(
+        ["scenario", "ZF BER", "ZF time (us)", "QuAMax match time (us)",
+         "speedup", "QuAMax floor BER"],
+        rows, title="Figure 14: QuAMax vs zero-forcing")

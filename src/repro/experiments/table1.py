@@ -1,0 +1,105 @@
+"""Table 1: Sphere Decoder visited-node counts and feasibility verdicts.
+
+The paper's Table 1 reports the average number of tree nodes the Sphere
+Decoder visits for configurations that carry the same number of payload bits
+per channel use — 12/21/30-user BPSK, 7/11/15-user QPSK and 4/6/8-user
+16-QAM — over a Rayleigh channel at 13 dB SNR, and marks each row as
+feasible / borderline / unfeasible on a Skylake-class core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.channel.models import RayleighChannel
+from repro.detectors.sphere import SphereDecoder
+from repro.experiments.config import ExperimentConfig, MimoScenario
+from repro.experiments.runner import format_table
+from repro.mimo.system import MimoUplink
+from repro.utils.random import derive_rng
+
+#: The rows of the paper's Table 1: one tuple of (BPSK, QPSK, 16-QAM) user
+#: counts per complexity band.
+PAPER_ROWS: Tuple[Tuple[int, int, int], ...] = ((12, 7, 4), (21, 11, 6), (30, 15, 8))
+
+#: SNR of the Table 1 study.
+SNR_DB = 13.0
+
+
+@dataclass(frozen=True)
+class SphereComplexityRow:
+    """One row of the reproduced Table 1."""
+
+    bpsk_users: int
+    qpsk_users: int
+    qam16_users: int
+    mean_visited_nodes: float
+    verdict: str
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """All rows of the reproduced Table 1."""
+
+    rows: List[SphereComplexityRow]
+
+
+def classify(visited_nodes: float) -> str:
+    """Feasibility verdict for a visited-node count (Table 1 bands)."""
+    if visited_nodes <= 3 * constants.SPHERE_DECODER_FEASIBLE_NODES:
+        return "feasible"
+    if visited_nodes <= 3 * constants.SPHERE_DECODER_BORDERLINE_NODES:
+        return "borderline"
+    return "unfeasible"
+
+
+def mean_visited_nodes(scenario: MimoScenario, config: ExperimentConfig,
+                       snr_db: float = SNR_DB) -> float:
+    """Average sphere-decoder visited nodes over the configured instances."""
+    link = MimoUplink(num_users=scenario.num_users,
+                      constellation=scenario.constellation,
+                      channel_model=RayleighChannel())
+    decoder = SphereDecoder()
+    counts = []
+    for index in range(config.num_instances):
+        rng = derive_rng(config.seed, "table1", scenario.label, index)
+        channel_use = link.transmit(random_state=rng, snr_db=snr_db)
+        result = decoder.detect(channel_use)
+        counts.append(result.extra["visited_nodes"])
+    return float(np.mean(counts))
+
+
+def run(config: ExperimentConfig,
+        rows: Sequence[Tuple[int, int, int]] = PAPER_ROWS) -> Table1Result:
+    """Reproduce Table 1 for the given complexity-band rows."""
+    results: List[SphereComplexityRow] = []
+    for bpsk_users, qpsk_users, qam16_users in rows:
+        per_modulation = [
+            mean_visited_nodes(MimoScenario("BPSK", bpsk_users, SNR_DB), config),
+            mean_visited_nodes(MimoScenario("QPSK", qpsk_users, SNR_DB), config),
+            mean_visited_nodes(MimoScenario("16-QAM", qam16_users, SNR_DB), config),
+        ]
+        average = float(np.mean(per_modulation))
+        results.append(SphereComplexityRow(
+            bpsk_users=bpsk_users, qpsk_users=qpsk_users, qam16_users=qam16_users,
+            mean_visited_nodes=average, verdict=classify(average)))
+    return Table1Result(rows=results)
+
+
+def format_result(result: Table1Result) -> str:
+    """Render the reproduced Table 1 as text."""
+    rows = [
+        [f"{row.bpsk_users}x{row.bpsk_users}",
+         f"{row.qpsk_users}x{row.qpsk_users}",
+         f"{row.qam16_users}x{row.qam16_users}",
+         round(row.mean_visited_nodes, 1),
+         row.verdict]
+        for row in result.rows
+    ]
+    return format_table(
+        ["BPSK", "QPSK", "16-QAM", "visited nodes", "verdict"], rows,
+        title="Table 1: Sphere Decoder complexity (mean visited tree nodes)")

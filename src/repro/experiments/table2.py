@@ -1,0 +1,88 @@
+"""Table 2: logical and physical qubit counts of the clique embedding.
+
+For each MIMO configuration (10/20/40/60 users, BPSK through 64-QAM) the
+paper reports the number of logical Ising variables and the number of
+physical qubits after the triangle clique embedding, and flags which
+configurations fit on the 2,031-qubit DW2Q.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro import constants
+from repro.annealer.embedding import embedding_qubit_counts
+from repro.experiments.runner import format_table
+from repro.modulation.constellation import get_constellation
+
+#: Rows (user counts) and columns (modulations) of the paper's Table 2.
+PAPER_USER_COUNTS: Tuple[int, ...] = (10, 20, 40, 60)
+PAPER_MODULATIONS: Tuple[str, ...] = ("BPSK", "QPSK", "16-QAM", "64-QAM")
+
+
+@dataclass(frozen=True)
+class QubitCountEntry:
+    """One cell of Table 2."""
+
+    num_users: int
+    modulation: str
+    logical_qubits: int
+    physical_qubits: int
+    fits_dw2q: bool
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """All cells of the reproduced Table 2."""
+
+    entries: List[QubitCountEntry]
+
+    def entry(self, num_users: int, modulation: str) -> QubitCountEntry:
+        """Look up one cell by user count and modulation name."""
+        wanted = get_constellation(modulation).name
+        for candidate in self.entries:
+            if candidate.num_users == num_users and candidate.modulation == wanted:
+                return candidate
+        raise KeyError(f"no entry for {num_users} users / {modulation}")
+
+
+def run(user_counts: Sequence[int] = PAPER_USER_COUNTS,
+        modulations: Sequence[str] = PAPER_MODULATIONS,
+        chip_qubits: int = constants.DW2Q_WORKING_QUBITS) -> Table2Result:
+    """Compute the embedding sizes of every Table 2 configuration."""
+    entries: List[QubitCountEntry] = []
+    for num_users in user_counts:
+        for modulation in modulations:
+            constellation = get_constellation(modulation)
+            logical, physical = embedding_qubit_counts(
+                num_users, constellation.bits_per_symbol)
+            entries.append(QubitCountEntry(
+                num_users=num_users,
+                modulation=constellation.name,
+                logical_qubits=logical,
+                physical_qubits=physical,
+                fits_dw2q=physical <= chip_qubits,
+            ))
+    return Table2Result(entries=entries)
+
+
+def format_result(result: Table2Result) -> str:
+    """Render the reproduced Table 2 as text."""
+    modulations = []
+    for entry in result.entries:
+        if entry.modulation not in modulations:
+            modulations.append(entry.modulation)
+    user_counts = sorted({entry.num_users for entry in result.entries})
+    rows = []
+    for num_users in user_counts:
+        row = [f"{num_users}x{num_users}"]
+        for modulation in modulations:
+            entry = result.entry(num_users, modulation)
+            marker = "" if entry.fits_dw2q else " *"
+            row.append(f"{entry.logical_qubits} ({entry.physical_qubits}){marker}")
+        rows.append(row)
+    table = format_table(["Config."] + modulations, rows,
+                         title="Table 2: logical (physical) qubits; * = does "
+                               "not fit the 2,031-qubit DW2Q")
+    return table

@@ -1,0 +1,18 @@
+"""Ising / QUBO problem representations and classical reference solvers."""
+
+from repro.ising.model import IsingModel, QUBOModel, bits_to_spins, spins_to_bits
+from repro.ising.solver import (
+    BruteForceIsingSolver,
+    SimulatedAnnealingSolver,
+    SolverResult,
+)
+
+__all__ = [
+    "IsingModel",
+    "QUBOModel",
+    "bits_to_spins",
+    "spins_to_bits",
+    "BruteForceIsingSolver",
+    "SimulatedAnnealingSolver",
+    "SolverResult",
+]

@@ -1,0 +1,270 @@
+"""Ising spin-glass and QUBO problem containers.
+
+The two equivalent quadratic forms a quantum annealer accepts (Section 3.1 of
+the paper):
+
+* the Ising form over spins ``s_i in {-1, +1}`` with linear fields ``f_i`` and
+  couplings ``g_ij`` (Eq. 2);
+* the QUBO form over bits ``q_i in {0, 1}`` with an upper-triangular matrix
+  ``Q`` (Eq. 3).
+
+Both classes track a constant energy offset so that converting between the
+two forms (Eq. 4) preserves energies exactly, not just argmins — which is
+what lets tests assert equality of full energy landscapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_integer_in_range
+
+Coupling = Tuple[int, int]
+
+
+def spins_to_bits(spins) -> np.ndarray:
+    """Map spins ``{-1, +1}`` to bits ``{0, 1}`` (Eq. 4: ``q = (s + 1) / 2``)."""
+    spins = np.asarray(spins)
+    if spins.size and not np.all(np.isin(spins, (-1, 1))):
+        raise ConfigurationError("spins must be -1 or +1")
+    return ((spins + 1) // 2).astype(np.uint8)
+
+
+def bits_to_spins(bits) -> np.ndarray:
+    """Map bits ``{0, 1}`` to spins ``{-1, +1}`` (inverse of Eq. 4)."""
+    bits = np.asarray(bits)
+    if bits.size and not np.all(np.isin(bits, (0, 1))):
+        raise ConfigurationError("bits must be 0 or 1")
+    return (2 * bits.astype(np.int8) - 1).astype(np.int8)
+
+
+def _normalise_couplings(num_variables: int,
+                         couplings: Mapping[Coupling, float],
+                         *, allow_diagonal: bool) -> Dict[Coupling, float]:
+    """Validate coupling keys and fold (j, i) entries onto (i, j) with i < j."""
+    result: Dict[Coupling, float] = {}
+    for (i, j), value in couplings.items():
+        i = check_integer_in_range("coupling index", i, minimum=0,
+                                   maximum=num_variables - 1)
+        j = check_integer_in_range("coupling index", j, minimum=0,
+                                   maximum=num_variables - 1)
+        if i == j:
+            if not allow_diagonal:
+                raise ConfigurationError(
+                    f"self-coupling ({i}, {i}) is not allowed in the Ising form"
+                )
+            key = (i, j)
+        else:
+            key = (i, j) if i < j else (j, i)
+        value = float(value)
+        if value == 0.0:
+            continue
+        result[key] = result.get(key, 0.0) + value
+    return result
+
+
+@dataclass
+class IsingModel:
+    """Ising spin-glass objective ``sum_{i<j} g_ij s_i s_j + sum_i f_i s_i + offset``."""
+
+    num_variables: int
+    linear: np.ndarray
+    couplings: Dict[Coupling, float] = field(default_factory=dict)
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.num_variables = check_integer_in_range(
+            "num_variables", self.num_variables, minimum=1)
+        linear = np.asarray(self.linear, dtype=float)
+        if linear.shape != (self.num_variables,):
+            raise ConfigurationError(
+                f"linear must have shape ({self.num_variables},), got {linear.shape}"
+            )
+        self.linear = linear
+        self.couplings = _normalise_couplings(self.num_variables, self.couplings,
+                                              allow_diagonal=False)
+        self.offset = float(self.offset)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dense(cls, linear, coupling_matrix, offset: float = 0.0) -> "IsingModel":
+        """Build from a dense upper-triangular coupling matrix.
+
+        Only the strictly upper triangle of *coupling_matrix* is read; the
+        diagonal and lower triangle are ignored.
+        """
+        linear = np.asarray(linear, dtype=float)
+        matrix = np.asarray(coupling_matrix, dtype=float)
+        n = linear.size
+        if matrix.shape != (n, n):
+            raise ConfigurationError(
+                f"coupling matrix must be {n} x {n}, got {matrix.shape}"
+            )
+        couplings: Dict[Coupling, float] = {}
+        for i in range(n):
+            for j in range(i + 1, n):
+                value = float(matrix[i, j])
+                if value != 0.0:
+                    couplings[(i, j)] = value
+        return cls(num_variables=n, linear=linear, couplings=couplings, offset=offset)
+
+    def to_dense(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(linear, coupling_matrix)`` with an upper-triangular matrix."""
+        matrix = np.zeros((self.num_variables, self.num_variables))
+        for (i, j), value in self.couplings.items():
+            matrix[i, j] = value
+        return self.linear.copy(), matrix
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def energy(self, spins) -> float:
+        """Ising energy of a spin configuration (including the offset)."""
+        spins = np.asarray(spins, dtype=float)
+        if spins.shape != (self.num_variables,):
+            raise ConfigurationError(
+                f"spins must have shape ({self.num_variables},), got {spins.shape}"
+            )
+        total = float(self.linear @ spins) + self.offset
+        for (i, j), value in self.couplings.items():
+            total += value * spins[i] * spins[j]
+        return total
+
+    def energies(self, spin_matrix) -> np.ndarray:
+        """Vectorised energy evaluation for a ``(num_samples, N)`` spin matrix."""
+        spin_matrix = np.asarray(spin_matrix, dtype=float)
+        if spin_matrix.ndim == 1:
+            spin_matrix = spin_matrix[None, :]
+        _, matrix = self.to_dense()
+        quadratic = np.einsum("ki,ij,kj->k", spin_matrix, matrix, spin_matrix)
+        linear = spin_matrix @ self.linear
+        return quadratic + linear + self.offset
+
+    def neighbours(self) -> Dict[int, Dict[int, float]]:
+        """Adjacency map ``{i: {j: g_ij}}`` (symmetric) for local-move solvers."""
+        adjacency: Dict[int, Dict[int, float]] = {i: {} for i in range(self.num_variables)}
+        for (i, j), value in self.couplings.items():
+            adjacency[i][j] = value
+            adjacency[j][i] = value
+        return adjacency
+
+    @property
+    def max_abs_coefficient(self) -> float:
+        """Largest absolute coefficient (used for hardware-range normalisation)."""
+        largest = float(np.max(np.abs(self.linear))) if self.linear.size else 0.0
+        if self.couplings:
+            largest = max(largest, max(abs(v) for v in self.couplings.values()))
+        return largest
+
+    def scaled(self, factor: float) -> "IsingModel":
+        """Return a copy with every coefficient (and offset) multiplied by *factor*."""
+        return IsingModel(
+            num_variables=self.num_variables,
+            linear=self.linear * factor,
+            couplings={key: value * factor for key, value in self.couplings.items()},
+            offset=self.offset * factor,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Conversion
+    # ------------------------------------------------------------------ #
+    def to_qubo(self) -> "QUBOModel":
+        """Convert to the equivalent QUBO form (energies preserved exactly)."""
+        quadratic: Dict[Coupling, float] = {}
+        diagonal = 2.0 * self.linear.copy()
+        offset = self.offset - float(np.sum(self.linear))
+        for (i, j), value in self.couplings.items():
+            quadratic[(i, j)] = 4.0 * value
+            diagonal[i] -= 2.0 * value
+            diagonal[j] -= 2.0 * value
+            offset += value
+        terms = dict(quadratic)
+        for i, value in enumerate(diagonal):
+            if value != 0.0:
+                terms[(i, i)] = terms.get((i, i), 0.0) + value
+        return QUBOModel(num_variables=self.num_variables, terms=terms, offset=offset)
+
+    def __repr__(self) -> str:
+        return (f"IsingModel(num_variables={self.num_variables}, "
+                f"couplings={len(self.couplings)}, offset={self.offset:.3g})")
+
+
+@dataclass
+class QUBOModel:
+    """QUBO objective ``sum_{i<=j} Q_ij q_i q_j + offset`` over binary variables."""
+
+    num_variables: int
+    terms: Dict[Coupling, float] = field(default_factory=dict)
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.num_variables = check_integer_in_range(
+            "num_variables", self.num_variables, minimum=1)
+        self.terms = _normalise_couplings(self.num_variables, self.terms,
+                                          allow_diagonal=True)
+        self.offset = float(self.offset)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_matrix(cls, matrix, offset: float = 0.0) -> "QUBOModel":
+        """Build from a dense upper-triangular (or symmetric) Q matrix."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ConfigurationError(f"Q must be square, got shape {matrix.shape}")
+        n = matrix.shape[0]
+        terms: Dict[Coupling, float] = {}
+        for i in range(n):
+            if matrix[i, i] != 0.0:
+                terms[(i, i)] = float(matrix[i, i])
+            for j in range(i + 1, n):
+                value = float(matrix[i, j] + matrix[j, i])
+                if value != 0.0:
+                    terms[(i, j)] = value
+        return cls(num_variables=n, terms=terms, offset=offset)
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense upper-triangular Q matrix."""
+        matrix = np.zeros((self.num_variables, self.num_variables))
+        for (i, j), value in self.terms.items():
+            matrix[i, j] = value
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    def energy(self, bits) -> float:
+        """QUBO energy of a bit configuration (including the offset)."""
+        bits = np.asarray(bits, dtype=float)
+        if bits.shape != (self.num_variables,):
+            raise ConfigurationError(
+                f"bits must have shape ({self.num_variables},), got {bits.shape}"
+            )
+        total = self.offset
+        for (i, j), value in self.terms.items():
+            total += value * bits[i] * bits[j]
+        return float(total)
+
+    def to_ising(self) -> IsingModel:
+        """Convert to the equivalent Ising form (energies preserved exactly)."""
+        linear = np.zeros(self.num_variables)
+        couplings: Dict[Coupling, float] = {}
+        offset = self.offset
+        for (i, j), value in self.terms.items():
+            if i == j:
+                linear[i] += value / 2.0
+                offset += value / 2.0
+            else:
+                couplings[(i, j)] = couplings.get((i, j), 0.0) + value / 4.0
+                linear[i] += value / 4.0
+                linear[j] += value / 4.0
+                offset += value / 4.0
+        return IsingModel(num_variables=self.num_variables, linear=linear,
+                          couplings=couplings, offset=offset)
+
+    def __repr__(self) -> str:
+        return (f"QUBOModel(num_variables={self.num_variables}, "
+                f"terms={len(self.terms)}, offset={self.offset:.3g})")

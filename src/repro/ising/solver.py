@@ -1,0 +1,243 @@
+"""Classical reference solvers for Ising problems.
+
+Two solvers are provided:
+
+* :class:`BruteForceIsingSolver` — exact enumeration of the full ``2^N``
+  spectrum; used to validate that the QuAMax reduction's ground state equals
+  the ML solution and to compute exact solution ranks for small instances.
+* :class:`SimulatedAnnealingSolver` — the classical Metropolis simulated
+  annealing algorithm the paper cites as the strongest conventional
+  competitor to quantum annealing; it is also the sampling engine reused by
+  the D-Wave machine model in :mod:`repro.annealer.machine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.ising.model import IsingModel, spins_to_bits
+from repro.utils.random import RandomState, ensure_rng
+from repro.utils.validation import check_integer_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """A set of samples returned by an Ising solver.
+
+    Attributes
+    ----------
+    samples:
+        Integer spin matrix of shape ``(num_samples, N)`` with entries ±1,
+        sorted by increasing energy.
+    energies:
+        Energy of each sample (same order).
+    num_occurrences:
+        How many raw reads collapsed onto each distinct sample.
+    """
+
+    samples: np.ndarray
+    energies: np.ndarray
+    num_occurrences: np.ndarray
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=np.int8)
+        energies = np.asarray(self.energies, dtype=float)
+        occurrences = np.asarray(self.num_occurrences, dtype=int)
+        if samples.ndim != 2:
+            raise ConfigurationError("samples must be a 2-D matrix")
+        if energies.shape != (samples.shape[0],):
+            raise ConfigurationError("energies must align with samples")
+        if occurrences.shape != (samples.shape[0],):
+            raise ConfigurationError("num_occurrences must align with samples")
+        order = np.argsort(energies, kind="stable")
+        object.__setattr__(self, "samples", samples[order])
+        object.__setattr__(self, "energies", energies[order])
+        object.__setattr__(self, "num_occurrences", occurrences[order])
+
+    @property
+    def num_samples(self) -> int:
+        """Number of distinct samples."""
+        return int(self.samples.shape[0])
+
+    @property
+    def total_reads(self) -> int:
+        """Total number of raw reads represented."""
+        return int(self.num_occurrences.sum())
+
+    @property
+    def best_sample(self) -> np.ndarray:
+        """Lowest-energy spin configuration."""
+        return self.samples[0].copy()
+
+    @property
+    def best_energy(self) -> float:
+        """Lowest energy found."""
+        return float(self.energies[0])
+
+    @property
+    def best_bits(self) -> np.ndarray:
+        """Lowest-energy configuration expressed as QUBO bits."""
+        return spins_to_bits(self.best_sample)
+
+    def ground_state_probability(self, ground_energy: float,
+                                 tolerance: float = 1e-9) -> float:
+        """Fraction of reads that reached *ground_energy* (within tolerance)."""
+        matching = np.abs(self.energies - ground_energy) <= tolerance
+        if self.total_reads == 0:
+            return 0.0
+        return float(self.num_occurrences[matching].sum() / self.total_reads)
+
+
+def aggregate_samples(ising: IsingModel, raw_samples: np.ndarray) -> SolverResult:
+    """Collapse raw reads onto distinct configurations with occurrence counts."""
+    raw_samples = np.asarray(raw_samples, dtype=np.int8)
+    if raw_samples.ndim != 2:
+        raise ConfigurationError("raw_samples must be 2-D (reads x variables)")
+    distinct, counts = np.unique(raw_samples, axis=0, return_counts=True)
+    energies = ising.energies(distinct)
+    return SolverResult(samples=distinct, energies=energies, num_occurrences=counts)
+
+
+class BruteForceIsingSolver:
+    """Exact enumeration of all ``2^N`` spin configurations.
+
+    Only usable for small problems (default limit of 24 variables, ~16M
+    states); the enumeration is vectorised in blocks to keep memory bounded.
+    """
+
+    def __init__(self, max_variables: int = 24, block_bits: int = 16):
+        self.max_variables = check_integer_in_range("max_variables", max_variables,
+                                                    minimum=1)
+        self.block_bits = check_integer_in_range("block_bits", block_bits,
+                                                 minimum=1, maximum=24)
+
+    def _enumerate_blocks(self, num_variables: int):
+        total = 1 << num_variables
+        block = 1 << min(self.block_bits, num_variables)
+        for start in range(0, total, block):
+            indices = np.arange(start, min(start + block, total), dtype=np.int64)
+            bits = ((indices[:, None] >> np.arange(num_variables)[None, :]) & 1)
+            yield (2 * bits - 1).astype(np.int8)
+
+    def solve(self, ising: IsingModel) -> SolverResult:
+        """Return the exact ground state (as a one-sample result)."""
+        spectrum = self.lowest_states(ising, num_states=1)
+        return spectrum
+
+    def lowest_states(self, ising: IsingModel, num_states: int = 1) -> SolverResult:
+        """Return the *num_states* lowest-energy configurations, exactly."""
+        if ising.num_variables > self.max_variables:
+            raise ConfigurationError(
+                f"brute force limited to {self.max_variables} variables, "
+                f"got {ising.num_variables}"
+            )
+        num_states = check_integer_in_range("num_states", num_states, minimum=1)
+        best_samples: Optional[np.ndarray] = None
+        best_energies: Optional[np.ndarray] = None
+        for spins in self._enumerate_blocks(ising.num_variables):
+            energies = ising.energies(spins)
+            if best_samples is None:
+                pool_samples, pool_energies = spins, energies
+            else:
+                pool_samples = np.vstack([best_samples, spins])
+                pool_energies = np.concatenate([best_energies, energies])
+            order = np.argsort(pool_energies, kind="stable")[:num_states]
+            best_samples = pool_samples[order]
+            best_energies = pool_energies[order]
+        return SolverResult(
+            samples=best_samples,
+            energies=best_energies,
+            num_occurrences=np.ones(best_samples.shape[0], dtype=int),
+        )
+
+    def ground_energy(self, ising: IsingModel) -> float:
+        """Exact minimum energy of the problem."""
+        return self.solve(ising).best_energy
+
+
+def geometric_temperature_schedule(num_sweeps: int, hot: float, cold: float) -> np.ndarray:
+    """Geometric cooling schedule from *hot* to *cold* over *num_sweeps* sweeps."""
+    num_sweeps = check_integer_in_range("num_sweeps", num_sweeps, minimum=1)
+    hot = check_positive("hot", hot)
+    cold = check_positive("cold", cold)
+    if num_sweeps == 1:
+        return np.array([cold])
+    return hot * (cold / hot) ** (np.arange(num_sweeps) / (num_sweeps - 1))
+
+
+def metropolis_anneal(ising: IsingModel, temperatures: Sequence[float],
+                      rng: np.random.Generator,
+                      initial_spins: Optional[np.ndarray] = None) -> np.ndarray:
+    """Run one Metropolis annealing trajectory and return the final spins.
+
+    Each entry of *temperatures* is one full sweep over all variables in a
+    random order; single-spin-flip energy differences are computed from the
+    adjacency structure so the cost per sweep is O(edges).
+    """
+    n = ising.num_variables
+    adjacency = ising.neighbours()
+    if initial_spins is None:
+        spins = rng.choice(np.array([-1, 1], dtype=np.int8), size=n)
+    else:
+        spins = np.asarray(initial_spins, dtype=np.int8).copy()
+        if spins.shape != (n,):
+            raise ConfigurationError(f"initial_spins must have shape ({n},)")
+    linear = ising.linear
+    for temperature in temperatures:
+        order = rng.permutation(n)
+        thresholds = rng.random(n)
+        for step, index in enumerate(order):
+            local_field = linear[index]
+            for neighbour, coupling in adjacency[index].items():
+                local_field += coupling * spins[neighbour]
+            delta = -2.0 * spins[index] * local_field
+            if delta <= 0.0 or thresholds[step] < np.exp(-delta / temperature):
+                spins[index] = -spins[index]
+    return spins
+
+
+class SimulatedAnnealingSolver:
+    """Classical Metropolis simulated annealing over the Ising problem.
+
+    Parameters
+    ----------
+    num_sweeps:
+        Monte Carlo sweeps per read.
+    num_reads:
+        Independent annealing trajectories.
+    hot_temperature / cold_temperature:
+        End points of the geometric cooling schedule, in units of the
+        problem's energy scale (the schedule is multiplied by the largest
+        absolute coefficient so behaviour is scale-free).
+    """
+
+    def __init__(self, num_sweeps: int = 200, num_reads: int = 100,
+                 hot_temperature: float = 5.0, cold_temperature: float = 0.05):
+        self.num_sweeps = check_integer_in_range("num_sweeps", num_sweeps, minimum=1)
+        self.num_reads = check_integer_in_range("num_reads", num_reads, minimum=1)
+        self.hot_temperature = check_positive("hot_temperature", hot_temperature)
+        self.cold_temperature = check_positive("cold_temperature", cold_temperature)
+
+    def sample(self, ising: IsingModel,
+               random_state: RandomState = None,
+               num_reads: Optional[int] = None) -> SolverResult:
+        """Draw samples from independent annealing trajectories."""
+        rng = ensure_rng(random_state)
+        reads = self.num_reads if num_reads is None else check_integer_in_range(
+            "num_reads", num_reads, minimum=1)
+        scale = max(ising.max_abs_coefficient, 1e-12)
+        temperatures = geometric_temperature_schedule(
+            self.num_sweeps, self.hot_temperature * scale,
+            self.cold_temperature * scale)
+        raw = np.empty((reads, ising.num_variables), dtype=np.int8)
+        for read in range(reads):
+            raw[read] = metropolis_anneal(ising, temperatures, rng)
+        return aggregate_samples(ising, raw)
+
+    def solve(self, ising: IsingModel, random_state: RandomState = None) -> SolverResult:
+        """Alias of :meth:`sample` for interface parity with the exact solver."""
+        return self.sample(ising, random_state=random_state)

@@ -1,0 +1,78 @@
+"""Time-to-Solution (TTS), the standard quantum-annealing figure of merit.
+
+Section 5.2.1 of the paper: if each anneal of duration ``T_a`` independently
+finds the ground state with probability ``P_0``, the expected time to observe
+it at least once with confidence ``P`` is::
+
+    TTS(P) = T_a * log(1 - P) / log(1 - P_0)
+
+with the convention ``TTS = T_a`` when ``P_0 >= P`` already (a single anneal
+suffices) and ``TTS = inf`` when the ground state was never observed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants
+from repro.exceptions import MetricsError
+from repro.utils.validation import check_positive, check_probability
+
+
+def time_to_solution(ground_state_probability: float, anneal_time_us: float,
+                     target_probability: float = constants.TTS_TARGET_PROBABILITY,
+                     parallelization: float = 1.0) -> float:
+    """Expected time (µs) to observe the ground state with the target confidence.
+
+    Parameters
+    ----------
+    ground_state_probability:
+        Per-anneal probability ``P_0`` of ending in the ground state.
+    anneal_time_us:
+        Duration of one anneal (ramp plus pause), microseconds.
+    target_probability:
+        Desired confidence ``P`` (0.99 throughout the paper).
+    parallelization:
+        Parallelization factor ``P_f`` dividing the effective per-instance
+        time when multiple copies run side by side on the chip.
+    """
+    ground_state_probability = check_probability("ground_state_probability",
+                                                 ground_state_probability)
+    anneal_time_us = check_positive("anneal_time_us", anneal_time_us)
+    target_probability = check_probability("target_probability", target_probability,
+                                           allow_zero=False, allow_one=False)
+    parallelization = check_positive("parallelization", parallelization)
+    if ground_state_probability == 0.0:
+        return float("inf")
+    if ground_state_probability >= target_probability:
+        repeats = 1.0
+    else:
+        repeats = float(np.log1p(-target_probability)
+                        / np.log1p(-ground_state_probability))
+        repeats = max(1.0, repeats)
+    return anneal_time_us * repeats / parallelization
+
+
+def tts_from_run(result, ground_energy=None,
+                 target_probability: float = constants.TTS_TARGET_PROBABILITY,
+                 use_parallelization: bool = False) -> float:
+    """TTS computed from an :class:`~repro.annealer.machine.AnnealResult`.
+
+    Parameters
+    ----------
+    result:
+        The annealer run to evaluate.
+    ground_energy:
+        The true ground energy if known (e.g. from the brute-force solver);
+        defaults to the best energy observed in the run.
+    target_probability:
+        Desired confidence ``P``.
+    use_parallelization:
+        Divide by the run's parallelization factor (the paper does this for
+        small instances whose many copies fit on the chip simultaneously).
+    """
+    probability = result.ground_state_probability(ground_energy)
+    parallelization = result.parallelization if use_parallelization else 1.0
+    return time_to_solution(probability, result.anneal_duration_us,
+                            target_probability=target_probability,
+                            parallelization=parallelization)

@@ -1,0 +1,11 @@
+"""Multi-user MIMO uplink system model and frame bookkeeping."""
+
+from repro.mimo.frame import Frame, frame_error_rate_from_ber
+from repro.mimo.system import ChannelUse, MimoUplink
+
+__all__ = [
+    "MimoUplink",
+    "ChannelUse",
+    "Frame",
+    "frame_error_rate_from_ber",
+]

@@ -1,0 +1,106 @@
+"""Frame abstraction and frame-error-rate arithmetic.
+
+The paper reports frame error rate as ``FER = 1 - (1 - BER)^frame_size``
+(footnote 5), treating bit errors as independent across a frame.  The
+:class:`Frame` class also supports exact frame accounting when individual
+channel uses are simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_integer_in_range, check_probability, ensure_bit_array
+
+
+def frame_error_rate_from_ber(bit_error_rate: float, frame_size_bytes: int) -> float:
+    """Convert a bit error rate to a frame error rate (paper footnote 5).
+
+    ``FER = 1 - (1 - BER)^(8 * frame_size_bytes)`` assuming independent bit
+    errors across the frame.
+    """
+    bit_error_rate = check_probability("bit_error_rate", bit_error_rate)
+    frame_size_bytes = check_integer_in_range("frame_size_bytes",
+                                              frame_size_bytes, minimum=1)
+    if bit_error_rate == 1.0:
+        return 1.0
+    frame_bits = 8 * frame_size_bytes
+    # log1p-based evaluation keeps precision for the tiny BERs of interest.
+    return float(-np.expm1(frame_bits * np.log1p(-bit_error_rate)))
+
+
+def ber_required_for_fer(target_fer: float, frame_size_bytes: int) -> float:
+    """Invert :func:`frame_error_rate_from_ber`: BER needed to hit *target_fer*."""
+    target_fer = check_probability("target_fer", target_fer, allow_zero=False,
+                                   allow_one=False)
+    frame_size_bytes = check_integer_in_range("frame_size_bytes",
+                                              frame_size_bytes, minimum=1)
+    frame_bits = 8 * frame_size_bytes
+    return float(-np.expm1(np.log1p(-target_fer) / frame_bits))
+
+
+@dataclass
+class Frame:
+    """Accumulates decoded channel uses into a frame and reports errors.
+
+    A frame of ``size_bytes`` is successfully decoded only when every one of
+    its bits is correct.
+    """
+
+    size_bytes: int
+    _transmitted: List[np.ndarray] = field(default_factory=list)
+    _decoded: List[np.ndarray] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.size_bytes = check_integer_in_range("size_bytes", self.size_bytes,
+                                                 minimum=1)
+
+    @property
+    def size_bits(self) -> int:
+        """Frame payload size in bits."""
+        return 8 * self.size_bytes
+
+    @property
+    def bits_accumulated(self) -> int:
+        """Number of payload bits added so far."""
+        return int(sum(chunk.size for chunk in self._transmitted))
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether at least ``size_bits`` bits have been accumulated."""
+        return self.bits_accumulated >= self.size_bits
+
+    def add(self, transmitted_bits, decoded_bits) -> None:
+        """Append the (ground-truth, decoded) bits of one channel use."""
+        transmitted = ensure_bit_array(transmitted_bits)
+        decoded = ensure_bit_array(decoded_bits)
+        if transmitted.size != decoded.size:
+            raise ConfigurationError(
+                f"transmitted ({transmitted.size}) and decoded ({decoded.size}) "
+                "bit counts differ"
+            )
+        self._transmitted.append(transmitted)
+        self._decoded.append(decoded)
+
+    def bit_errors(self) -> int:
+        """Total bit errors across the accumulated channel uses."""
+        if not self._transmitted:
+            return 0
+        transmitted = np.concatenate(self._transmitted)[: self.size_bits]
+        decoded = np.concatenate(self._decoded)[: self.size_bits]
+        return int(np.count_nonzero(transmitted != decoded))
+
+    def bit_error_rate(self) -> float:
+        """Bit error rate over the bits accumulated so far (capped at frame size)."""
+        counted = min(self.bits_accumulated, self.size_bits)
+        if counted == 0:
+            return 0.0
+        return self.bit_errors() / counted
+
+    def is_errored(self) -> bool:
+        """Whether the frame contains at least one bit error."""
+        return self.bit_errors() > 0

@@ -1,0 +1,84 @@
+"""Gray-code utilities.
+
+Wireless transmitters label constellation points with Gray codes so that the
+most likely symbol errors (to a nearest neighbour) flip only a single bit.
+QuAMax keeps Gray coding at the transmitter and undoes the mismatch with the
+receiver-side QuAMax transform through a bitwise post-translation
+(:mod:`repro.transform.posttranslate`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModulationError
+
+
+def gray_encode(value: int) -> int:
+    """Return the Gray code of a non-negative integer *value*."""
+    if value < 0:
+        raise ModulationError(f"gray_encode expects a non-negative integer, got {value}")
+    return value ^ (value >> 1)
+
+
+def gray_decode(code: int) -> int:
+    """Invert :func:`gray_encode`: recover the integer whose Gray code is *code*."""
+    if code < 0:
+        raise ModulationError(f"gray_decode expects a non-negative integer, got {code}")
+    value = 0
+    while code:
+        value ^= code
+        code >>= 1
+    return value
+
+
+def bits_from_int(value: int, width: int) -> np.ndarray:
+    """Return the *width*-bit big-endian (MSB-first) binary expansion of *value*."""
+    if width <= 0:
+        raise ModulationError(f"width must be positive, got {width}")
+    if value < 0 or value >= (1 << width):
+        raise ModulationError(f"value {value} does not fit into {width} bits")
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.uint8)
+
+
+def bits_to_int(bits) -> int:
+    """Interpret a big-endian (MSB-first) bit sequence as an integer."""
+    bits = np.asarray(bits)
+    if bits.ndim != 1:
+        raise ModulationError(f"bits must be 1-D, got shape {bits.shape}")
+    value = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ModulationError(f"bits must be 0/1, got {bit}")
+        value = (value << 1) | int(bit)
+    return value
+
+
+def binary_to_gray(bits) -> np.ndarray:
+    """Convert a big-endian binary bit vector to its Gray-coded bit vector."""
+    value = bits_to_int(bits)
+    return bits_from_int(gray_encode(value), len(np.asarray(bits)))
+
+
+def gray_to_binary(bits) -> np.ndarray:
+    """Convert a big-endian Gray-coded bit vector back to plain binary."""
+    value = bits_to_int(bits)
+    return bits_from_int(gray_decode(value), len(np.asarray(bits)))
+
+
+def pam_gray_levels(bits_per_axis: int) -> np.ndarray:
+    """Return the amplitude levels of a Gray-labelled PAM axis, indexed by label.
+
+    ``pam_gray_levels(2)[bits_to_int(b)]`` gives the 4-PAM amplitude that the
+    Gray-coded bit pair *b* is transmitted as, following the convention of the
+    paper's Fig. 2(d): label 00 -> -3, 01 -> -1, 11 -> +1, 10 -> +3.
+    """
+    if bits_per_axis <= 0:
+        raise ModulationError(f"bits_per_axis must be positive, got {bits_per_axis}")
+    n_levels = 1 << bits_per_axis
+    amplitudes = np.arange(-(n_levels - 1), n_levels, 2, dtype=float)
+    levels = np.empty(n_levels, dtype=float)
+    for position, amplitude in enumerate(amplitudes):
+        label = gray_encode(position)
+        levels[label] = amplitude
+    return levels

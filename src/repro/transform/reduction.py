@@ -1,0 +1,138 @@
+"""High-level facade: from a MIMO channel use to an annealer-ready problem.
+
+The :class:`MLToIsingReducer` bundles the pieces of Section 3.2 — the QuAMax
+symbol transform, the closed-form Ising coefficients and the bitwise
+post-translation — behind two operations:
+
+* :meth:`MLToIsingReducer.reduce` turns a :class:`~repro.mimo.system.ChannelUse`
+  into a :class:`ReducedProblem` holding the logical Ising (and, on demand,
+  QUBO) form of the ML detection problem;
+* :meth:`ReducedProblem.bits_from_spins` maps a logical spin configuration
+  returned by the annealer back into the Gray-coded payload bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ReductionError
+from repro.ising.model import IsingModel, QUBOModel, bits_to_spins, spins_to_bits
+from repro.mimo.system import ChannelUse
+from repro.modulation.constellation import Constellation
+from repro.transform.ising_coeffs import build_ml_ising
+from repro.transform.posttranslate import gray_to_quamax_bits, quamax_to_gray_bits
+from repro.transform.qubo_builder import build_ml_qubo, ml_metric_from_bits
+from repro.transform.symbols import QuamaxTransform, get_transform
+from repro.utils.validation import ensure_bit_array
+
+
+@dataclass(frozen=True)
+class ReducedProblem:
+    """The annealer-ready form of one ML detection problem.
+
+    Attributes
+    ----------
+    ising:
+        Logical Ising problem whose ground state is the ML solution.
+    constellation:
+        The constellation of the originating channel use.
+    num_users:
+        Number of transmitting users.
+    channel_use:
+        The originating channel use (kept for metric evaluation and ground
+        truth when available).
+    """
+
+    ising: IsingModel
+    constellation: Constellation
+    num_users: int
+    channel_use: ChannelUse
+
+    # ------------------------------------------------------------------ #
+    @property
+    def transform(self) -> QuamaxTransform:
+        """The QuAMax symbol transform of this problem's modulation."""
+        return get_transform(self.constellation)
+
+    @property
+    def num_variables(self) -> int:
+        """Number of logical Ising/QUBO variables."""
+        return self.ising.num_variables
+
+    def to_qubo(self) -> QUBOModel:
+        """The equivalent QUBO form (built by direct norm expansion)."""
+        return build_ml_qubo(self.channel_use.channel, self.channel_use.received,
+                             self.constellation)
+
+    # ------------------------------------------------------------------ #
+    # Solution handling
+    # ------------------------------------------------------------------ #
+    def bits_from_spins(self, spins) -> np.ndarray:
+        """Map a logical spin configuration to Gray-coded payload bits."""
+        spins = np.asarray(spins)
+        if spins.shape != (self.num_variables,):
+            raise ReductionError(
+                f"expected {self.num_variables} spins, got shape {spins.shape}")
+        quamax_bits = spins_to_bits(spins)
+        return quamax_to_gray_bits(quamax_bits, self.constellation)
+
+    def bits_from_qubo(self, qubo_bits) -> np.ndarray:
+        """Map QUBO solution bits to Gray-coded payload bits."""
+        qubo_bits = ensure_bit_array(qubo_bits, length=self.num_variables)
+        return quamax_to_gray_bits(qubo_bits, self.constellation)
+
+    def symbols_from_spins(self, spins) -> np.ndarray:
+        """Map a logical spin configuration to detected constellation symbols."""
+        quamax_bits = spins_to_bits(np.asarray(spins))
+        return self.transform.to_symbols(quamax_bits)
+
+    def metric_of_spins(self, spins) -> float:
+        """ML Euclidean metric of the symbol vector a spin configuration encodes."""
+        quamax_bits = spins_to_bits(np.asarray(spins))
+        return ml_metric_from_bits(self.channel_use.channel,
+                                   self.channel_use.received,
+                                   self.constellation, quamax_bits)
+
+    # ------------------------------------------------------------------ #
+    # Ground truth (available only when the channel use carries it)
+    # ------------------------------------------------------------------ #
+    def ground_truth_qubo_bits(self) -> np.ndarray:
+        """QUBO-variable values corresponding to the transmitted bits."""
+        if self.channel_use.transmitted_bits is None:
+            raise ReductionError("channel use carries no ground-truth bits")
+        return gray_to_quamax_bits(self.channel_use.transmitted_bits,
+                                   self.constellation)
+
+    def ground_truth_spins(self) -> np.ndarray:
+        """Spin configuration corresponding to the transmitted bits."""
+        return bits_to_spins(self.ground_truth_qubo_bits())
+
+    def bit_errors(self, spins) -> int:
+        """Bit errors of a spin configuration against the transmitted bits."""
+        if self.channel_use.transmitted_bits is None:
+            raise ReductionError("channel use carries no ground-truth bits")
+        decoded = self.bits_from_spins(spins)
+        return int(np.count_nonzero(decoded != self.channel_use.transmitted_bits))
+
+
+class MLToIsingReducer:
+    """Builds :class:`ReducedProblem` instances from MIMO channel uses."""
+
+    def reduce(self, channel_use: ChannelUse) -> ReducedProblem:
+        """Reduce one channel use to its logical Ising problem (Eqs. 6-8, 13-14)."""
+        ising = build_ml_ising(channel_use.channel, channel_use.received,
+                               channel_use.constellation)
+        return ReducedProblem(
+            ising=ising,
+            constellation=channel_use.constellation,
+            num_users=channel_use.num_tx,
+            channel_use=channel_use,
+        )
+
+    def reduce_to_qubo(self, channel_use: ChannelUse) -> QUBOModel:
+        """Reduce one channel use to its QUBO form directly (Eq. 5)."""
+        return build_ml_qubo(channel_use.channel, channel_use.received,
+                             channel_use.constellation)

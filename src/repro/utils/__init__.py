@@ -1,0 +1,24 @@
+"""Shared utilities: RNG handling, validation helpers, linear algebra."""
+
+from repro.utils.random import RandomState, child_rngs, ensure_rng, spawn_seed
+from repro.utils.validation import (
+    check_integer_in_range,
+    check_positive,
+    check_probability,
+    ensure_bit_array,
+    ensure_complex_matrix,
+    ensure_complex_vector,
+)
+
+__all__ = [
+    "RandomState",
+    "child_rngs",
+    "ensure_rng",
+    "spawn_seed",
+    "check_integer_in_range",
+    "check_positive",
+    "check_probability",
+    "ensure_bit_array",
+    "ensure_complex_matrix",
+    "ensure_complex_vector",
+]

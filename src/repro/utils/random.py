@@ -1,0 +1,93 @@
+"""Deterministic random-number handling.
+
+Every stochastic component of the library accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None`` (fresh entropy).  Experiments
+derive independent child generators so that whole tables regenerate
+bit-for-bit from a single top-level seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+#: Accepted ways of specifying randomness throughout the library.
+RandomState = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(random_state: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *random_state*.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for fresh OS entropy, an ``int`` seed, an existing
+        ``Generator`` (returned unchanged), or a ``SeedSequence``.
+    """
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, np.random.SeedSequence):
+        return np.random.default_rng(random_state)
+    if random_state is None or isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(random_state)
+    raise TypeError(
+        f"random_state must be None, int, Generator or SeedSequence, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh 63-bit integer seed from *rng* for a child component."""
+    return int(rng.integers(0, 2**63 - 1))
+
+
+def child_rngs(random_state: RandomState, count: int) -> Iterator[np.random.Generator]:
+    """Yield *count* statistically independent child generators.
+
+    The children are derived through :class:`numpy.random.SeedSequence`
+    spawning so that they do not overlap even for adjacent integer seeds.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(random_state, np.random.SeedSequence):
+        seq = random_state
+    elif isinstance(random_state, np.random.Generator):
+        seq = np.random.SeedSequence(spawn_seed(random_state))
+    else:
+        seq = np.random.SeedSequence(random_state)
+    for child in seq.spawn(count):
+        yield np.random.default_rng(child)
+
+
+def derive_rng(random_state: RandomState, *labels: Union[int, str]) -> np.random.Generator:
+    """Derive a generator deterministically keyed by *labels*.
+
+    This is used by experiment drivers to give each (instance, parameter)
+    combination its own reproducible stream: the same top-level seed and the
+    same labels always produce the same generator.
+    """
+    if isinstance(random_state, np.random.Generator):
+        base = spawn_seed(random_state)
+    elif isinstance(random_state, np.random.SeedSequence):
+        base = random_state.entropy if isinstance(random_state.entropy, int) else 0
+    elif random_state is None:
+        base = 0
+    else:
+        base = int(random_state)
+    material = [base & 0xFFFFFFFF]
+    for label in labels:
+        if isinstance(label, str):
+            material.append(abs(hash_label(label)) & 0xFFFFFFFF)
+        else:
+            material.append(int(label) & 0xFFFFFFFF)
+    return np.random.default_rng(np.random.SeedSequence(material))
+
+
+def hash_label(label: str) -> int:
+    """Stable (process-independent) 32-bit hash of a string label."""
+    value = 2166136261
+    for byte in label.encode("utf-8"):
+        value ^= byte
+        value = (value * 16777619) & 0xFFFFFFFF
+    return value

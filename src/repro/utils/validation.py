@@ -1,0 +1,77 @@
+"""Input-validation helpers used at public API boundaries."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that *value* is positive (or non-negative if not strict)."""
+    value = float(value)
+    if strict and value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float, *, allow_zero: bool = True,
+                      allow_one: bool = True) -> float:
+    """Validate that *value* lies in the unit interval."""
+    value = float(value)
+    low_ok = value > 0 or (allow_zero and value == 0)
+    high_ok = value < 1 or (allow_one and value == 1)
+    if not (low_ok and high_ok and 0 <= value <= 1):
+        raise ConfigurationError(f"{name} must be a probability in [0, 1], got {value}")
+    return value
+
+
+def check_integer_in_range(name: str, value: int, *, minimum: Optional[int] = None,
+                           maximum: Optional[int] = None) -> int:
+    """Validate that *value* is an integer within [minimum, maximum]."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ConfigurationError(f"{name} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise ConfigurationError(f"{name} must be <= {maximum}, got {value}")
+    return value
+
+
+def ensure_bit_array(bits, *, length: Optional[int] = None) -> np.ndarray:
+    """Coerce *bits* to a 1-D ``uint8`` array of zeros and ones."""
+    array = np.asarray(bits)
+    if array.ndim != 1:
+        raise ConfigurationError(f"bit array must be 1-D, got shape {array.shape}")
+    if array.size and not np.all(np.isin(array, (0, 1))):
+        raise ConfigurationError("bit array entries must be 0 or 1")
+    if length is not None and array.size != length:
+        raise ConfigurationError(
+            f"bit array must have length {length}, got {array.size}"
+        )
+    return array.astype(np.uint8)
+
+
+def ensure_complex_vector(name: str, vector, *, length: Optional[int] = None) -> np.ndarray:
+    """Coerce *vector* to a 1-D complex array, optionally checking length."""
+    array = np.asarray(vector, dtype=np.complex128)
+    if array.ndim != 1:
+        raise ConfigurationError(f"{name} must be 1-D, got shape {array.shape}")
+    if length is not None and array.size != length:
+        raise ConfigurationError(f"{name} must have length {length}, got {array.size}")
+    return array
+
+
+def ensure_complex_matrix(name: str, matrix, *, shape: Optional[tuple] = None) -> np.ndarray:
+    """Coerce *matrix* to a 2-D complex array, optionally checking shape."""
+    array = np.asarray(matrix, dtype=np.complex128)
+    if array.ndim != 2:
+        raise ConfigurationError(f"{name} must be 2-D, got shape {array.shape}")
+    if shape is not None and array.shape != tuple(shape):
+        raise ConfigurationError(f"{name} must have shape {shape}, got {array.shape}")
+    return array

@@ -1,0 +1,164 @@
+"""Tests for the vectorised Metropolis sampling engine."""
+
+import numpy as np
+import pytest
+
+from repro.annealer.engine import (
+    IsingSampler,
+    batched_metropolis,
+    colour_classes,
+    sparse_coupling_matrix,
+)
+from repro.exceptions import AnnealerError
+from repro.ising.model import IsingModel
+from repro.ising.solver import BruteForceIsingSolver, geometric_temperature_schedule
+
+
+def random_ising(num_variables, seed, density=1.0):
+    rng = np.random.default_rng(seed)
+    couplings = {}
+    for i in range(num_variables):
+        for j in range(i + 1, num_variables):
+            if rng.random() <= density:
+                couplings[(i, j)] = float(rng.normal())
+    return IsingModel(num_variables=num_variables,
+                      linear=rng.normal(size=num_variables),
+                      couplings=couplings)
+
+
+class TestColourClasses:
+    def test_classes_cover_all_variables(self):
+        ising = random_ising(8, 0, density=0.4)
+        classes = colour_classes(ising)
+        covered = sorted(int(v) for group in classes for v in group)
+        assert covered == list(range(8))
+
+    def test_no_edge_within_a_class(self):
+        ising = random_ising(10, 1, density=0.3)
+        classes = colour_classes(ising)
+        for group in classes:
+            members = set(int(v) for v in group)
+            for (i, j) in ising.couplings:
+                assert not (i in members and j in members)
+
+    def test_isolated_variables_share_one_class(self):
+        ising = IsingModel(num_variables=5, linear=np.ones(5), couplings={})
+        classes = colour_classes(ising)
+        assert len(classes) == 1
+
+
+class TestSparseCouplingMatrix:
+    def test_symmetric(self):
+        ising = random_ising(6, 2, density=0.5)
+        matrix = sparse_coupling_matrix(ising).toarray()
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_values(self):
+        ising = IsingModel(num_variables=3, linear=np.zeros(3),
+                           couplings={(0, 2): 1.5})
+        matrix = sparse_coupling_matrix(ising).toarray()
+        assert matrix[0, 2] == 1.5 and matrix[2, 0] == 1.5
+
+    def test_empty_couplings(self):
+        ising = IsingModel(num_variables=4, linear=np.ones(4), couplings={})
+        assert sparse_coupling_matrix(ising).nnz == 0
+
+
+class TestIsingSampler:
+    def test_output_shape_and_values(self):
+        ising = random_ising(6, 3)
+        sampler = IsingSampler(ising)
+        out = sampler.anneal([1.0, 0.5, 0.1], num_replicas=7, random_state=0)
+        assert out.shape == (7, 6)
+        assert set(np.unique(out)) <= {-1, 1}
+
+    def test_finds_ground_state_of_small_problem(self):
+        ising = random_ising(8, 4)
+        exact = BruteForceIsingSolver().ground_energy(ising)
+        sampler = IsingSampler(ising)
+        scale = ising.max_abs_coefficient
+        temperatures = geometric_temperature_schedule(150, 3.0 * scale,
+                                                      0.01 * scale)
+        samples = sampler.anneal(temperatures, num_replicas=40, random_state=1)
+        energies = ising.energies(samples)
+        assert energies.min() == pytest.approx(exact, rel=1e-9)
+
+    def test_deterministic_with_seed(self):
+        ising = random_ising(6, 5)
+        sampler = IsingSampler(ising)
+        a = sampler.anneal([1.0, 0.1], 5, random_state=3)
+        b = sampler.anneal([1.0, 0.1], 5, random_state=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_initial_spins_shape_checked(self):
+        ising = random_ising(4, 6)
+        sampler = IsingSampler(ising)
+        with pytest.raises(AnnealerError):
+            sampler.anneal([1.0], 3, initial_spins=np.ones((2, 4)))
+
+    def test_invalid_temperatures_rejected(self):
+        ising = random_ising(4, 7)
+        sampler = IsingSampler(ising)
+        with pytest.raises(AnnealerError):
+            sampler.anneal([], 3)
+        with pytest.raises(AnnealerError):
+            sampler.anneal([1.0, -0.5], 3)
+
+    def test_low_temperature_keeps_good_start(self):
+        # Starting at the ground state and annealing at a tiny temperature
+        # must not leave it (sanity of the Metropolis acceptance rule).
+        ising = random_ising(6, 8)
+        ground = BruteForceIsingSolver().solve(ising).best_sample
+        sampler = IsingSampler(ising)
+        start = np.tile(ground, (4, 1)).astype(np.float64)
+        out = sampler.anneal([1e-6] * 5, 4, random_state=0, initial_spins=start)
+        np.testing.assert_array_equal(out, np.tile(ground, (4, 1)))
+
+
+class TestClusterMoves:
+    def test_cluster_flip_preserves_correctness(self):
+        # With ferromagnetic chains, cluster moves must still sample valid
+        # low-energy states (and find the ground state of a chain problem).
+        n = 6
+        couplings = {(i, i + 1): -2.0 for i in range(n - 1)}
+        linear = np.zeros(n)
+        linear[0] = 0.5  # a weak field the whole chain should align against
+        ising = IsingModel(num_variables=n, linear=linear, couplings=couplings)
+        sampler = IsingSampler(ising, clusters=[np.arange(n)])
+        temperatures = geometric_temperature_schedule(40, 3.0, 0.01)
+        samples = sampler.anneal(temperatures, num_replicas=20, random_state=0)
+        energies = ising.energies(samples)
+        exact = BruteForceIsingSolver().ground_energy(ising)
+        assert energies.min() == pytest.approx(exact)
+
+    def test_cluster_moves_speed_up_chain_reorientation(self):
+        # A strongly coupled chain in a weak opposing field: single-spin
+        # dynamics at low temperature cannot reorient it, cluster moves can.
+        n = 8
+        couplings = {(i, i + 1): -2.0 for i in range(n - 1)}
+        linear = np.full(n, 0.1)  # prefers all spins -1
+        ising = IsingModel(num_variables=n, linear=linear, couplings=couplings)
+        start = np.ones((30, n))  # aligned the wrong way
+        temperatures = [0.05] * 10
+
+        plain = IsingSampler(ising)
+        stuck = plain.anneal(temperatures, 30, random_state=0,
+                             initial_spins=start.copy())
+        clustered = IsingSampler(ising, clusters=[np.arange(n)])
+        moved = clustered.anneal(temperatures, 30, random_state=0,
+                                 initial_spins=start.copy())
+        assert ising.energies(moved).mean() < ising.energies(stuck).mean()
+
+    def test_empty_cluster_ignored(self):
+        ising = random_ising(4, 9)
+        sampler = IsingSampler(ising, clusters=[np.array([], dtype=np.intp)])
+        assert sampler.clusters == []
+
+
+class TestBatchedMetropolisWrapper:
+    def test_wrapper_matches_sampler_with_same_seed(self):
+        ising = random_ising(5, 10)
+        a = batched_metropolis(ising, [1.0, 0.5], 4, random_state=2)
+        b = IsingSampler(ising).anneal([1.0, 0.5], 4, random_state=2)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,217 @@
+"""Tests for the simulated D-Wave machine front end and unembedding."""
+
+import numpy as np
+import pytest
+
+from repro.annealer.chimera import ChimeraGraph
+from repro.annealer.embedded import embed_ising
+from repro.annealer.embedding import TriangleCliqueEmbedder
+from repro.annealer.ice import ICEModel
+from repro.annealer.machine import (
+    AnnealerParameters,
+    AnnealResult,
+    OverheadModel,
+    QuantumAnnealerSimulator,
+)
+from repro.annealer.parallel import parallel_copies, parallelization_factor
+from repro.annealer.schedule import AnnealSchedule
+from repro.annealer.unembed import unembed_sample, unembed_samples
+from repro.exceptions import AnnealerError
+from repro.ising.solver import BruteForceIsingSolver
+from repro.mimo.system import MimoUplink
+from repro.transform.reduction import MLToIsingReducer
+
+
+def make_reduced(num_users=4, constellation="BPSK", seed=0, snr_db=None):
+    link = MimoUplink(num_users=num_users, constellation=constellation)
+    channel_use = link.transmit(random_state=seed, snr_db=snr_db)
+    return MLToIsingReducer().reduce(channel_use)
+
+
+@pytest.fixture(scope="module")
+def small_machine():
+    return QuantumAnnealerSimulator(ChimeraGraph.ideal(6, 6))
+
+
+class TestAnnealerParameters:
+    def test_defaults(self):
+        parameters = AnnealerParameters()
+        assert parameters.extended_range is True
+        assert parameters.num_anneals >= 1
+
+    def test_with_num_anneals(self):
+        parameters = AnnealerParameters().with_num_anneals(7)
+        assert parameters.num_anneals == 7
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            AnnealerParameters(chain_strength=-1.0)
+        with pytest.raises(Exception):
+            AnnealerParameters(num_anneals=0)
+
+
+class TestOverheadModel:
+    def test_total(self):
+        model = OverheadModel(preprocessing_us=10.0, programming_us=5.0,
+                              readout_per_anneal_us=2.0)
+        assert model.total_us(3) == pytest.approx(10.0 + 5.0 + 6.0)
+
+    def test_defaults_dominate_anneal_time(self):
+        # The Section 7 observation: overheads are orders of magnitude above
+        # the pure anneal time today.
+        assert OverheadModel().total_us(100) > 1000.0
+
+
+class TestParallelization:
+    def test_formula(self):
+        # 16 logical qubits -> 80 physical; 2031 / 80 ~= 25.
+        assert parallelization_factor(16) == pytest.approx(2031 / 80.0)
+
+    def test_at_least_one(self):
+        assert parallelization_factor(60) >= 1.0
+
+    def test_too_large_problem_rejected(self):
+        with pytest.raises(AnnealerError):
+            parallelization_factor(120)
+
+    def test_parallel_copies_integral(self):
+        assert parallel_copies(16) == int(2031 // 80)
+
+    def test_geometry_efficiency(self):
+        full = parallelization_factor(16, geometry_efficiency=1.0)
+        derated = parallelization_factor(16, geometry_efficiency=0.5)
+        assert derated == pytest.approx(full / 2.0)
+        with pytest.raises(AnnealerError):
+            parallelization_factor(16, geometry_efficiency=0.0)
+
+
+class TestUnembedding:
+    def make_embedded(self, num_users=3, seed=1):
+        reduced = make_reduced(num_users=num_users, seed=seed)
+        embedder = TriangleCliqueEmbedder(ChimeraGraph.ideal(4, 4))
+        embedding = embedder.embed(reduced.ising.num_variables)
+        return reduced, embed_ising(reduced.ising, embedding, chain_strength=4.0)
+
+    def test_intact_chains_unembed_exactly(self):
+        reduced, embedded = self.make_embedded()
+        logical_truth = reduced.ground_truth_spins()
+        chains = embedded.compact_chains
+        physical = np.empty(embedded.num_physical, dtype=np.int8)
+        for logical_index, chain in chains.items():
+            physical[list(chain)] = logical_truth[logical_index]
+        recovered = unembed_sample(embedded, physical, random_state=0)
+        np.testing.assert_array_equal(recovered, logical_truth)
+
+    def test_majority_vote_resolves_broken_chain(self):
+        reduced, embedded = self.make_embedded(num_users=4)
+        chains = embedded.compact_chains
+        logical_truth = reduced.ground_truth_spins()
+        physical = np.empty(embedded.num_physical, dtype=np.int8)
+        for logical_index, chain in chains.items():
+            physical[list(chain)] = logical_truth[logical_index]
+        # Flip a single qubit of chain 0 (chain length is 2 here, so force a
+        # longer problem for a strict-majority case below).
+        chain0 = list(chains[0])
+        physical[chain0[0]] = -logical_truth[0]
+        logical, report = unembed_samples(embedded, physical[None, :],
+                                          random_state=0)
+        assert report.broken_chains == 1
+        # With a 2-qubit chain the vote is a tie, so only check the rest.
+        np.testing.assert_array_equal(logical[0][1:], logical_truth[1:])
+
+    def test_majority_wins_on_longer_chains(self):
+        reduced = make_reduced(num_users=8, seed=2)
+        embedder = TriangleCliqueEmbedder(ChimeraGraph.ideal(4, 4))
+        embedding = embedder.embed(8)  # chain length 3
+        embedded = embed_ising(reduced.ising, embedding, chain_strength=4.0)
+        truth = reduced.ground_truth_spins()
+        chains = embedded.compact_chains
+        physical = np.empty(embedded.num_physical, dtype=np.int8)
+        for logical_index, chain in chains.items():
+            physical[list(chain)] = truth[logical_index]
+        # Corrupt one qubit out of three: majority must still recover.
+        physical[list(chains[2])[0]] = -truth[2]
+        logical, report = unembed_samples(embedded, physical[None, :],
+                                          random_state=0)
+        np.testing.assert_array_equal(logical[0], truth)
+        assert report.broken_chains == 1
+        assert report.tie_breaks == 0
+        assert 0 < report.broken_fraction < 1
+
+    def test_shape_validation(self):
+        _, embedded = self.make_embedded()
+        with pytest.raises(AnnealerError):
+            unembed_samples(embedded, np.ones((2, 3), dtype=np.int8))
+
+
+class TestQuantumAnnealerSimulator:
+    def test_run_returns_result(self, small_machine):
+        reduced = make_reduced(num_users=4, seed=3)
+        parameters = AnnealerParameters(num_anneals=20)
+        result = small_machine.run(reduced.ising, parameters, random_state=0)
+        assert isinstance(result, AnnealResult)
+        assert result.num_anneals == 20
+        assert result.solutions.total_reads == 20
+        assert result.parallelization >= 1.0
+        assert result.compute_time_us > 0
+
+    def test_noise_free_machine_finds_ground_state(self):
+        machine = QuantumAnnealerSimulator(ChimeraGraph.ideal(6, 6),
+                                           ice=ICEModel.disabled())
+        reduced = make_reduced(num_users=6, constellation="QPSK", seed=4)
+        exact = BruteForceIsingSolver(max_variables=12).ground_energy(reduced.ising)
+        parameters = AnnealerParameters(
+            schedule=AnnealSchedule(anneal_time_us=2.0, pause_time_us=2.0),
+            num_anneals=40)
+        result = machine.run(reduced.ising, parameters, random_state=1)
+        assert result.best_energy == pytest.approx(exact, abs=1e-6)
+        assert result.ground_state_probability(exact) > 0.2
+
+    def test_deterministic_with_seed(self, small_machine):
+        reduced = make_reduced(num_users=4, seed=5)
+        parameters = AnnealerParameters(num_anneals=10)
+        a = small_machine.run(reduced.ising, parameters, random_state=42)
+        b = small_machine.run(reduced.ising, parameters, random_state=42)
+        np.testing.assert_array_equal(a.solutions.samples, b.solutions.samples)
+        np.testing.assert_array_equal(a.solutions.num_occurrences,
+                                      b.solutions.num_occurrences)
+
+    def test_solution_probabilities_sum_to_one(self, small_machine):
+        reduced = make_reduced(num_users=4, seed=6)
+        result = small_machine.run(reduced.ising,
+                                   AnnealerParameters(num_anneals=15),
+                                   random_state=0)
+        assert result.solution_probabilities().sum() == pytest.approx(1.0)
+
+    def test_compute_time_accounting(self, small_machine):
+        reduced = make_reduced(num_users=4, seed=7)
+        schedule = AnnealSchedule(anneal_time_us=1.0, pause_time_us=1.0)
+        parameters = AnnealerParameters(schedule=schedule, num_anneals=10)
+        result = small_machine.run(reduced.ising, parameters, random_state=0)
+        expected = 10 * 2.0 / result.parallelization
+        assert result.compute_time_us == pytest.approx(expected)
+
+    def test_embedding_cache_reused(self, small_machine):
+        first = small_machine.embedding_for(8)
+        second = small_machine.embedding_for(8)
+        assert first is second
+
+    def test_explicit_embedding_accepted(self, small_machine):
+        reduced = make_reduced(num_users=4, seed=8)
+        embedding = TriangleCliqueEmbedder(small_machine.topology).embed(4)
+        result = small_machine.run(reduced.ising,
+                                   AnnealerParameters(num_anneals=5),
+                                   random_state=0, embedding=embedding)
+        assert result.embedded.embedding is embedding
+
+    def test_invalid_construction(self):
+        with pytest.raises(AnnealerError):
+            QuantumAnnealerSimulator(hot_temperature=0.1, cold_temperature=1.0)
+
+    def test_best_bits_consistent_with_best_spins(self, small_machine):
+        reduced = make_reduced(num_users=4, seed=9)
+        result = small_machine.run(reduced.ising,
+                                   AnnealerParameters(num_anneals=10),
+                                   random_state=0)
+        np.testing.assert_array_equal(result.best_bits,
+                                      (result.best_spins + 1) // 2)

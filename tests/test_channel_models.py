@@ -1,0 +1,111 @@
+"""Tests for repro.channel.models."""
+
+import numpy as np
+import pytest
+
+from repro.channel.models import (
+    FixedChannel,
+    RandomPhaseChannel,
+    RayleighChannel,
+    RicianChannel,
+    condition_number,
+)
+from repro.exceptions import ChannelError, ConfigurationError
+
+
+class TestRayleighChannel:
+    def test_shape_and_dtype(self):
+        channel = RayleighChannel().sample(4, 3, random_state=0)
+        assert channel.shape == (4, 3)
+        assert np.iscomplexobj(channel)
+
+    def test_average_gain_statistics(self):
+        channel = RayleighChannel(average_gain=2.0).sample(200, 200, random_state=1)
+        assert np.mean(np.abs(channel) ** 2) == pytest.approx(2.0, rel=0.05)
+
+    def test_deterministic_with_seed(self):
+        a = RayleighChannel().sample(3, 3, random_state=5)
+        b = RayleighChannel().sample(3, 3, random_state=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_gain(self):
+        with pytest.raises(ConfigurationError):
+            RayleighChannel(average_gain=0.0)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            RayleighChannel().sample(0, 3)
+
+    def test_sample_many(self):
+        stack = RayleighChannel().sample_many(5, 2, 2, random_state=0)
+        assert stack.shape == (5, 2, 2)
+        assert not np.array_equal(stack[0], stack[1])
+
+
+class TestRandomPhaseChannel:
+    def test_unit_magnitude(self):
+        channel = RandomPhaseChannel().sample(6, 6, random_state=0)
+        np.testing.assert_allclose(np.abs(channel), 1.0)
+
+    def test_gain_scaling(self):
+        channel = RandomPhaseChannel(gain=4.0).sample(3, 3, random_state=0)
+        np.testing.assert_allclose(np.abs(channel), 2.0)
+
+    def test_phases_vary(self):
+        channel = RandomPhaseChannel().sample(8, 8, random_state=0)
+        assert np.std(np.angle(channel)) > 0.5
+
+
+class TestRicianChannel:
+    def test_shape(self):
+        assert RicianChannel().sample(4, 2, random_state=0).shape == (4, 2)
+
+    def test_high_k_is_nearly_constant_magnitude(self):
+        channel = RicianChannel(k_factor=1000.0).sample(50, 4, random_state=0)
+        assert np.std(np.abs(channel)) < 0.1
+
+    def test_zero_k_is_rayleigh_like(self):
+        channel = RicianChannel(k_factor=0.0, average_gain=1.0).sample(
+            400, 400, random_state=1)
+        assert np.mean(np.abs(channel) ** 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ChannelError):
+            RicianChannel(k_factor=-1.0)
+
+
+class TestFixedChannel:
+    def test_returns_copy_of_matrix(self):
+        matrix = np.array([[1 + 1j, 2], [3, 4]])
+        model = FixedChannel(matrix)
+        out = model.sample(2, 2)
+        np.testing.assert_array_equal(out, matrix)
+        out[0, 0] = 0
+        np.testing.assert_array_equal(model.sample(2, 2), matrix)
+
+    def test_shape_mismatch_rejected(self):
+        model = FixedChannel(np.eye(2))
+        with pytest.raises(ChannelError):
+            model.sample(3, 2)
+
+
+class TestConditionNumber:
+    def test_identity_is_one(self):
+        assert condition_number(np.eye(4)) == pytest.approx(1.0)
+
+    def test_singular_is_infinite(self):
+        assert condition_number(np.ones((3, 3))) == np.inf
+
+    def test_square_iid_worse_than_tall(self):
+        # The motivation for ML detection: square channels are worse
+        # conditioned than tall ones on average.
+        rng = np.random.default_rng(0)
+        square = np.mean([
+            condition_number(RayleighChannel().sample(8, 8, rng))
+            for _ in range(20)
+        ])
+        tall = np.mean([
+            condition_number(RayleighChannel().sample(32, 8, rng))
+            for _ in range(20)
+        ])
+        assert square > tall

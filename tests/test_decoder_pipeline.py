@@ -1,0 +1,90 @@
+"""Tests for the OFDM decoding pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.annealer.chimera import ChimeraGraph
+from repro.annealer.ice import ICEModel
+from repro.annealer.machine import AnnealerParameters, QuantumAnnealerSimulator
+from repro.decoder.pipeline import OFDMDecodingPipeline, PipelineReport
+from repro.decoder.quamax import QuAMaxDecoder
+from repro.exceptions import DetectionError
+from repro.mimo.system import ChannelUse, MimoUplink
+from repro.modulation import QPSK
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    machine = QuantumAnnealerSimulator(ChimeraGraph.ideal(4, 4),
+                                       ice=ICEModel.disabled())
+    decoder = QuAMaxDecoder(machine, AnnealerParameters(num_anneals=20),
+                            random_state=0)
+    return OFDMDecodingPipeline(decoder)
+
+
+def make_channel_uses(count, num_users=3, constellation="QPSK", seed=0):
+    link = MimoUplink(num_users=num_users, constellation=constellation)
+    rng = np.random.default_rng(seed)
+    return [link.transmit(random_state=rng) for _ in range(count)]
+
+
+class TestDecodeSubcarriers:
+    def test_all_subcarriers_decoded(self, pipeline):
+        channel_uses = make_channel_uses(3)
+        report = pipeline.decode_subcarriers(channel_uses, random_state=1)
+        assert isinstance(report, PipelineReport)
+        assert report.num_subcarriers == 3
+        assert report.total_compute_time_us > 0
+
+    def test_noiseless_pipeline_has_zero_ber(self, pipeline):
+        channel_uses = make_channel_uses(3, seed=1)
+        report = pipeline.decode_subcarriers(channel_uses, random_state=2)
+        assert report.total_bit_errors == 0
+        assert report.bit_error_rate() == 0.0
+
+    def test_empty_input_rejected(self, pipeline):
+        with pytest.raises(DetectionError):
+            pipeline.decode_subcarriers([])
+
+    def test_missing_ground_truth_gives_none_ber(self, pipeline):
+        channel_use = make_channel_uses(1)[0]
+        anonymous = ChannelUse(channel=channel_use.channel,
+                               received=channel_use.received,
+                               constellation=QPSK)
+        report = pipeline.decode_subcarriers([anonymous], random_state=0)
+        assert report.total_bit_errors is None
+        assert report.bit_error_rate() is None
+
+    def test_subcarrier_indices_recorded(self, pipeline):
+        channel_uses = make_channel_uses(4, seed=2)
+        report = pipeline.decode_subcarriers(channel_uses, random_state=3)
+        assert [r.subcarrier for r in report.subcarrier_results] == [0, 1, 2, 3]
+
+
+class TestDecodeFrame:
+    def test_frame_decodes_without_errors(self, pipeline):
+        # 3 users x 2 bits = 6 bits per channel use; a 3-byte frame needs 4 uses.
+        channel_uses = make_channel_uses(6, seed=3)
+        frame = pipeline.decode_frame(channel_uses, frame_size_bytes=3,
+                                      random_state=4)
+        assert frame.is_complete
+        assert not frame.is_errored()
+
+    def test_frame_requires_ground_truth(self, pipeline):
+        channel_use = make_channel_uses(1)[0]
+        anonymous = ChannelUse(channel=channel_use.channel,
+                               received=channel_use.received,
+                               constellation=QPSK)
+        with pytest.raises(DetectionError):
+            pipeline.decode_frame([anonymous], frame_size_bytes=1)
+
+    def test_frame_stops_once_complete(self, pipeline):
+        channel_uses = make_channel_uses(10, seed=5)
+        frame = pipeline.decode_frame(channel_uses, frame_size_bytes=1,
+                                      random_state=6)
+        # 8 frame bits need two 6-bit channel uses; accumulation stops there.
+        assert frame.bits_accumulated <= 12
+
+    def test_default_decoder_constructed_lazily(self):
+        pipeline = OFDMDecodingPipeline()
+        assert isinstance(pipeline.decoder, QuAMaxDecoder)

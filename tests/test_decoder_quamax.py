@@ -1,0 +1,128 @@
+"""Tests for the end-to-end QuAMax decoder."""
+
+import numpy as np
+import pytest
+
+from repro.annealer.chimera import ChimeraGraph
+from repro.annealer.ice import ICEModel
+from repro.annealer.machine import AnnealerParameters, QuantumAnnealerSimulator
+from repro.annealer.schedule import AnnealSchedule
+from repro.decoder.quamax import QuAMaxDecoder, QuAMaxDetectionResult
+from repro.detectors.base import DetectionResult
+from repro.detectors.ml import ExhaustiveMLDetector
+from repro.exceptions import DetectionError
+from repro.metrics.ttb import InstanceSolutionProfile
+from repro.mimo.system import MimoUplink
+
+
+@pytest.fixture(scope="module")
+def quiet_machine():
+    """A small, noise-free machine for exact-decoding assertions."""
+    return QuantumAnnealerSimulator(ChimeraGraph.ideal(6, 6),
+                                    ice=ICEModel.disabled())
+
+
+@pytest.fixture(scope="module")
+def noisy_machine():
+    """A small machine with the paper's ICE statistics."""
+    return QuantumAnnealerSimulator(ChimeraGraph.ideal(6, 6))
+
+
+class TestQuAMaxDecoding:
+    @pytest.mark.parametrize("constellation,num_users", [
+        ("BPSK", 8), ("QPSK", 4), ("16-QAM", 2),
+    ])
+    def test_noise_free_machine_decodes_noiseless_channel(self, quiet_machine,
+                                                          constellation,
+                                                          num_users):
+        link = MimoUplink(num_users=num_users, constellation=constellation)
+        channel_use = link.transmit(random_state=1)
+        decoder = QuAMaxDecoder(
+            quiet_machine,
+            AnnealerParameters(schedule=AnnealSchedule(1.0, 1.0), num_anneals=40),
+            random_state=0)
+        result = decoder.detect(channel_use)
+        np.testing.assert_array_equal(result.bits, channel_use.transmitted_bits)
+
+    def test_matches_ml_detector_under_awgn(self, quiet_machine):
+        link = MimoUplink(num_users=4, constellation="QPSK")
+        channel_use = link.transmit(snr_db=12.0, random_state=2)
+        decoder = QuAMaxDecoder(
+            quiet_machine,
+            AnnealerParameters(schedule=AnnealSchedule(2.0, 2.0), num_anneals=60),
+            random_state=0)
+        quamax = decoder.detect(channel_use)
+        ml = ExhaustiveMLDetector().detect(channel_use)
+        np.testing.assert_array_equal(quamax.bits, ml.bits)
+        assert quamax.metric == pytest.approx(ml.metric, rel=1e-9)
+
+    def test_detect_with_run_exposes_statistics(self, noisy_machine):
+        link = MimoUplink(num_users=6, constellation="BPSK")
+        channel_use = link.transmit(random_state=3)
+        decoder = QuAMaxDecoder(noisy_machine,
+                                AnnealerParameters(num_anneals=25),
+                                random_state=1)
+        outcome = decoder.detect_with_run(channel_use)
+        assert isinstance(outcome, QuAMaxDetectionResult)
+        assert isinstance(outcome.detection, DetectionResult)
+        assert outcome.detection.detector == "quamax"
+        assert outcome.run.num_anneals == 25
+        assert 0 <= outcome.ground_state_probability <= 1
+        assert outcome.compute_time_us > 0
+        extra = outcome.detection.extra
+        assert extra["num_anneals"] == 25
+        assert "broken_chain_fraction" in extra
+
+    def test_solution_profile_usable_for_ttb(self, noisy_machine):
+        link = MimoUplink(num_users=6, constellation="BPSK")
+        channel_use = link.transmit(random_state=4)
+        decoder = QuAMaxDecoder(noisy_machine,
+                                AnnealerParameters(num_anneals=30),
+                                random_state=2)
+        outcome = decoder.detect_with_run(channel_use)
+        profile = outcome.solution_profile()
+        assert isinstance(profile, InstanceSolutionProfile)
+        assert profile.num_bits == channel_use.num_bits
+        assert np.isfinite(profile.expected_ber(10))
+
+    def test_deterministic_given_seed(self, noisy_machine):
+        link = MimoUplink(num_users=4, constellation="QPSK")
+        channel_use = link.transmit(snr_db=20.0, random_state=5)
+        parameters = AnnealerParameters(num_anneals=15)
+        first = QuAMaxDecoder(noisy_machine, parameters).detect_with_run(
+            channel_use, random_state=9)
+        second = QuAMaxDecoder(noisy_machine, parameters).detect_with_run(
+            channel_use, random_state=9)
+        np.testing.assert_array_equal(first.detection.bits, second.detection.bits)
+        assert first.run.best_energy == second.run.best_energy
+
+    def test_per_call_parameter_override(self, noisy_machine):
+        link = MimoUplink(num_users=4, constellation="BPSK")
+        channel_use = link.transmit(random_state=6)
+        decoder = QuAMaxDecoder(noisy_machine,
+                                AnnealerParameters(num_anneals=10))
+        outcome = decoder.detect_with_run(
+            channel_use, parameters=AnnealerParameters(num_anneals=7))
+        assert outcome.run.num_anneals == 7
+
+    def test_rejects_wide_channel(self, noisy_machine):
+        from repro.mimo.system import ChannelUse
+        from repro.modulation import QPSK
+        wide = ChannelUse(channel=np.ones((2, 3), dtype=complex),
+                          received=np.zeros(2, dtype=complex),
+                          constellation=QPSK)
+        decoder = QuAMaxDecoder(noisy_machine)
+        with pytest.raises(DetectionError):
+            decoder.detect(wide)
+
+    def test_gray_mapping_for_16qam_end_to_end(self, quiet_machine):
+        # The decoded bits must already be Gray-translated, i.e. equal to the
+        # transmitter's bits, not the raw QUBO labels.
+        link = MimoUplink(num_users=2, constellation="16-QAM")
+        channel_use = link.transmit(random_state=7)
+        decoder = QuAMaxDecoder(
+            quiet_machine,
+            AnnealerParameters(schedule=AnnealSchedule(2.0, 2.0), num_anneals=60),
+            random_state=3)
+        result = decoder.detect(channel_use)
+        np.testing.assert_array_equal(result.bits, channel_use.transmitted_bits)

@@ -1,0 +1,76 @@
+"""Tests for repro.detectors.timing."""
+
+import pytest
+
+from repro.detectors.timing import (
+    ClassicalTimingModel,
+    sphere_decoder_flops_per_node,
+    sphere_decoder_time_us,
+    zero_forcing_flops,
+    zero_forcing_time_us,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestClassicalTimingModel:
+    def test_time_scales_with_flops(self):
+        model = ClassicalTimingModel(effective_gflops=1.0)
+        assert model.time_us(1e9) == pytest.approx(1e6)
+        assert model.time_us(2e9) == pytest.approx(2e6)
+
+    def test_faster_core_is_faster(self):
+        slow = ClassicalTimingModel(effective_gflops=1.0).time_us(1e8)
+        fast = ClassicalTimingModel(effective_gflops=10.0).time_us(1e8)
+        assert fast == pytest.approx(slow / 10.0)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClassicalTimingModel().time_us(-1.0)
+
+    def test_invalid_throughput_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClassicalTimingModel(effective_gflops=0.0)
+
+
+class TestZeroForcingModel:
+    def test_flops_grow_with_users(self):
+        assert zero_forcing_flops(16, 16) > zero_forcing_flops(8, 8)
+
+    def test_flops_grow_with_subcarriers(self):
+        assert (zero_forcing_flops(8, 8, num_subcarriers=10)
+                == pytest.approx(10 * zero_forcing_flops(8, 8)))
+
+    def test_time_is_cubic_ish_in_users(self):
+        small = zero_forcing_time_us(12, 12)
+        large = zero_forcing_time_us(48, 48)
+        assert large / small > 20  # at least super-quadratic growth
+
+    def test_time_positive_and_reasonable(self):
+        # A 48-user zero-forcing solve should take on the order of tens to
+        # hundreds of microseconds on one core — the scale Fig. 14 relies on.
+        time_us = zero_forcing_time_us(48, 48)
+        assert 10.0 < time_us < 10_000.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            zero_forcing_flops(0, 8)
+
+
+class TestSphereDecoderModel:
+    def test_flops_per_node_grow_with_constellation(self):
+        assert (sphere_decoder_flops_per_node(8, 16)
+                > sphere_decoder_flops_per_node(8, 2))
+
+    def test_time_proportional_to_nodes(self):
+        one = sphere_decoder_time_us(100, 12, 4)
+        two = sphere_decoder_time_us(200, 12, 4)
+        assert two == pytest.approx(2 * one)
+
+    def test_zero_nodes_zero_time(self):
+        assert sphere_decoder_time_us(0, 12, 4) == 0.0
+
+    def test_table1_unfeasible_band_exceeds_wifi_budget(self):
+        # ~1,900 visited nodes (the paper's "unfeasible" band) should exceed
+        # the tens-of-microseconds Wi-Fi feedback budget on one core.
+        time_us = sphere_decoder_time_us(1900, 30, 2)
+        assert time_us > 25.0 / 10  # comfortably beyond a per-subcarrier share

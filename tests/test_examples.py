@@ -1,0 +1,82 @@
+"""Smoke tests for the example applications.
+
+Each example is imported and its entry points are exercised with very small
+workloads, guaranteeing that the documented user journeys keep working.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesPresence:
+    def test_at_least_three_examples_exist(self):
+        scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 3
+        names = {script.stem for script in scripts}
+        assert "quickstart" in names
+
+    @pytest.mark.parametrize("name", [
+        "quickstart", "large_mimo_uplink", "annealer_parameter_tuning",
+        "trace_driven_cran",
+    ])
+    def test_examples_have_docstring_and_main(self, name):
+        module = load_example(name)
+        assert module.__doc__
+        assert hasattr(module, "main")
+
+
+class TestQuickstartRuns:
+    def test_main_executes(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        output = capsys.readouterr().out
+        assert "QuAMax bits" in output
+        assert "Zero-forcing bits" in output
+
+
+class TestLargeMimoHelpers:
+    def test_evaluate_size_small(self):
+        module = load_example("large_mimo_uplink")
+        row = module.evaluate_size(num_users=4, modulation="QPSK", snr_db=20.0,
+                                   num_channel_uses=1, seed=3)
+        assert row["users"] == 4
+        assert row["sphere_nodes"] >= 4
+        assert row["zf_time_us"] > 0
+        assert 0.0 <= row["quamax_ber"] <= 1.0
+
+
+class TestParameterTuningHelpers:
+    def test_median_tts_finite_for_easy_problem(self):
+        module = load_example("annealer_parameter_tuning")
+        tts = module.median_tts(num_users=8, modulation="BPSK",
+                                chain_strength=4.0, extended_range=True,
+                                pause_time_us=1.0, num_instances=1,
+                                num_anneals=40, seed=5)
+        assert tts > 0
+
+
+class TestTraceDrivenHelpers:
+    def test_run_modulation_executes(self, capsys):
+        from repro.channel import ArgosLikeTraceGenerator, TraceChannel
+        module = load_example("trace_driven_cran")
+        trace = ArgosLikeTraceGenerator(num_bs_antennas=16, num_users=8,
+                                        num_subcarriers=4).generate(
+            num_frames=2, random_state=0)
+        module.run_modulation("BPSK", TraceChannel(trace), num_channel_uses=1,
+                              snr_db=30.0, seed=1)
+        output = capsys.readouterr().out
+        assert "BER" in output

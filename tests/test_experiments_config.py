@@ -1,0 +1,125 @@
+"""Tests for experiment configuration and the scenario runner."""
+
+import numpy as np
+import pytest
+
+from repro.annealer.machine import QuantumAnnealerSimulator
+from repro.channel.models import RandomPhaseChannel
+from repro.experiments.config import ExperimentConfig, MimoScenario
+from repro.experiments.runner import InstanceRecord, ScenarioRunner, format_table
+
+
+class TestMimoScenario:
+    def test_labels(self):
+        assert MimoScenario("QPSK", 18).label == "18x18 QPSK (noiseless)"
+        assert MimoScenario("bpsk", 48, 20.0).label == "48x48 BPSK @ 20 dB"
+
+    def test_logical_qubits(self):
+        assert MimoScenario("BPSK", 48).num_logical_qubits == 48
+        assert MimoScenario("QPSK", 18).num_logical_qubits == 36
+        assert MimoScenario("16-QAM", 9).num_logical_qubits == 36
+
+    def test_invalid_modulation(self):
+        with pytest.raises(Exception):
+            MimoScenario("8PSK", 4)
+
+    def test_invalid_users(self):
+        with pytest.raises(Exception):
+            MimoScenario("BPSK", 0)
+
+
+class TestExperimentConfig:
+    def test_presets(self):
+        quick = ExperimentConfig.quick()
+        paper = ExperimentConfig.paper_scale()
+        assert quick.num_instances < paper.num_instances
+        assert quick.num_anneals < paper.num_anneals
+
+    def test_scaled_override(self):
+        config = ExperimentConfig().scaled(num_instances=2, num_anneals=10)
+        assert config.num_instances == 2
+        assert config.num_anneals == 10
+        assert config.seed == ExperimentConfig().seed
+
+    def test_build_annealer(self):
+        config = ExperimentConfig(chip_cells=4)
+        annealer = config.build_annealer()
+        assert isinstance(annealer, QuantumAnnealerSimulator)
+        assert annealer.num_qubits == 4 * 4 * 8
+
+    def test_channel_model_default(self):
+        config = ExperimentConfig()
+        model = config.channel_model(MimoScenario("BPSK", 4))
+        assert isinstance(model, RandomPhaseChannel)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            ExperimentConfig(num_instances=0)
+        with pytest.raises(Exception):
+            ExperimentConfig(chip_cells=20)
+
+
+class TestScenarioRunner:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        config = ExperimentConfig(num_instances=2, num_anneals=15, chip_cells=6)
+        return ScenarioRunner(config)
+
+    def test_channel_uses_are_deterministic(self, runner):
+        scenario = MimoScenario("BPSK", 6)
+        a = runner.make_channel_use(scenario, 0)
+        b = runner.make_channel_use(scenario, 0)
+        np.testing.assert_array_equal(a.received, b.received)
+        np.testing.assert_array_equal(a.transmitted_bits, b.transmitted_bits)
+
+    def test_different_instances_differ(self, runner):
+        scenario = MimoScenario("BPSK", 6)
+        a = runner.make_channel_use(scenario, 0)
+        b = runner.make_channel_use(scenario, 1)
+        assert not np.array_equal(a.received, b.received)
+
+    def test_snr_respected(self, runner):
+        scenario = MimoScenario("QPSK", 4, 20.0)
+        channel_use = runner.make_channel_use(scenario, 0)
+        assert channel_use.snr_db == 20.0
+        assert channel_use.noise_variance > 0
+
+    def test_default_parameters_reflect_config(self, runner):
+        parameters = runner.default_parameters()
+        assert parameters.num_anneals == 15
+        assert parameters.chain_strength == runner.config.chain_strength
+        override = runner.default_parameters(chain_strength=9.0)
+        assert override.chain_strength == 9.0
+
+    def test_run_instance_produces_record(self, runner):
+        record = runner.run_instance(MimoScenario("BPSK", 6), 0)
+        assert isinstance(record, InstanceRecord)
+        assert record.bit_errors >= 0
+        assert record.profile.num_bits == 6
+        assert record.tts() > 0
+        assert record.ttb(1e-6) > 0
+
+    def test_run_scenario_count(self, runner):
+        records = runner.run_scenario(MimoScenario("BPSK", 4), num_instances=2)
+        assert len(records) == 2
+
+    def test_runs_are_reproducible(self):
+        config = ExperimentConfig(num_instances=1, num_anneals=10, chip_cells=6)
+        first = ScenarioRunner(config).run_instance(MimoScenario("BPSK", 6), 0)
+        second = ScenarioRunner(config).run_instance(MimoScenario("BPSK", 6), 0)
+        assert first.outcome.run.best_energy == second.outcome.run.best_energy
+        np.testing.assert_array_equal(first.outcome.detection.bits,
+                                      second.outcome.detection.bits)
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", float("inf")]],
+                            title="Title")
+        assert "Title" in text
+        assert "a" in text and "b" in text
+        assert "inf" in text
+
+    def test_number_formatting(self):
+        text = format_table(["v"], [[0.000123456]])
+        assert "0.000123" in text

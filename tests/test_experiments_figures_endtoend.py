@@ -1,0 +1,200 @@
+"""Tests for the end-to-end performance experiment drivers (Figs. 9-15)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig09, fig10, fig11, fig12, fig13, fig14, fig15
+from repro.experiments.config import ExperimentConfig
+
+
+TINY = ExperimentConfig(num_instances=2, num_anneals=30, chip_cells=8, seed=21)
+
+
+class TestFig09:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig09.run(TINY, scenarios=(("BPSK", 12), ("QPSK", 6)),
+                         time_grid_us=(2.0, 20.0, 200.0), target_ber=1e-3)
+
+    def test_curves_present(self, result):
+        assert len(result.curves) == 2
+        curve = result.curve("12x12 BPSK (noiseless)")
+        assert curve.times_us.size == 3
+
+    def test_ber_decreases_with_time(self, result):
+        for curve in result.curves:
+            assert curve.median_ber[-1] <= curve.median_ber[0] + 1e-12
+
+    def test_ttb_reported(self, result):
+        for curve in result.curves:
+            assert curve.median_ttb_us > 0
+
+    def test_formatting(self, result):
+        assert "Figure 9" in fig09.format_result(result)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10.run(TINY, scenarios=(("BPSK", 12), ("QPSK", 6)),
+                         target_ber=1e-3)
+
+    def test_boxes(self, result):
+        assert len(result.boxes) == 2
+        box = result.box("12x12 BPSK (noiseless)")
+        assert box.ttb_values_us.size == TINY.num_instances
+        assert 0.0 <= box.fraction_reached <= 1.0
+
+    def test_percentiles_ordered_when_reached(self, result):
+        for box in result.boxes:
+            if box.reached.size:
+                assert box.percentile(25) <= box.median_us <= box.percentile(75)
+
+    def test_unknown_scenario_raises(self, result):
+        with pytest.raises(KeyError):
+            result.box("nope")
+
+    def test_formatting(self, result):
+        assert "Figure 10" in fig10.format_result(result)
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11.run(TINY, scenarios=(("BPSK", 12),),
+                         frame_sizes=(50, 1500), target_fer=1e-2)
+
+    def test_points(self, result):
+        assert len(result.points) == 2
+        point = result.point("12x12 BPSK (noiseless)", 50)
+        assert point.frame_size_bytes == 50
+
+    def test_larger_frames_not_faster(self, result):
+        small = result.point("12x12 BPSK (noiseless)", 50)
+        large = result.point("12x12 BPSK (noiseless)", 1500)
+        if np.isfinite(small.median_ttf_us) and np.isfinite(large.median_ttf_us):
+            assert large.median_ttf_us >= small.median_ttf_us - 1e-9
+
+    def test_sensitivity_metric(self, result):
+        assert result.sensitivity_to_frame_size("12x12 BPSK (noiseless)") >= 1.0
+
+    def test_missing_point_raises(self, result):
+        with pytest.raises(KeyError):
+            result.point("12x12 BPSK (noiseless)", 999)
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12.run(TINY, scenario=("QPSK", 6), snrs_db=(10.0, 30.0))
+
+    def test_points(self, result):
+        assert len(result.points) == 2
+        assert result.point(10.0).snr_db == 10.0
+
+    def test_probability_in_range(self, result):
+        for point in result.points:
+            assert 0.0 <= point.ground_state_probability <= 1.0
+
+    def test_high_snr_not_worse_than_low(self, result):
+        low = result.point(10.0)
+        high = result.point(30.0)
+        assert (high.best_solution_bit_errors
+                <= low.best_solution_bit_errors + 2)
+
+    def test_missing_snr_raises(self, result):
+        with pytest.raises(KeyError):
+            result.point(99.0)
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig13.run(TINY,
+                         user_sweeps=(("BPSK", (8, 12)),),
+                         snrs_db=(15.0, 30.0),
+                         right_panel_scenario=("QPSK", 6),
+                         target_ber=1e-3)
+
+    def test_panel_sizes(self, result):
+        assert len(result.user_sweep_points) == 2
+        assert len(result.snr_sweep_points) == 2
+
+    def test_user_sweep_sorted(self, result):
+        sweep = result.user_sweep("BPSK")
+        assert [p.scenario.num_users for p in sweep] == [8, 12]
+
+    def test_snr_sweep_sorted(self, result):
+        sweep = result.snr_sweep()
+        assert [p.scenario.snr_db for p in sweep] == [15.0, 30.0]
+
+    def test_floor_ber_in_range(self, result):
+        for point in result.user_sweep_points + result.snr_sweep_points:
+            assert 0.0 <= point.median_final_ber <= 1.0
+
+    def test_formatting(self, result):
+        assert "Figure 13" in fig13.format_result(result)
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig14.run(TINY, scenarios=(("BPSK", (12,), 10.0),
+                                          ("QPSK", (8,), 15.0)))
+
+    def test_points(self, result):
+        assert len(result.points) == 2
+
+    def test_zero_forcing_struggles_at_low_snr(self, result):
+        # The square, low-SNR regime of Fig. 14: ZF must show a clear error
+        # floor on at least one scenario.
+        assert any(point.zero_forcing_ber > 0.005 for point in result.points)
+
+    def test_quamax_floor_not_worse_than_zf(self, result):
+        for point in result.points:
+            assert point.quamax_floor_ber <= point.zero_forcing_ber + 0.02
+
+    def test_times_positive(self, result):
+        for point in result.points:
+            assert point.zero_forcing_time_us > 0
+            assert point.quamax_time_to_match_us > 0
+            assert point.speedup > 0
+
+    def test_formatting(self, result):
+        assert "zero-forcing" in fig14.format_result(result)
+
+
+class TestFig15:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = ExperimentConfig(num_instances=2, num_anneals=30, chip_cells=8,
+                                  seed=5)
+        return fig15.run(config, modulations=("BPSK", "QPSK"), snr_db=30.0,
+                         target_ber=1e-3, target_fer=1e-2,
+                         frame_size_bytes=50)
+
+    def test_points(self, result):
+        assert len(result.points) == 2
+        assert result.point("BPSK").scenario.num_users == 8
+
+    def test_bpsk_not_slower_than_qpsk(self, result):
+        bpsk = result.point("BPSK").median_ttb_us
+        qpsk = result.point("QPSK").median_ttb_us
+        if np.isfinite(bpsk) and np.isfinite(qpsk):
+            assert bpsk <= qpsk * 2.0
+
+    def test_ttf_at_least_ttb_duration_scale(self, result):
+        for point in result.points:
+            assert point.median_ttf_us > 0
+
+    def test_missing_modulation_raises(self, result):
+        with pytest.raises(KeyError):
+            result.point("16-QAM")
+
+    def test_formatting(self, result):
+        assert "trace" in fig15.format_result(result).lower()
+
+    def test_trace_builder_shape(self):
+        trace = fig15.build_trace(ExperimentConfig(seed=1), num_frames=2)
+        assert trace.num_bs_antennas == 96
+        assert trace.num_users == 8

@@ -1,0 +1,147 @@
+"""Tests for the QA-parameter experiment drivers (Figs. 4-8).
+
+These drivers run the simulated annealer, so the tests use deliberately tiny
+configurations (few instances, few anneals, small problems); they check the
+structure and internal consistency of the results rather than absolute
+numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig04, fig05, fig06, fig07, fig08
+from repro.experiments.config import ExperimentConfig
+
+
+TINY = ExperimentConfig(num_instances=2, num_anneals=30, chip_cells=8, seed=11)
+
+
+class TestFig04:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig04.run(TINY, scenarios=(("BPSK", 12), ("QPSK", 6)),
+                         instances_per_scenario=1)
+
+    def test_profiles_present(self, result):
+        assert len(result.profiles) == 2
+        labels = {p.scenario.label for p in result.profiles}
+        assert "12x12 BPSK (noiseless)" in labels
+
+    def test_probabilities_normalised(self, result):
+        for profile in result.profiles:
+            assert profile.probabilities.sum() == pytest.approx(1.0)
+            assert profile.num_ranks == profile.probabilities.size
+
+    def test_energy_gaps_start_at_zero_and_increase(self, result):
+        for profile in result.profiles:
+            assert profile.energy_gaps[0] == pytest.approx(0.0)
+            assert np.all(np.diff(profile.energy_gaps) >= -1e-12)
+
+    def test_grouping_and_median(self, result):
+        groups = result.by_modulation()
+        assert set(groups) == {"BPSK", "QPSK"}
+        assert 0.0 <= result.median_ground_state_probability("BPSK") <= 1.0
+        assert result.median_ground_state_probability("missing") == 0.0
+
+    def test_formatting(self, result):
+        text = fig04.format_result(result)
+        assert "Figure 4" in text
+
+
+class TestFig05:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig05.run(TINY, scenarios=(("BPSK", 12),),
+                         chain_strengths=(2.0, 6.0), ranges=(False, True))
+
+    def test_grid_size(self, result):
+        assert len(result.points) == 1 * 2 * 2
+
+    def test_curve_lookup(self, result):
+        curve = result.curve("12x12 BPSK (noiseless)", extended_range=True)
+        assert [p.chain_strength for p in curve] == [2.0, 6.0]
+
+    def test_best_chain_strength_is_in_sweep(self, result):
+        best = result.best_chain_strength("12x12 BPSK (noiseless)", True)
+        assert best in (2.0, 6.0)
+
+    def test_sensitivity_positive(self, result):
+        value = result.sensitivity("12x12 BPSK (noiseless)", True)
+        assert value >= 1.0
+
+    def test_formatting(self, result):
+        assert "|J_F|" in fig05.format_result(result)
+
+
+class TestFig06:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig06.run(TINY, user_counts=(6,), anneal_times_us=(1.0, 4.0))
+
+    def test_points(self, result):
+        assert len(result.points) == 2
+        curve = result.curve("6x6 QPSK (noiseless)")
+        assert [p.anneal_time_us for p in curve] == [1.0, 4.0]
+
+    def test_probability_not_decreasing_with_time(self, result):
+        curve = result.curve("6x6 QPSK (noiseless)")
+        assert (curve[1].median_ground_state_probability
+                >= curve[0].median_ground_state_probability - 0.2)
+
+    def test_best_anneal_time(self, result):
+        assert result.best_anneal_time("6x6 QPSK (noiseless)") in (1.0, 4.0)
+
+    def test_unknown_scenario_raises(self, result):
+        with pytest.raises(KeyError):
+            result.best_anneal_time("nope")
+
+
+class TestFig07:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig07.run(TINY, scenario=("QPSK", 6), pause_times_us=(1.0,),
+                         pause_positions=(0.25, 0.45))
+
+    def test_points(self, result):
+        assert len(result.points) == 2
+        assert len(result.curve(1.0)) == 2
+
+    def test_best_point(self, result):
+        best = result.best_point()
+        assert best.pause_position in (0.25, 0.45)
+
+    def test_formatting(self, result):
+        assert "pause" in fig07.format_result(result).lower()
+
+
+class TestFig08:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = ExperimentConfig(num_instances=1, num_anneals=30, chip_cells=8,
+                                  seed=3)
+        return fig08.run(config, scenario=("QPSK", 6),
+                         anneal_counts=(1, 5, 20),
+                         opt_chain_strengths=(4.0,))
+
+    def test_four_curves(self, result):
+        labels = {curve.label for curve in result.curves}
+        assert labels == {"no pause / Fix", "no pause / Opt",
+                          "pause / Fix", "pause / Opt"}
+
+    def test_ber_monotone_in_anneals(self, result):
+        for curve in result.curves:
+            assert np.all(np.diff(curve.median_ber) <= 1e-12)
+
+    def test_pause_curve_has_longer_anneals(self, result):
+        pause = result.curve("pause / Fix")
+        no_pause = result.curve("no pause / Fix")
+        assert pause.anneal_duration_us == pytest.approx(
+            2.0 * no_pause.anneal_duration_us)
+
+    def test_ber_at_time_uses_time_budget(self, result):
+        curve = result.curve("pause / Fix")
+        assert curve.ber_at_time(1000.0) <= curve.ber_at_time(2.0) + 1e-12
+
+    def test_unknown_curve_raises(self, result):
+        with pytest.raises(KeyError):
+            result.curve("nonexistent")

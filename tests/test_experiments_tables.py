@@ -1,0 +1,84 @@
+"""Tests for the Table 1 and Table 2 experiment drivers."""
+
+import pytest
+
+from repro import constants
+from repro.experiments import table1, table2
+from repro.experiments.config import ExperimentConfig, MimoScenario
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Small instance counts and the two smaller complexity bands keep the
+        # sphere decoder affordable while preserving the scaling shape.
+        config = ExperimentConfig(num_instances=3, seed=7)
+        return table1.run(config, rows=((12, 7, 4), (21, 11, 6)))
+
+    def test_rows_present(self, result):
+        assert len(result.rows) == 2
+        assert result.rows[0].bpsk_users == 12
+        assert result.rows[1].qam16_users == 6
+
+    def test_complexity_increases_down_the_table(self, result):
+        assert (result.rows[1].mean_visited_nodes
+                > result.rows[0].mean_visited_nodes)
+
+    def test_first_band_is_feasible(self, result):
+        assert result.rows[0].verdict == "feasible"
+
+    def test_formatting(self, result):
+        text = table1.format_result(result)
+        assert "Sphere Decoder" in text
+        assert "feasible" in text
+
+    def test_classify_bands(self):
+        assert table1.classify(40) == "feasible"
+        assert table1.classify(500) == "borderline"
+        assert table1.classify(5000) == "unfeasible"
+
+    def test_mean_visited_nodes_positive(self):
+        config = ExperimentConfig(num_instances=2, seed=1)
+        nodes = table1.mean_visited_nodes(MimoScenario("BPSK", 6, 13.0), config)
+        assert nodes >= 6  # at least one node per tree level
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2.run()
+
+    @pytest.mark.parametrize("users,modulation,logical,physical", [
+        (10, "BPSK", 10, 40),
+        (10, "QPSK", 20, 120),
+        (10, "16-QAM", 40, 440),
+        (10, "64-QAM", 60, 960),
+        (20, "16-QAM", 80, 1680),
+        (60, "BPSK", 60, 960),
+        (60, "64-QAM", 360, 32760),
+    ])
+    def test_paper_cells(self, result, users, modulation, logical, physical):
+        entry = result.entry(users, modulation)
+        assert entry.logical_qubits == logical
+        assert entry.physical_qubits == physical
+
+    def test_feasibility_flags(self, result):
+        # Feasible on DW2Q: 60-user BPSK, 20-user 16-QAM; infeasible: 60-user
+        # QPSK, 40-user 16-QAM (matching the paper's bold entries).
+        assert result.entry(60, "BPSK").fits_dw2q
+        assert result.entry(20, "16-QAM").fits_dw2q
+        assert not result.entry(60, "QPSK").fits_dw2q
+        assert not result.entry(40, "16-QAM").fits_dw2q
+
+    def test_all_cells_present(self, result):
+        assert len(result.entries) == 16
+
+    def test_missing_entry_raises(self, result):
+        with pytest.raises(KeyError):
+            result.entry(99, "BPSK")
+
+    def test_formatting(self, result):
+        text = table2.format_result(result)
+        assert "Table 2" in text
+        assert "60 (960)" in text
+        assert "*" in text  # infeasible marker

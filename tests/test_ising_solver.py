@@ -1,0 +1,186 @@
+"""Tests for repro.ising.solver."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.ising.model import IsingModel
+from repro.ising.solver import (
+    BruteForceIsingSolver,
+    SimulatedAnnealingSolver,
+    SolverResult,
+    aggregate_samples,
+    geometric_temperature_schedule,
+    metropolis_anneal,
+)
+
+
+def random_ising(num_variables, seed, density=1.0):
+    rng = np.random.default_rng(seed)
+    couplings = {}
+    for i in range(num_variables):
+        for j in range(i + 1, num_variables):
+            if rng.random() <= density:
+                couplings[(i, j)] = float(rng.normal())
+    return IsingModel(num_variables=num_variables,
+                      linear=rng.normal(size=num_variables),
+                      couplings=couplings)
+
+
+class TestSolverResult:
+    def test_sorted_by_energy(self):
+        result = SolverResult(
+            samples=np.array([[1, 1], [-1, -1], [1, -1]], dtype=np.int8),
+            energies=np.array([3.0, -1.0, 0.5]),
+            num_occurrences=np.array([1, 5, 2]))
+        assert result.best_energy == -1.0
+        np.testing.assert_array_equal(result.best_sample, [-1, -1])
+        assert list(result.energies) == sorted(result.energies)
+
+    def test_best_bits(self):
+        result = SolverResult(samples=np.array([[-1, 1]], dtype=np.int8),
+                              energies=np.array([0.0]),
+                              num_occurrences=np.array([1]))
+        np.testing.assert_array_equal(result.best_bits, [0, 1])
+
+    def test_ground_state_probability(self):
+        result = SolverResult(
+            samples=np.array([[1, 1], [-1, -1]], dtype=np.int8),
+            energies=np.array([0.0, 1.0]),
+            num_occurrences=np.array([3, 7]))
+        assert result.ground_state_probability(0.0) == pytest.approx(0.3)
+        assert result.ground_state_probability(-5.0) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            SolverResult(samples=np.array([[1, 1]]), energies=np.array([1.0, 2.0]),
+                         num_occurrences=np.array([1]))
+
+
+class TestAggregateSamples:
+    def test_collapses_duplicates(self):
+        ising = random_ising(3, 0)
+        raw = np.array([[1, 1, 1], [1, 1, 1], [-1, 1, -1]], dtype=np.int8)
+        result = aggregate_samples(ising, raw)
+        assert result.num_samples == 2
+        assert result.total_reads == 3
+
+    def test_energies_match_model(self):
+        ising = random_ising(4, 1)
+        raw = np.array([[1, -1, 1, -1]], dtype=np.int8)
+        result = aggregate_samples(ising, raw)
+        assert result.energies[0] == pytest.approx(ising.energy(raw[0]))
+
+
+class TestBruteForce:
+    def test_ground_state_is_global_minimum(self):
+        ising = random_ising(6, 2)
+        solver = BruteForceIsingSolver()
+        result = solver.solve(ising)
+        # Verify against a fully independent enumeration.
+        best = min(
+            (ising.energy(np.array([1 if (v >> k) & 1 else -1 for k in range(6)]))
+             for v in range(64)))
+        assert result.best_energy == pytest.approx(best)
+
+    def test_lowest_states_ordered(self):
+        ising = random_ising(5, 3)
+        spectrum = BruteForceIsingSolver().lowest_states(ising, num_states=4)
+        assert spectrum.num_samples == 4
+        assert list(spectrum.energies) == sorted(spectrum.energies)
+
+    def test_block_enumeration_consistency(self):
+        ising = random_ising(10, 4)
+        small_blocks = BruteForceIsingSolver(block_bits=4).solve(ising)
+        big_blocks = BruteForceIsingSolver(block_bits=12).solve(ising)
+        assert small_blocks.best_energy == pytest.approx(big_blocks.best_energy)
+
+    def test_variable_limit(self):
+        ising = random_ising(6, 5)
+        with pytest.raises(ConfigurationError):
+            BruteForceIsingSolver(max_variables=4).solve(ising)
+
+    def test_ground_energy_helper(self):
+        ising = random_ising(4, 6)
+        solver = BruteForceIsingSolver()
+        assert solver.ground_energy(ising) == solver.solve(ising).best_energy
+
+
+class TestTemperatureSchedule:
+    def test_monotone_decreasing(self):
+        schedule = geometric_temperature_schedule(10, 5.0, 0.1)
+        assert schedule[0] == pytest.approx(5.0)
+        assert schedule[-1] == pytest.approx(0.1)
+        assert np.all(np.diff(schedule) < 0)
+
+    def test_single_sweep(self):
+        schedule = geometric_temperature_schedule(1, 5.0, 0.1)
+        assert schedule.shape == (1,)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            geometric_temperature_schedule(0, 5.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            geometric_temperature_schedule(5, -1.0, 0.1)
+
+
+class TestMetropolisAnneal:
+    def test_output_is_spins(self):
+        ising = random_ising(6, 7)
+        spins = metropolis_anneal(ising, [2.0, 1.0, 0.1],
+                                  np.random.default_rng(0))
+        assert set(np.unique(spins)) <= {-1, 1}
+
+    def test_initial_spins_respected_shape(self):
+        ising = random_ising(4, 8)
+        with pytest.raises(ConfigurationError):
+            metropolis_anneal(ising, [1.0], np.random.default_rng(0),
+                              initial_spins=np.ones(3, dtype=np.int8))
+
+    def test_low_temperature_descends(self):
+        ising = random_ising(6, 9)
+        rng = np.random.default_rng(1)
+        start = rng.choice(np.array([-1, 1], dtype=np.int8), size=6)
+        start_energy = ising.energy(start)
+        out = metropolis_anneal(ising, [1e-3] * 10, rng, initial_spins=start)
+        assert ising.energy(out) <= start_energy + 1e-9
+
+
+class TestSimulatedAnnealing:
+    def test_finds_ground_state_of_small_problem(self):
+        ising = random_ising(8, 10)
+        exact = BruteForceIsingSolver().ground_energy(ising)
+        result = SimulatedAnnealingSolver(num_sweeps=100, num_reads=30).sample(
+            ising, random_state=0)
+        assert result.best_energy == pytest.approx(exact)
+
+    def test_total_reads(self):
+        ising = random_ising(5, 11)
+        result = SimulatedAnnealingSolver(num_sweeps=10, num_reads=12).sample(
+            ising, random_state=0)
+        assert result.total_reads == 12
+
+    def test_num_reads_override(self):
+        ising = random_ising(5, 12)
+        solver = SimulatedAnnealingSolver(num_sweeps=10, num_reads=4)
+        result = solver.sample(ising, random_state=0, num_reads=7)
+        assert result.total_reads == 7
+
+    def test_deterministic_with_seed(self):
+        ising = random_ising(6, 13)
+        solver = SimulatedAnnealingSolver(num_sweeps=20, num_reads=5)
+        a = solver.sample(ising, random_state=3)
+        b = solver.sample(ising, random_state=3)
+        np.testing.assert_array_equal(a.samples, b.samples)
+        np.testing.assert_array_equal(a.num_occurrences, b.num_occurrences)
+
+    def test_solve_alias(self):
+        ising = random_ising(4, 14)
+        solver = SimulatedAnnealingSolver(num_sweeps=10, num_reads=3)
+        assert isinstance(solver.solve(ising, random_state=0), SolverResult)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealingSolver(num_sweeps=0)
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealingSolver(hot_temperature=-1.0)

@@ -1,0 +1,98 @@
+"""Tests for repro.mimo.frame."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mimo.frame import Frame, ber_required_for_fer, frame_error_rate_from_ber
+
+
+class TestFrameErrorRateFromBer:
+    def test_zero_ber_means_zero_fer(self):
+        assert frame_error_rate_from_ber(0.0, 1500) == 0.0
+
+    def test_one_ber_means_one_fer(self):
+        assert frame_error_rate_from_ber(1.0, 50) == pytest.approx(1.0)
+
+    def test_paper_headline_point(self):
+        # BER 1e-6 over a 1,500 byte frame gives FER ~1.2e-2; the paper's
+        # 10^-4 FER headline needs BER well below 1e-8 for full frames, or
+        # the 1e-6 BER on short frames.
+        fer = frame_error_rate_from_ber(1e-6, 1500)
+        assert fer == pytest.approx(1.0 - (1.0 - 1e-6) ** 12000, rel=1e-9)
+
+    def test_monotone_in_frame_size(self):
+        small = frame_error_rate_from_ber(1e-5, 50)
+        large = frame_error_rate_from_ber(1e-5, 1500)
+        assert large > small
+
+    def test_monotone_in_ber(self):
+        low = frame_error_rate_from_ber(1e-6, 200)
+        high = frame_error_rate_from_ber(1e-4, 200)
+        assert high > low
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            frame_error_rate_from_ber(1.5, 100)
+        with pytest.raises(ConfigurationError):
+            frame_error_rate_from_ber(0.1, 0)
+
+
+class TestBerRequiredForFer:
+    def test_roundtrip(self):
+        for target_fer in (1e-4, 1e-3, 0.1):
+            for frame_size in (50, 1500):
+                ber = ber_required_for_fer(target_fer, frame_size)
+                assert frame_error_rate_from_ber(ber, frame_size) == pytest.approx(
+                    target_fer, rel=1e-6)
+
+    def test_smaller_frames_allow_higher_ber(self):
+        assert (ber_required_for_fer(1e-4, 50)
+                > ber_required_for_fer(1e-4, 1500))
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigurationError):
+            ber_required_for_fer(0.0, 100)
+
+
+class TestFrame:
+    def test_size_bits(self):
+        assert Frame(size_bytes=50).size_bits == 400
+
+    def test_accumulation_and_completion(self):
+        frame = Frame(size_bytes=1)
+        assert not frame.is_complete
+        frame.add([1, 0, 1, 0], [1, 0, 1, 0])
+        frame.add([1, 1, 1, 1], [1, 1, 1, 1])
+        assert frame.bits_accumulated == 8
+        assert frame.is_complete
+        assert not frame.is_errored()
+        assert frame.bit_errors() == 0
+
+    def test_bit_errors_counted(self):
+        frame = Frame(size_bytes=1)
+        frame.add([1, 0, 1, 0, 1, 0, 1, 0], [1, 1, 1, 0, 1, 0, 0, 0])
+        assert frame.bit_errors() == 2
+        assert frame.is_errored()
+        assert frame.bit_error_rate() == pytest.approx(0.25)
+
+    def test_errors_beyond_frame_size_ignored(self):
+        frame = Frame(size_bytes=1)
+        frame.add([0] * 8, [0] * 8)
+        # These extra bits fall outside the frame and must not count.
+        frame.add([1, 1], [0, 0])
+        assert frame.bit_errors() == 0
+
+    def test_mismatched_lengths_rejected(self):
+        frame = Frame(size_bytes=1)
+        with pytest.raises(ConfigurationError):
+            frame.add([1, 0], [1])
+
+    def test_empty_frame_statistics(self):
+        frame = Frame(size_bytes=10)
+        assert frame.bit_errors() == 0
+        assert frame.bit_error_rate() == 0.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            Frame(size_bytes=0)

@@ -1,0 +1,128 @@
+"""Tests for repro.mimo.system."""
+
+import numpy as np
+import pytest
+
+from repro.channel.models import FixedChannel, RandomPhaseChannel
+from repro.channel.noise import measure_snr_db
+from repro.exceptions import ConfigurationError
+from repro.mimo.system import ChannelUse, MimoUplink
+from repro.modulation import QPSK
+
+
+class TestMimoUplinkConstruction:
+    def test_defaults_square(self):
+        link = MimoUplink(num_users=4, constellation="QPSK")
+        assert link.num_rx_antennas == 4
+        assert link.bits_per_channel_use == 8
+
+    def test_constellation_object_accepted(self):
+        link = MimoUplink(num_users=2, constellation=QPSK)
+        assert link.constellation is QPSK
+
+    def test_more_rx_than_users_allowed(self):
+        link = MimoUplink(num_users=2, constellation="BPSK", num_rx_antennas=8)
+        assert link.num_rx_antennas == 8
+
+    def test_fewer_rx_than_users_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MimoUplink(num_users=4, constellation="BPSK", num_rx_antennas=2)
+
+    def test_invalid_constellation_rejected(self):
+        with pytest.raises(Exception):
+            MimoUplink(num_users=2, constellation=42)
+
+
+class TestTransmit:
+    def test_noiseless_received_equals_hv(self):
+        link = MimoUplink(num_users=3, constellation="QPSK")
+        channel_use = link.transmit(random_state=0)
+        expected = channel_use.channel @ channel_use.transmitted_symbols
+        np.testing.assert_allclose(channel_use.received, expected)
+        assert channel_use.noise_variance == 0.0
+        assert channel_use.snr_db is None
+
+    def test_snr_is_respected_statistically(self):
+        link = MimoUplink(num_users=4, constellation="QPSK", num_rx_antennas=4)
+        measured = []
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            channel_use = link.transmit(snr_db=15.0, random_state=rng)
+            measured.append(measure_snr_db(
+                channel_use.channel, channel_use.constellation.average_energy,
+                channel_use.noise_variance))
+        assert np.mean(measured) == pytest.approx(15.0, abs=0.5)
+
+    def test_explicit_bits_used(self):
+        link = MimoUplink(num_users=2, constellation="BPSK")
+        channel_use = link.transmit(bits=[1, 0], random_state=1)
+        np.testing.assert_array_equal(channel_use.transmitted_bits, [1, 0])
+        np.testing.assert_array_equal(channel_use.transmitted_symbols, [1, -1])
+
+    def test_explicit_channel_used(self):
+        matrix = np.eye(2, dtype=complex)
+        link = MimoUplink(num_users=2, constellation="BPSK")
+        channel_use = link.transmit(bits=[1, 1], channel=matrix)
+        np.testing.assert_array_equal(channel_use.channel, matrix)
+        np.testing.assert_array_equal(channel_use.received, [1, 1])
+
+    def test_deterministic_with_seed(self):
+        link = MimoUplink(num_users=3, constellation="16-QAM")
+        a = link.transmit(snr_db=20.0, random_state=9)
+        b = link.transmit(snr_db=20.0, random_state=9)
+        np.testing.assert_array_equal(a.received, b.received)
+        np.testing.assert_array_equal(a.transmitted_bits, b.transmitted_bits)
+
+    def test_transmit_many(self):
+        link = MimoUplink(num_users=2, constellation="BPSK")
+        uses = link.transmit_many(4, random_state=0, snr_db=10.0)
+        assert len(uses) == 4
+        assert not np.array_equal(uses[0].channel, uses[1].channel)
+
+    def test_channel_model_is_used(self):
+        link = MimoUplink(num_users=3, constellation="BPSK",
+                          channel_model=RandomPhaseChannel())
+        channel_use = link.transmit(random_state=0)
+        np.testing.assert_allclose(np.abs(channel_use.channel), 1.0)
+
+
+class TestChannelUse:
+    def make(self):
+        link = MimoUplink(num_users=2, constellation="QPSK")
+        return link.transmit(snr_db=20.0, random_state=0)
+
+    def test_properties(self):
+        channel_use = self.make()
+        assert channel_use.num_rx == 2
+        assert channel_use.num_tx == 2
+        assert channel_use.num_bits == 4
+
+    def test_dimension_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChannelUse(channel=np.eye(2, dtype=complex),
+                       received=np.zeros(3, dtype=complex),
+                       constellation=QPSK)
+
+    def test_bit_length_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChannelUse(channel=np.eye(2, dtype=complex),
+                       received=np.zeros(2, dtype=complex),
+                       constellation=QPSK,
+                       transmitted_bits=[1, 0, 1])
+
+    def test_with_noise_realization(self):
+        channel_use = self.make()
+        noise = np.array([0.1 + 0.1j, -0.2j])
+        renoised = channel_use.with_noise_realization(noise, 0.05, 25.0)
+        clean = channel_use.channel @ channel_use.transmitted_symbols
+        np.testing.assert_allclose(renoised.received, clean + noise)
+        assert renoised.snr_db == 25.0
+        # Original is unchanged (frozen dataclass semantics).
+        assert channel_use.snr_db == 20.0
+
+    def test_with_noise_requires_ground_truth(self):
+        channel_use = ChannelUse(channel=np.eye(2, dtype=complex),
+                                 received=np.zeros(2, dtype=complex),
+                                 constellation=QPSK)
+        with pytest.raises(ConfigurationError):
+            channel_use.with_noise_realization(np.zeros(2), 0.0, None)

@@ -1,0 +1,103 @@
+"""Tests for repro.modulation.gray."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModulationError
+from repro.modulation.gray import (
+    binary_to_gray,
+    bits_from_int,
+    bits_to_int,
+    gray_decode,
+    gray_encode,
+    gray_to_binary,
+    pam_gray_levels,
+)
+
+
+class TestGrayEncodeDecode:
+    def test_known_values(self):
+        # Standard reflected binary code for 0..7.
+        assert [gray_encode(v) for v in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_roundtrip(self):
+        for value in range(64):
+            assert gray_decode(gray_encode(value)) == value
+
+    def test_adjacent_values_differ_by_one_bit(self):
+        for value in range(31):
+            diff = gray_encode(value) ^ gray_encode(value + 1)
+            assert bin(diff).count("1") == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModulationError):
+            gray_encode(-1)
+        with pytest.raises(ModulationError):
+            gray_decode(-2)
+
+
+class TestBitsConversion:
+    def test_bits_from_int_msb_first(self):
+        np.testing.assert_array_equal(bits_from_int(6, 4), [0, 1, 1, 0])
+
+    def test_bits_to_int_inverse(self):
+        for value in range(16):
+            assert bits_to_int(bits_from_int(value, 4)) == value
+
+    def test_value_too_large_rejected(self):
+        with pytest.raises(ModulationError):
+            bits_from_int(16, 4)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ModulationError):
+            bits_from_int(0, 0)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ModulationError):
+            bits_to_int([0, 2])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ModulationError):
+            bits_to_int(np.zeros((2, 2)))
+
+
+class TestBinaryGrayBitVectors:
+    def test_binary_to_gray_known(self):
+        np.testing.assert_array_equal(binary_to_gray([1, 1]), [1, 0])
+        np.testing.assert_array_equal(binary_to_gray([1, 0]), [1, 1])
+
+    def test_roundtrip(self):
+        for value in range(16):
+            bits = bits_from_int(value, 4)
+            np.testing.assert_array_equal(gray_to_binary(binary_to_gray(bits)), bits)
+
+
+class TestPamGrayLevels:
+    def test_4pam_convention(self):
+        levels = pam_gray_levels(2)
+        # Labels 00, 01, 11, 10 map to -3, -1, +1, +3.
+        assert levels[0b00] == -3
+        assert levels[0b01] == -1
+        assert levels[0b11] == 1
+        assert levels[0b10] == 3
+
+    def test_2pam(self):
+        levels = pam_gray_levels(1)
+        assert levels[0] == -1 and levels[1] == 1
+
+    def test_8pam_levels_are_odd_integers(self):
+        levels = np.sort(pam_gray_levels(3))
+        np.testing.assert_array_equal(levels, [-7, -5, -3, -1, 1, 3, 5, 7])
+
+    def test_8pam_gray_property(self):
+        # Neighbouring amplitudes differ in exactly one label bit.
+        levels = pam_gray_levels(3)
+        by_amplitude = {level: label for label, level in enumerate(levels)}
+        amplitudes = sorted(by_amplitude)
+        for first, second in zip(amplitudes, amplitudes[1:]):
+            diff = by_amplitude[first] ^ by_amplitude[second]
+            assert bin(diff).count("1") == 1
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ModulationError):
+            pam_gray_levels(0)

@@ -1,0 +1,102 @@
+"""Tests for the top-level package API and the constants module."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import constants
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert hasattr(repro, name), f"{name} missing from repro"
+
+    def test_key_classes_exposed(self):
+        assert repro.QuAMaxDecoder is not None
+        assert repro.QuantumAnnealerSimulator is not None
+        assert repro.MimoUplink is not None
+        assert repro.SphereDecoder is not None
+
+    @pytest.mark.parametrize("module", [
+        "repro.modulation", "repro.channel", "repro.mimo", "repro.detectors",
+        "repro.ising", "repro.transform", "repro.annealer", "repro.decoder",
+        "repro.metrics", "repro.experiments", "repro.utils",
+    ])
+    def test_subpackages_importable(self, module):
+        assert importlib.import_module(module) is not None
+
+    def test_experiment_drivers_expose_run_and_format(self):
+        from repro import experiments
+        drivers = [experiments.table1, experiments.table2, experiments.fig04,
+                   experiments.fig05, experiments.fig06, experiments.fig07,
+                   experiments.fig08, experiments.fig09, experiments.fig10,
+                   experiments.fig11, experiments.fig12, experiments.fig13,
+                   experiments.fig14, experiments.fig15]
+        for driver in drivers:
+            assert callable(driver.run)
+            assert callable(driver.format_result)
+
+
+class TestConstants:
+    def test_dw2q_counts(self):
+        assert constants.DW2Q_WORKING_QUBITS == 2031
+        assert constants.CHIMERA_C16_IDEAL_QUBITS == 2048
+        assert constants.DW2Q_COUPLERS == 5019
+
+    def test_anneal_time_window(self):
+        assert constants.MIN_ANNEAL_TIME_US == 1.0
+        assert constants.MAX_ANNEAL_TIME_US == 300.0
+        assert (constants.MIN_ANNEAL_TIME_US
+                <= constants.DEFAULT_ANNEAL_TIME_US
+                <= constants.MAX_ANNEAL_TIME_US)
+
+    def test_ice_statistics_sign_convention(self):
+        # Linear shifts are slightly positive, coupling shifts slightly
+        # negative, both with larger standard deviations than means.
+        assert constants.ICE_LINEAR_MEAN > 0
+        assert constants.ICE_QUADRATIC_MEAN < 0
+        assert constants.ICE_LINEAR_STD > constants.ICE_LINEAR_MEAN
+        assert constants.ICE_QUADRATIC_STD > abs(constants.ICE_QUADRATIC_MEAN)
+
+    def test_targets(self):
+        assert constants.TARGET_BER == 1e-6
+        assert constants.TARGET_FER == 1e-4
+        assert constants.TTS_TARGET_PROBABILITY == 0.99
+
+    def test_frame_sizes_include_paper_extremes(self):
+        assert 50 in constants.FRAME_SIZES_BYTES
+        assert 1500 in constants.FRAME_SIZES_BYTES
+
+    def test_overheads_exceed_wireless_budgets(self):
+        # The Section 7 point: today's QPU overheads exceed even WCDMA's
+        # 10 ms processing budget.
+        overhead = (constants.PREPROCESSING_TIME_US
+                    + constants.PROGRAMMING_TIME_US)
+        assert overhead > constants.WCDMA_DECODE_BUDGET_US
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        from repro import exceptions
+        subclasses = [
+            exceptions.ConfigurationError, exceptions.ModulationError,
+            exceptions.ChannelError, exceptions.DetectionError,
+            exceptions.ReductionError, exceptions.EmbeddingError,
+            exceptions.AnnealerError, exceptions.MetricsError,
+            exceptions.ExperimentError,
+        ]
+        for subclass in subclasses:
+            assert issubclass(subclass, exceptions.ReproError)
+
+    def test_catchable_as_base(self):
+        from repro.exceptions import ModulationError, ReproError
+        with pytest.raises(ReproError):
+            raise ModulationError("boom")

@@ -1,0 +1,117 @@
+"""Tests for the closed-form Ising coefficients (Eqs. 6-8, Appendix C)."""
+
+import numpy as np
+import pytest
+
+from repro.ising.model import bits_to_spins
+from repro.ising.solver import BruteForceIsingSolver
+from repro.mimo.system import MimoUplink
+from repro.transform.ising_coeffs import (
+    bpsk_coefficients,
+    build_ml_ising,
+    qpsk_coefficients,
+    spin_weights,
+)
+from repro.transform.qubo_builder import build_ml_qubo
+
+
+def make_channel_use(constellation, num_users, snr_db, seed):
+    link = MimoUplink(num_users=num_users, constellation=constellation)
+    return link.transmit(snr_db=snr_db, random_state=seed)
+
+
+def all_bit_vectors(n):
+    for value in range(1 << n):
+        yield np.array([(value >> (n - 1 - k)) & 1 for k in range(n)],
+                       dtype=np.uint8)
+
+
+class TestSpinWeights:
+    def test_bpsk(self):
+        np.testing.assert_array_equal(spin_weights("BPSK", 3), [1, 1, 1])
+
+    def test_qpsk(self):
+        np.testing.assert_array_equal(spin_weights("QPSK", 2), [1, 1j, 1, 1j])
+
+    def test_qam16(self):
+        np.testing.assert_array_equal(spin_weights("16-QAM", 1), [2, 1, 2j, 1j])
+
+
+class TestClosedFormEqualsNormExpansion:
+    """The central correctness property of the paper's Section 3.2.2."""
+
+    @pytest.mark.parametrize("constellation,num_users", [
+        ("BPSK", 4), ("BPSK", 8), ("QPSK", 3), ("QPSK", 6),
+        ("16-QAM", 2), ("16-QAM", 3), ("64-QAM", 2),
+    ])
+    def test_coefficients_match(self, constellation, num_users):
+        channel_use = make_channel_use(constellation, num_users, 18.0, 11)
+        closed_form = build_ml_ising(channel_use.channel, channel_use.received,
+                                     constellation)
+        from_qubo = build_ml_qubo(channel_use.channel, channel_use.received,
+                                  constellation).to_ising()
+        np.testing.assert_allclose(closed_form.linear, from_qubo.linear,
+                                   atol=1e-9)
+        np.testing.assert_allclose(closed_form.to_dense()[1],
+                                   from_qubo.to_dense()[1], atol=1e-9)
+        assert closed_form.offset == pytest.approx(from_qubo.offset, abs=1e-9)
+
+    @pytest.mark.parametrize("constellation,num_users", [
+        ("BPSK", 3), ("QPSK", 2), ("16-QAM", 1),
+    ])
+    def test_energies_equal_ml_metrics(self, constellation, num_users):
+        channel_use = make_channel_use(constellation, num_users, 10.0, 12)
+        ising = build_ml_ising(channel_use.channel, channel_use.received,
+                               constellation)
+        qubo = build_ml_qubo(channel_use.channel, channel_use.received,
+                             constellation)
+        for bits in all_bit_vectors(ising.num_variables):
+            assert ising.energy(bits_to_spins(bits)) == pytest.approx(
+                qubo.energy(bits), rel=1e-9, abs=1e-9)
+
+
+class TestLiteralPaperFormulas:
+    """Literal transcriptions of Eq. 6 (BPSK) and Eqs. 7-8 (QPSK)."""
+
+    def test_bpsk_eq6_matches_structured_form(self):
+        channel_use = make_channel_use("BPSK", 5, 14.0, 13)
+        fields, couplings = bpsk_coefficients(channel_use.channel,
+                                              channel_use.received)
+        ising = build_ml_ising(channel_use.channel, channel_use.received, "BPSK")
+        np.testing.assert_allclose(fields, ising.linear, atol=1e-9)
+        np.testing.assert_allclose(couplings, ising.to_dense()[1], atol=1e-9)
+
+    def test_qpsk_eq7_eq8_match_structured_form(self):
+        channel_use = make_channel_use("QPSK", 4, 14.0, 14)
+        fields, couplings = qpsk_coefficients(channel_use.channel,
+                                              channel_use.received)
+        ising = build_ml_ising(channel_use.channel, channel_use.received, "QPSK")
+        np.testing.assert_allclose(fields, ising.linear, atol=1e-9)
+        np.testing.assert_allclose(couplings, ising.to_dense()[1], atol=1e-9)
+
+    def test_qpsk_same_user_coupling_zero(self):
+        channel_use = make_channel_use("QPSK", 3, 14.0, 15)
+        _, couplings = qpsk_coefficients(channel_use.channel, channel_use.received)
+        for user in range(3):
+            assert couplings[2 * user, 2 * user + 1] == 0.0
+
+
+class TestGroundStateIsMlSolution:
+    @pytest.mark.parametrize("constellation,num_users", [
+        ("BPSK", 6), ("QPSK", 3), ("16-QAM", 2),
+    ])
+    def test_noiseless_ground_state_energy_is_zero(self, constellation, num_users):
+        channel_use = make_channel_use(constellation, num_users, None, 16)
+        ising = build_ml_ising(channel_use.channel, channel_use.received,
+                               constellation)
+        ground = BruteForceIsingSolver(max_variables=12).solve(ising)
+        assert ground.best_energy == pytest.approx(0.0, abs=1e-9)
+
+    def test_offset_free_variant(self):
+        channel_use = make_channel_use("QPSK", 2, 20.0, 17)
+        with_offset = build_ml_ising(channel_use.channel, channel_use.received,
+                                     "QPSK", include_offset=True)
+        without = build_ml_ising(channel_use.channel, channel_use.received,
+                                 "QPSK", include_offset=False)
+        assert without.offset == 0.0
+        np.testing.assert_allclose(with_offset.linear, without.linear)

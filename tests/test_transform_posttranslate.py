@@ -1,0 +1,115 @@
+"""Tests for the bitwise post-translation (Fig. 2 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReductionError
+from repro.modulation import QAM16, QAM64, get_constellation
+from repro.transform.posttranslate import (
+    differential_encode,
+    gray_to_quamax_bits,
+    intermediate_code,
+    quamax_to_gray_bits,
+    quamax_to_gray_bits_two_step,
+)
+from repro.transform.symbols import get_transform
+
+
+def all_bit_vectors(n):
+    for value in range(1 << n):
+        yield np.array([(value >> (n - 1 - k)) & 1 for k in range(n)],
+                       dtype=np.uint8)
+
+
+class TestIdentityForBinaryAxes:
+    def test_bpsk_is_identity(self):
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        np.testing.assert_array_equal(quamax_to_gray_bits(bits, "BPSK"), bits)
+        np.testing.assert_array_equal(gray_to_quamax_bits(bits, "BPSK"), bits)
+
+    def test_qpsk_is_identity(self):
+        bits = np.array([1, 0, 0, 1], dtype=np.uint8)
+        np.testing.assert_array_equal(quamax_to_gray_bits(bits, "QPSK"), bits)
+        np.testing.assert_array_equal(gray_to_quamax_bits(bits, "QPSK"), bits)
+
+
+class TestSemanticCorrectness:
+    """The translation must make receiver labels match transmitter labels."""
+
+    @pytest.mark.parametrize("name", ["16-QAM", "64-QAM"])
+    def test_translated_bits_label_the_same_symbol(self, name):
+        constellation = get_constellation(name)
+        transform = get_transform(name)
+        for quamax_bits in all_bit_vectors(transform.bits_per_symbol):
+            symbol = transform.to_symbol(quamax_bits)
+            gray_bits = quamax_to_gray_bits(quamax_bits, name)
+            # The Gray-coded bits must be exactly the transmitter's label for
+            # that constellation point.
+            np.testing.assert_array_equal(
+                gray_bits, constellation.symbol_to_bits(symbol))
+
+    @pytest.mark.parametrize("name", ["16-QAM", "64-QAM"])
+    def test_roundtrip(self, name):
+        transform = get_transform(name)
+        for bits in all_bit_vectors(transform.bits_per_symbol):
+            back = gray_to_quamax_bits(quamax_to_gray_bits(bits, name), name)
+            np.testing.assert_array_equal(back, bits)
+
+    def test_multi_user_blocks_translated_independently(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=12).astype(np.uint8)  # three 16-QAM users
+        translated = quamax_to_gray_bits(bits, "16-QAM")
+        for user in range(3):
+            chunk = bits[4 * user:4 * user + 4]
+            np.testing.assert_array_equal(
+                translated[4 * user:4 * user + 4],
+                quamax_to_gray_bits(chunk, "16-QAM"))
+
+
+class TestPaperTwoStepDecomposition:
+    """The paper's 'column flip + differential encoding' path for 16-QAM."""
+
+    def test_intermediate_code_example(self):
+        # The paper's example: 1100 becomes 1111 after the column flip.
+        np.testing.assert_array_equal(
+            intermediate_code([1, 1, 0, 0], "16-QAM"), [1, 1, 1, 1])
+
+    def test_differential_encoding_example(self):
+        # The paper's example: 1111 becomes 1000 after differential encoding.
+        np.testing.assert_array_equal(
+            differential_encode([1, 1, 1, 1], "16-QAM"), [1, 0, 0, 0])
+
+    def test_no_flip_when_second_bit_zero(self):
+        np.testing.assert_array_equal(
+            intermediate_code([1, 0, 1, 0], "16-QAM"), [1, 0, 1, 0])
+
+    def test_two_step_equals_direct_translation(self):
+        for bits in all_bit_vectors(4):
+            np.testing.assert_array_equal(
+                quamax_to_gray_bits_two_step(bits, "16-QAM"),
+                quamax_to_gray_bits(bits, "16-QAM"))
+
+    def test_two_step_multi_user(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, size=8).astype(np.uint8)
+        np.testing.assert_array_equal(
+            quamax_to_gray_bits_two_step(bits, "16-QAM"),
+            quamax_to_gray_bits(bits, "16-QAM"))
+
+    def test_two_step_rejected_for_other_modulations(self):
+        with pytest.raises(ReductionError):
+            intermediate_code([1, 0], "QPSK")
+        with pytest.raises(ReductionError):
+            differential_encode([1, 0, 1, 0, 1, 0], "64-QAM")
+
+
+class TestValidation:
+    def test_partial_symbol_rejected(self):
+        with pytest.raises(ReductionError):
+            quamax_to_gray_bits([1, 0, 1], "16-QAM")
+        with pytest.raises(ReductionError):
+            gray_to_quamax_bits([1, 0, 1], "16-QAM")
+
+    def test_non_bits_rejected(self):
+        with pytest.raises(Exception):
+            quamax_to_gray_bits([2, 0, 0, 0], "16-QAM")

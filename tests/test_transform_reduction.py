@@ -1,0 +1,121 @@
+"""Tests for the MLToIsingReducer facade and ReducedProblem."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.ml import ExhaustiveMLDetector
+from repro.exceptions import ReductionError
+from repro.ising.solver import BruteForceIsingSolver
+from repro.mimo.system import ChannelUse, MimoUplink
+from repro.modulation import QPSK
+from repro.transform.reduction import MLToIsingReducer, ReducedProblem
+
+
+def make_channel_use(constellation, num_users, snr_db, seed):
+    link = MimoUplink(num_users=num_users, constellation=constellation)
+    return link.transmit(snr_db=snr_db, random_state=seed)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("constellation,num_users,expected_vars", [
+        ("BPSK", 5, 5), ("QPSK", 4, 8), ("16-QAM", 3, 12),
+    ])
+    def test_variable_count(self, constellation, num_users, expected_vars):
+        channel_use = make_channel_use(constellation, num_users, 20.0, 0)
+        reduced = MLToIsingReducer().reduce(channel_use)
+        assert isinstance(reduced, ReducedProblem)
+        assert reduced.num_variables == expected_vars
+        assert reduced.num_users == num_users
+
+    def test_qubo_and_ising_share_argmin(self):
+        channel_use = make_channel_use("QPSK", 3, 15.0, 1)
+        reduced = MLToIsingReducer().reduce(channel_use)
+        qubo = reduced.to_qubo()
+        ground = BruteForceIsingSolver(max_variables=12).solve(reduced.ising)
+        from repro.ising.model import spins_to_bits
+        qubo_best = qubo.energy(spins_to_bits(ground.best_sample))
+        # No other assignment should beat the Ising ground state in QUBO form.
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            candidate = rng.integers(0, 2, size=qubo.num_variables)
+            assert qubo.energy(candidate) >= qubo_best - 1e-9
+
+    def test_reduce_to_qubo_helper(self):
+        channel_use = make_channel_use("BPSK", 3, 20.0, 2)
+        qubo = MLToIsingReducer().reduce_to_qubo(channel_use)
+        assert qubo.num_variables == 3
+
+
+class TestGroundTruthMapping:
+    @pytest.mark.parametrize("constellation,num_users", [
+        ("BPSK", 4), ("QPSK", 3), ("16-QAM", 2), ("64-QAM", 1),
+    ])
+    def test_ground_truth_spins_decode_to_transmitted_bits(self, constellation,
+                                                           num_users):
+        channel_use = make_channel_use(constellation, num_users, 25.0, 3)
+        reduced = MLToIsingReducer().reduce(channel_use)
+        spins = reduced.ground_truth_spins()
+        decoded = reduced.bits_from_spins(spins)
+        np.testing.assert_array_equal(decoded, channel_use.transmitted_bits)
+        assert reduced.bit_errors(spins) == 0
+
+    @pytest.mark.parametrize("constellation,num_users", [
+        ("BPSK", 4), ("QPSK", 3), ("16-QAM", 2),
+    ])
+    def test_ground_truth_spins_have_zero_noiseless_energy(self, constellation,
+                                                           num_users):
+        channel_use = make_channel_use(constellation, num_users, None, 4)
+        reduced = MLToIsingReducer().reduce(channel_use)
+        energy = reduced.ising.energy(reduced.ground_truth_spins())
+        assert energy == pytest.approx(0.0, abs=1e-9)
+
+    def test_ground_truth_symbols_match_transmitted(self):
+        channel_use = make_channel_use("16-QAM", 2, 30.0, 5)
+        reduced = MLToIsingReducer().reduce(channel_use)
+        symbols = reduced.symbols_from_spins(reduced.ground_truth_spins())
+        np.testing.assert_allclose(symbols, channel_use.transmitted_symbols)
+
+    def test_metric_of_ground_truth_spins(self):
+        channel_use = make_channel_use("QPSK", 3, 20.0, 6)
+        reduced = MLToIsingReducer().reduce(channel_use)
+        metric = reduced.metric_of_spins(reduced.ground_truth_spins())
+        noise_power = np.linalg.norm(
+            channel_use.received
+            - channel_use.channel @ channel_use.transmitted_symbols) ** 2
+        assert metric == pytest.approx(noise_power)
+
+    def test_missing_ground_truth_raises(self):
+        channel_use = make_channel_use("QPSK", 2, 20.0, 7)
+        anonymous = ChannelUse(channel=channel_use.channel,
+                               received=channel_use.received,
+                               constellation=QPSK)
+        reduced = MLToIsingReducer().reduce(anonymous)
+        with pytest.raises(ReductionError):
+            reduced.ground_truth_spins()
+        with pytest.raises(ReductionError):
+            reduced.bit_errors(np.ones(reduced.num_variables))
+
+
+class TestSolutionMapping:
+    def test_ising_ground_state_decodes_to_ml_bits(self):
+        channel_use = make_channel_use("16-QAM", 2, 12.0, 8)
+        reduced = MLToIsingReducer().reduce(channel_use)
+        ground = BruteForceIsingSolver(max_variables=12).solve(reduced.ising)
+        decoded = reduced.bits_from_spins(ground.best_sample)
+        ml = ExhaustiveMLDetector().detect(channel_use)
+        np.testing.assert_array_equal(decoded, ml.bits)
+        assert reduced.metric_of_spins(ground.best_sample) == pytest.approx(
+            ml.metric, rel=1e-9)
+
+    def test_bits_from_qubo(self):
+        channel_use = make_channel_use("QPSK", 2, 20.0, 9)
+        reduced = MLToIsingReducer().reduce(channel_use)
+        qubo_bits = reduced.ground_truth_qubo_bits()
+        np.testing.assert_array_equal(reduced.bits_from_qubo(qubo_bits),
+                                      channel_use.transmitted_bits)
+
+    def test_wrong_spin_length_rejected(self):
+        channel_use = make_channel_use("BPSK", 3, 20.0, 10)
+        reduced = MLToIsingReducer().reduce(channel_use)
+        with pytest.raises(ReductionError):
+            reduced.bits_from_spins(np.ones(5))

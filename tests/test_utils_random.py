@@ -1,0 +1,102 @@
+"""Tests for repro.utils.random."""
+
+import numpy as np
+import pytest
+
+from repro.utils.random import child_rngs, derive_rng, ensure_rng, hash_label, spawn_seed
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**9)
+        b = ensure_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnSeed:
+    def test_returns_int_in_range(self):
+        seed = spawn_seed(ensure_rng(3))
+        assert isinstance(seed, int)
+        assert 0 <= seed < 2**63
+
+    def test_deterministic_given_rng_state(self):
+        assert spawn_seed(ensure_rng(5)) == spawn_seed(ensure_rng(5))
+
+
+class TestChildRngs:
+    def test_count(self):
+        children = list(child_rngs(0, 4))
+        assert len(children) == 4
+
+    def test_children_are_independent_streams(self):
+        children = list(child_rngs(0, 2))
+        a = children[0].integers(0, 10**9, size=10)
+        b = children[1].integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible(self):
+        first = [g.integers(0, 10**9) for g in child_rngs(11, 3)]
+        second = [g.integers(0, 10**9) for g in child_rngs(11, 3)]
+        assert first == second
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            list(child_rngs(0, -1))
+
+    def test_zero_count(self):
+        assert list(child_rngs(0, 0)) == []
+
+    def test_generator_input(self):
+        children = list(child_rngs(np.random.default_rng(0), 2))
+        assert len(children) == 2
+
+
+class TestDeriveRng:
+    def test_same_labels_same_stream(self):
+        a = derive_rng(1, "experiment", 3).integers(0, 10**9, size=4)
+        b = derive_rng(1, "experiment", 3).integers(0, 10**9, size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_labels_differ(self):
+        a = derive_rng(1, "experiment", 3).integers(0, 10**9)
+        b = derive_rng(1, "experiment", 4).integers(0, 10**9)
+        assert a != b
+
+    def test_different_seed_differs(self):
+        a = derive_rng(1, "x").integers(0, 10**9)
+        b = derive_rng(2, "x").integers(0, 10**9)
+        assert a != b
+
+    def test_none_seed_supported(self):
+        assert isinstance(derive_rng(None, "x"), np.random.Generator)
+
+
+class TestHashLabel:
+    def test_stable(self):
+        assert hash_label("table1") == hash_label("table1")
+
+    def test_distinct(self):
+        assert hash_label("a") != hash_label("b")
+
+    def test_32bit(self):
+        assert 0 <= hash_label("anything") < 2**32

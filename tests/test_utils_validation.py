@@ -1,0 +1,127 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import (
+    check_integer_in_range,
+    check_positive,
+    check_probability,
+    ensure_bit_array,
+    ensure_complex_matrix,
+    ensure_complex_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3.5) == 3.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", -1.0, strict=False)
+
+
+class TestCheckProbability:
+    def test_accepts_interior(self):
+        assert check_probability("p", 0.5) == 0.5
+
+    def test_accepts_bounds_by_default(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+
+    def test_rejects_zero_when_disallowed(self):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", 0.0, allow_zero=False)
+
+    def test_rejects_one_when_disallowed(self):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", 1.0, allow_one=False)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", 1.5)
+        with pytest.raises(ConfigurationError):
+            check_probability("p", -0.1)
+
+
+class TestCheckIntegerInRange:
+    def test_accepts_in_range(self):
+        assert check_integer_in_range("n", 5, minimum=1, maximum=10) == 5
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ConfigurationError):
+            check_integer_in_range("n", 0, minimum=1)
+
+    def test_rejects_above_maximum(self):
+        with pytest.raises(ConfigurationError):
+            check_integer_in_range("n", 11, maximum=10)
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            check_integer_in_range("n", 1.5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_integer_in_range("n", True)
+
+    def test_accepts_numpy_integer(self):
+        assert check_integer_in_range("n", np.int64(7)) == 7
+
+
+class TestEnsureBitArray:
+    def test_valid_bits(self):
+        out = ensure_bit_array([0, 1, 1, 0])
+        assert out.dtype == np.uint8
+        np.testing.assert_array_equal(out, [0, 1, 1, 0])
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ConfigurationError):
+            ensure_bit_array([0, 2])
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            ensure_bit_array([0, 1], length=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            ensure_bit_array([[0, 1]])
+
+    def test_empty_allowed(self):
+        assert ensure_bit_array([]).size == 0
+
+
+class TestEnsureComplexVector:
+    def test_valid(self):
+        out = ensure_complex_vector("v", [1, 2j])
+        assert out.dtype == np.complex128
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ConfigurationError):
+            ensure_complex_vector("v", [[1, 2], [3, 4]])
+
+    def test_length_check(self):
+        with pytest.raises(ConfigurationError):
+            ensure_complex_vector("v", [1, 2], length=3)
+
+
+class TestEnsureComplexMatrix:
+    def test_valid(self):
+        out = ensure_complex_matrix("m", [[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ConfigurationError):
+            ensure_complex_matrix("m", [1, 2])
+
+    def test_shape_check(self):
+        with pytest.raises(ConfigurationError):
+            ensure_complex_matrix("m", [[1, 2]], shape=(2, 2))
