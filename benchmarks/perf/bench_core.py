@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Micro-benchmarks for the unified Metropolis core and the batched decode path.
+
+Times three hot paths, each as a before/after pair so the repository carries
+its own perf trajectory:
+
+* ``sa_solver`` — the classical simulated-annealing baseline: the scalar
+  per-spin reference loop (:meth:`SimulatedAnnealingSolver.sample_reference`)
+  versus the replica-batched vectorised engine (:meth:`~.sample`);
+* ``annealer_engine`` — one ICE-batch cycle of the machine model: rebuilding
+  the :class:`IsingSampler` (colour classes + CSR slicing) per batch versus
+  rebinding the cached structure with :meth:`IsingSampler.refresh_values`;
+* ``frame_decode`` — end-to-end OFDM decode of same-size subcarriers: one QA
+  job per subcarrier versus the Section 5.5 packed block-diagonal batch.
+
+Results are written to ``BENCH_core.json`` (next to this file by default).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf/bench_core.py [--scale quick|full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_core.json"
+
+#: Workload knobs per scale.  ``full`` matches the acceptance-criteria sizes
+#: (24-variable SA problem, 100 reads x 200 sweeps, 16 subcarriers); ``quick``
+#: is a seconds-scale smoke configuration for CI.
+SCALES = {
+    "quick": dict(sa_variables=16, sa_reads=20, sa_sweeps=50,
+                  engine_users=3, engine_batches=8, engine_anneals=25,
+                  decode_users=3, decode_subcarriers=8, decode_anneals=50),
+    "full": dict(sa_variables=24, sa_reads=100, sa_sweeps=200,
+                 engine_users=4, engine_batches=12, engine_anneals=25,
+                 decode_users=3, decode_subcarriers=16, decode_anneals=100),
+}
+
+
+def _timed(function, *args, **kwargs):
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def bench_sa_solver(num_variables: int, num_reads: int, num_sweeps: int,
+                    seed: int = 0) -> dict:
+    """Reference per-read loop vs. one replica-batched vectorised anneal."""
+    from repro.ising.model import IsingModel
+    from repro.ising.solver import SimulatedAnnealingSolver
+
+    rng = np.random.default_rng(seed)
+    couplings = {(i, j): float(rng.normal())
+                 for i in range(num_variables)
+                 for j in range(i + 1, num_variables)}
+    ising = IsingModel(num_variables=num_variables,
+                       linear=rng.normal(size=num_variables),
+                       couplings=couplings)
+    solver = SimulatedAnnealingSolver(num_sweeps=num_sweeps,
+                                      num_reads=num_reads)
+    after_s, vectorised = _timed(solver.sample, ising, 1)
+    before_s, reference = _timed(solver.sample_reference, ising, 1)
+    return {
+        "params": {"num_variables": num_variables, "num_reads": num_reads,
+                   "num_sweeps": num_sweeps},
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "best_energy_before": reference.best_energy,
+        "best_energy_after": vectorised.best_energy,
+    }
+
+
+def bench_annealer_engine(num_users: int, num_batches: int,
+                          anneals_per_batch: int, seed: int = 0) -> dict:
+    """Per-ICE-batch sampler rebuild vs. in-place ``refresh_values``."""
+    from repro.annealer.engine import IsingSampler
+    from repro.annealer.machine import AnnealerParameters, QuantumAnnealerSimulator
+    from repro.mimo.system import MimoUplink
+    from repro.transform.reduction import MLToIsingReducer
+
+    link = MimoUplink(num_users=num_users, constellation="QPSK")
+    channel_use = link.transmit(snr_db=15.0, random_state=seed)
+    reduced = MLToIsingReducer().reduce(channel_use)
+    machine = QuantumAnnealerSimulator()
+    parameters = AnnealerParameters()
+    from repro.annealer.embedded import embed_ising
+    embedding = machine.embedding_for(reduced.num_variables)
+    embedded = embed_ising(reduced.ising, embedding,
+                           chain_strength=parameters.chain_strength,
+                           extended_range=parameters.extended_range)
+    temperatures = parameters.schedule.temperature_profile(
+        sweeps_per_us=machine.sweeps_per_us, hot=machine.hot_temperature,
+        cold=machine.cold_temperature)
+    clusters = [np.asarray(chain, dtype=np.intp)
+                for chain in embedded.compact_chains.values()]
+    perturbations = [machine.ice.perturb(embedded.ising,
+                                         np.random.default_rng(seed + k))
+                     for k in range(num_batches)]
+
+    def rebuild_every_batch():
+        rng = np.random.default_rng(seed)
+        for perturbed in perturbations:
+            sampler = IsingSampler(perturbed, clusters=clusters)
+            sampler.anneal(temperatures, anneals_per_batch, random_state=rng)
+
+    def refresh_between_batches():
+        rng = np.random.default_rng(seed)
+        sampler = IsingSampler(perturbations[0], clusters=clusters)
+        for perturbed in perturbations:
+            sampler.refresh_values(perturbed)
+            sampler.anneal(temperatures, anneals_per_batch, random_state=rng)
+
+    def setup_rebuild():
+        for perturbed in perturbations:
+            IsingSampler(perturbed, clusters=clusters)
+
+    def setup_refresh():
+        sampler = IsingSampler(perturbations[0], clusters=clusters)
+        for perturbed in perturbations:
+            sampler.refresh_values(perturbed)
+
+    before_s, _ = _timed(rebuild_every_batch)
+    after_s, _ = _timed(refresh_between_batches)
+    setup_before_s, _ = _timed(setup_rebuild)
+    setup_after_s, _ = _timed(setup_refresh)
+    return {
+        "params": {"num_users": num_users, "num_batches": num_batches,
+                   "anneals_per_batch": anneals_per_batch,
+                   "num_physical": embedded.num_physical},
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "setup_before_s": setup_before_s,
+        "setup_after_s": setup_after_s,
+        "setup_speedup": setup_before_s / setup_after_s,
+    }
+
+
+def bench_frame_decode(num_users: int, num_subcarriers: int,
+                       num_anneals: int, seed: int = 0) -> dict:
+    """Serial per-subcarrier QA jobs vs. the packed batched decode."""
+    from repro.annealer.machine import AnnealerParameters, QuantumAnnealerSimulator
+    from repro.decoder.pipeline import OFDMDecodingPipeline
+    from repro.decoder.quamax import QuAMaxDecoder
+    from repro.mimo.system import MimoUplink
+
+    link = MimoUplink(num_users=num_users, constellation="QPSK")
+    rng = np.random.default_rng(seed)
+    channel_uses = [link.transmit(snr_db=20.0, random_state=rng)
+                    for _ in range(num_subcarriers)]
+    pipeline = OFDMDecodingPipeline(QuAMaxDecoder(
+        QuantumAnnealerSimulator(),
+        AnnealerParameters(num_anneals=num_anneals)))
+    # Warm the embedding cache so both paths time pure decode work.
+    pipeline.decode_subcarriers(channel_uses[:1], random_state=seed)
+    before_s, serial = _timed(pipeline.decode_subcarriers,
+                              channel_uses, seed)
+    after_s, batched = _timed(pipeline.decode_subcarriers_batched,
+                              channel_uses, seed)
+    identical = all(
+        np.array_equal(a.result.detection.bits, b.result.detection.bits)
+        for a, b in zip(serial.subcarrier_results, batched.subcarrier_results))
+    return {
+        "params": {"num_users": num_users,
+                   "num_subcarriers": num_subcarriers,
+                   "num_anneals": num_anneals},
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "amortized_before_ms": before_s / num_subcarriers * 1e3,
+        "amortized_after_ms": after_s / num_subcarriers * 1e3,
+        "detections_identical": identical,
+    }
+
+
+def run_suite(scale: str = "quick") -> dict:
+    """Run all three benchmark pairs at *scale* and return the report."""
+    knobs = SCALES[scale]
+    return {
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "scale": scale,
+        "benchmarks": {
+            "sa_solver": bench_sa_solver(
+                knobs["sa_variables"], knobs["sa_reads"], knobs["sa_sweeps"]),
+            "annealer_engine": bench_annealer_engine(
+                knobs["engine_users"], knobs["engine_batches"],
+                knobs["engine_anneals"]),
+            "frame_decode": bench_frame_decode(
+                knobs["decode_users"], knobs["decode_subcarriers"],
+                knobs["decode_anneals"]),
+        },
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+
+    report = run_suite(args.scale)
+    args.output.write_text(json.dumps(report, indent=2) + "\n",
+                           encoding="utf-8")
+    for name, entry in report["benchmarks"].items():
+        print(f"{name:16s}  before {entry['before_s']:8.3f}s  "
+              f"after {entry['after_s']:8.3f}s  "
+              f"speedup {entry['speedup']:6.1f}x")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

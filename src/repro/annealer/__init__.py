@@ -12,6 +12,7 @@ run without access to the physical QPU.
 from repro.annealer.chimera import ChimeraGraph, PegasusLikeGraph
 from repro.annealer.embedding import Embedding, TriangleCliqueEmbedder, embedding_qubit_counts
 from repro.annealer.embedded import EmbeddedIsing, embed_ising
+from repro.annealer.engine import BlockDiagonalSampler, IsingSampler, batched_metropolis
 from repro.annealer.ice import ICEModel
 from repro.annealer.schedule import AnnealSchedule
 from repro.annealer.machine import AnnealerParameters, AnnealResult, QuantumAnnealerSimulator
@@ -21,6 +22,9 @@ from repro.annealer.unembed import UnembeddingReport, unembed_sample, unembed_sa
 __all__ = [
     "ChimeraGraph",
     "PegasusLikeGraph",
+    "BlockDiagonalSampler",
+    "IsingSampler",
+    "batched_metropolis",
     "Embedding",
     "TriangleCliqueEmbedder",
     "embedding_qubit_counts",

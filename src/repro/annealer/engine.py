@@ -1,5 +1,9 @@
 """Vectorised stochastic sampling engine for the annealer simulator.
 
+This module is the *single* Metropolis core of the repository: the annealer
+simulator, the classical :class:`~repro.ising.solver.SimulatedAnnealingSolver`
+baseline and the batched OFDM decode path all sample through it.
+
 One "anneal" of the simulated machine is one Metropolis trajectory over the
 embedded Ising problem, following the temperature profile produced by the
 :class:`~repro.annealer.schedule.AnnealSchedule`.  To make a whole QA run
@@ -9,11 +13,27 @@ variables are updated one graph-colour class at a time: within a colour class
 no two variables interact, so the simultaneous vectorised flips are exact
 single-spin-flip Metropolis dynamics.  Per-class coupling operators are kept
 sparse because hardware-embedded problems have qubit degree at most six.
+
+There is exactly one sweep implementation: :class:`BlockDiagonalSampler`
+evolves ``num_blocks`` structurally identical problems laid out as one
+block-diagonal problem, and :class:`IsingSampler` is its one-block special
+case.  Two levels of reuse amortise setup cost across repeated runs:
+
+* :meth:`BlockDiagonalSampler.refresh_values` rebinds a sampler to new
+  problems with the *same* coupling structure (e.g. successive ICE
+  perturbations of one embedded problem) by rewriting the CSR ``.data``
+  arrays in place instead of re-deriving colour classes and re-slicing
+  operators;
+* a multi-block sampler packs several structurally identical problems (e.g.
+  the subcarriers of an OFDM symbol, Section 5.5 of the paper) into one
+  anneal that shares every sparse operation, while drawing each block's
+  randomness from its own generator so the trajectories are bit-for-bit
+  those of independent per-problem anneals.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -43,98 +63,423 @@ def colour_classes(ising: IsingModel) -> List[np.ndarray]:
             for _, nodes in sorted(classes.items())]
 
 
+def _edge_arrays(keys: Sequence[Tuple[int, int]]) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetrised (rows, cols) index arrays for a list of coupling keys.
+
+    The first half of each array holds the ``(i, j)`` direction of every edge
+    and the second half the ``(j, i)`` direction, so a length-``E`` value
+    vector tiled twice aligns with the entries.
+    """
+    if not keys:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    indices = np.array(keys, dtype=np.intp)
+    rows = np.concatenate([indices[:, 0], indices[:, 1]])
+    cols = np.concatenate([indices[:, 1], indices[:, 0]])
+    return rows, cols
+
+
 def sparse_coupling_matrix(ising: IsingModel) -> sparse.csr_matrix:
-    """Symmetric sparse coupling matrix (zero diagonal) of an Ising problem."""
+    """Symmetric sparse coupling matrix (zero diagonal) of an Ising problem.
+
+    Built from a single pass over ``ising.couplings`` into NumPy arrays; the
+    empty-couplings case returns the same canonical ``float64`` CSR dtype as
+    the populated one.
+    """
     n = ising.num_variables
     if not ising.couplings:
-        return sparse.csr_matrix((n, n))
-    rows: List[int] = []
-    cols: List[int] = []
-    data: List[float] = []
-    for (i, j), value in ising.couplings.items():
-        rows.extend((i, j))
-        cols.extend((j, i))
-        data.extend((value, value))
-    return sparse.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+        return sparse.csr_matrix((n, n), dtype=np.float64)
+    rows, cols = _edge_arrays(list(ising.couplings))
+    values = np.fromiter(ising.couplings.values(), dtype=np.float64,
+                         count=len(ising.couplings))
+    matrix = sparse.coo_matrix(
+        (np.concatenate([values, values]), (rows, cols)), shape=(n, n))
+    return matrix.tocsr()
 
 
-class IsingSampler:
-    """Reusable Metropolis sampler bound to one Ising problem.
+def _entry_permutation(rows: np.ndarray, cols: np.ndarray,
+                       shape: Tuple[int, int]) -> sparse.csr_matrix:
+    """CSR whose ``.data`` maps every data slot to its originating entry index.
 
-    Precomputes the colour classes and per-class sparse coupling operators so
-    that repeated runs (e.g. the batches of a QA job, or parameter sweeps on
-    the same embedded problem) avoid re-deriving the graph structure.
+    Slicing this matrix the same way as the value matrix yields, for each data
+    slot of the slice, the index into the flat entry-value vector — which is
+    what lets :meth:`BlockDiagonalSampler.refresh_values` rewrite sliced
+    operators in place without re-slicing.
+    """
+    order = np.arange(1, rows.size + 1, dtype=np.int64)
+    return sparse.coo_matrix((order, (rows, cols)), shape=shape).tocsr()
+
+
+def _slot_entries(order_slice: sparse.spmatrix) -> np.ndarray:
+    """Entry indices of a slice taken from an :func:`_entry_permutation` CSR."""
+    return np.asarray(order_slice.tocsr().data, dtype=np.int64) - 1
+
+
+class BlockDiagonalSampler:
+    """Replica-batched Metropolis sampler over one or more identical-structure
+    Ising problems.
+
+    The blocks are laid out as a block-diagonal problem: block ``b`` occupies
+    variables ``[b*P, (b+1)*P)`` and there are no cross-block couplings, so
+    the combined trajectory factorises exactly into the blocks' independent
+    trajectories.  Every sparse matvec, energy difference and acceptance mask
+    is computed on the combined arrays (amortising the NumPy dispatch
+    overhead over all blocks — the Section 5.5 multi-subcarrier
+    parallelization), while each block's Metropolis randomness is drawn from
+    its *own* generator in exactly the order a one-block sampler with that
+    generator would draw it.  Because the per-block draw order (initial
+    spins, then per-class uphill draws, then per-cluster draws, per sweep)
+    never depends on the other blocks, a multi-block anneal is bit-for-bit
+    the per-block serial anneals.
 
     Parameters
     ----------
-    ising:
-        The problem to sample.
+    isings:
+        The problems, all with the same variable count and coupling key set
+        (values are free to differ — that is the point).
     classes:
-        Optional precomputed colour classes.
+        Optional precomputed *block-level* colour classes.
     clusters:
-        Optional groups of variables (e.g. the physical chains of an embedded
-        problem) offered collective flip moves in addition to single-spin
-        flips.  Quantum annealers reorient logical chains through tunnelling;
-        a purely single-spin-flip classical sampler cannot, so cluster moves
-        are what keep the simulator's chain dynamics representative.
+        Optional *block-level* groups of variables (e.g. the physical chains
+        of an embedded problem), replicated across every block and offered
+        collective flip moves in addition to single-spin flips.  Quantum
+        annealers reorient logical chains through tunnelling; a purely
+        single-spin-flip classical sampler cannot, so cluster moves are what
+        keep the simulator's chain dynamics representative.
     """
 
-    def __init__(self, ising: IsingModel,
+    def __init__(self, isings: Sequence[IsingModel],
                  classes: Optional[List[np.ndarray]] = None,
                  clusters: Optional[List[np.ndarray]] = None):
-        self.ising = ising
-        self.classes = classes if classes is not None else colour_classes(ising)
-        matrix = sparse_coupling_matrix(ising)
-        #: Per-class operators mapping the full spin vector to the local
-        #: fields of the class members: shape (len(class), N).
-        self.class_operators = [matrix[group, :].tocsr() for group in self.classes]
-        self.linear = np.asarray(ising.linear, dtype=float)
-        self.clusters: List[np.ndarray] = []
+        isings = list(isings)
+        if not isings:
+            raise AnnealerError("the sampler needs at least one problem")
+        first = isings[0]
+        self._edge_keys: List[Tuple[int, int]] = list(first.couplings.keys())
+        self.num_blocks = len(isings)
+        self.block_size = first.num_variables
+        if not self.matches_structure(isings):
+            raise AnnealerError(
+                "all blocks of a BlockDiagonalSampler must share one coupling "
+                "structure"
+            )
+        self.isings = isings
+        self.block_classes = (classes if classes is not None
+                              else colour_classes(first))
+
+        blocks = self.num_blocks
+        size = self.block_size
+        n = blocks * size
+        offsets = np.arange(blocks, dtype=np.intp) * size
+        rows1, cols1 = _edge_arrays(self._edge_keys)
+        self._entry_rows = (rows1[None, :] + offsets[:, None]).ravel()
+        self._entry_cols = (cols1[None, :] + offsets[:, None]).ravel()
+        self._matrix = sparse.coo_matrix(
+            (self._entry_values(isings), (self._entry_rows, self._entry_cols)),
+            shape=(n, n)).tocsr()
+        # Entry maps (data-slot -> entry-value index) are only needed by
+        # refresh_values; one-shot samplers never pay for them.
+        self._matrix_entries: Optional[np.ndarray] = None
+        self._class_entries: List[np.ndarray] = []
+        self._cluster_entries: List[np.ndarray] = []
+
+        #: Combined colour classes: block-major concatenation, so block ``b``'s
+        #: members form the contiguous column segment ``[b*m, (b+1)*m)`` of
+        #: every per-class array.
+        self.classes = [(group[None, :] + offsets[:, None]).ravel()
+                        for group in self.block_classes]
+        #: Per-class operators mapping the combined spin vector to the local
+        #: fields of the class members: shape (blocks*|class|, N).
+        self.class_operators = [self._matrix[group, :].tocsr()
+                                for group in self.classes]
+        self._class_widths = [group.size for group in self.block_classes]
+        self.linear = np.concatenate(
+            [np.asarray(ising.linear, dtype=float) for ising in isings])
+
+        self.block_clusters: List[np.ndarray] = []
+        self._cluster_columns: List[np.ndarray] = []
         self._cluster_operators: List[sparse.csr_matrix] = []
-        self._cluster_internal: List[List[tuple]] = []
+        self._cluster_lengths: List[int] = []
+        self._cluster_internal_keys: List[List[Tuple[int, int]]] = []
+        self._cluster_int_i: List[np.ndarray] = []
+        self._cluster_int_j: List[np.ndarray] = []
+        self._cluster_int_v: List[np.ndarray] = []
         if clusters:
             for cluster in clusters:
                 members = np.asarray(cluster, dtype=np.intp)
                 if members.size == 0:
                     continue
                 member_set = set(int(m) for m in members)
-                internal = [
-                    (i, j, value) for (i, j), value in ising.couplings.items()
+                internal_keys = [
+                    (i, j) for (i, j) in self._edge_keys
                     if i in member_set and j in member_set
                 ]
-                self.clusters.append(members)
-                self._cluster_operators.append(matrix[members, :].tocsr())
-                self._cluster_internal.append(internal)
+                columns = (members[None, :] + offsets[:, None]).ravel()
+                self.block_clusters.append(members)
+                self._cluster_columns.append(columns)
+                self._cluster_operators.append(self._matrix[columns, :].tocsr())
+                self._cluster_lengths.append(members.size)
+                self._cluster_internal_keys.append(internal_keys)
+                if internal_keys:
+                    pairs = np.array(internal_keys, dtype=np.intp)
+                    self._cluster_int_i.append(
+                        pairs[:, 0][:, None] + offsets[None, :])
+                    self._cluster_int_j.append(
+                        pairs[:, 1][:, None] + offsets[None, :])
+                else:
+                    empty = np.empty((0, blocks), dtype=np.intp)
+                    self._cluster_int_i.append(empty)
+                    self._cluster_int_j.append(empty)
+            self._refresh_cluster_internal(isings)
 
+    # ------------------------------------------------------------------ #
+    # Structure bookkeeping
+    # ------------------------------------------------------------------ #
     @property
     def num_variables(self) -> int:
-        """Number of Ising variables."""
-        return self.ising.num_variables
+        """Total variable count of the combined block-diagonal problem."""
+        return self.num_blocks * self.block_size
 
+    def _entry_values(self, isings: Sequence[IsingModel]) -> np.ndarray:
+        """Block-major flat value vector aligned with the combined entries."""
+        count = len(self._edge_keys)
+        out = np.empty((len(isings), 2 * count))
+        for row, ising in zip(out, isings):
+            values = np.fromiter(
+                (ising.couplings[key] for key in self._edge_keys),
+                dtype=np.float64, count=count)
+            row[:count] = values
+            row[count:] = values
+        return out.ravel()
+
+    def _refresh_cluster_internal(self, isings: Sequence[IsingModel]) -> None:
+        self._cluster_int_v = [
+            np.array([[ising.couplings[key] for ising in isings]
+                      for key in keys], dtype=float).reshape(len(keys),
+                                                             len(isings))
+            for keys in self._cluster_internal_keys
+        ]
+
+    def _ensure_entry_maps(self) -> None:
+        if self._matrix_entries is not None:
+            return
+        n = self.num_variables
+        order = _entry_permutation(self._entry_rows, self._entry_cols, (n, n))
+        self._matrix_entries = _slot_entries(order)
+        self._class_entries = [_slot_entries(order[group, :])
+                               for group in self.classes]
+        self._cluster_entries = [_slot_entries(order[columns, :])
+                                 for columns in self._cluster_columns]
+
+    def matches_structure(self, isings: Sequence[IsingModel]) -> bool:
+        """Whether *isings* matches this sampler's block count and sparsity."""
+        if len(isings) != self.num_blocks:
+            return False
+        for ising in isings:
+            if ising.num_variables != self.block_size:
+                return False
+            if len(ising.couplings) != len(self._edge_keys):
+                return False
+            if not all(key in ising.couplings for key in self._edge_keys):
+                return False
+        return True
+
+    def refresh_values(self, isings: Sequence[IsingModel]) -> None:
+        """Rebind all blocks to new same-structure problems in place.
+
+        Rewrites the CSR ``.data`` arrays of the full matrix and every sliced
+        operator in place; colour classes, cluster membership and all sparsity
+        bookkeeping are reused unchanged.  Raises :class:`AnnealerError` when
+        the coupling structure differs (build a new sampler instead).
+        """
+        isings = list(isings)
+        if not self.matches_structure(isings):
+            raise AnnealerError(
+                "refresh_values requires the same block count and coupling "
+                "structure; construct a new sampler instead"
+            )
+        self._ensure_entry_maps()
+        entry_values = self._entry_values(isings)
+        self._matrix.data[:] = entry_values[self._matrix_entries]
+        for operator, entries in zip(self.class_operators, self._class_entries):
+            operator.data[:] = entry_values[entries]
+        for operator, entries in zip(self._cluster_operators,
+                                     self._cluster_entries):
+            operator.data[:] = entry_values[entries]
+        self.linear = np.concatenate(
+            [np.asarray(ising.linear, dtype=float) for ising in isings])
+        if self._cluster_internal_keys:
+            self._refresh_cluster_internal(isings)
+        self.isings = isings
+
+    def split_samples(self, samples: np.ndarray) -> List[np.ndarray]:
+        """Split combined ``(R, blocks*P)`` samples into per-block matrices."""
+        size = self.block_size
+        return [samples[:, b * size:(b + 1) * size]
+                for b in range(self.num_blocks)]
+
+    # ------------------------------------------------------------------ #
+    # The Metropolis sweep kernel
+    # ------------------------------------------------------------------ #
     def _cluster_sweep(self, spins: np.ndarray, temperature: float,
-                       rng: np.random.Generator) -> None:
-        """Offer every cluster a collective flip (Metropolis accept/reject).
+                       rngs: Sequence[np.random.Generator]) -> None:
+        """Offer every cluster of every block a collective flip.
 
         Flipping all spins of a cluster leaves its internal couplings
         unchanged, so the energy difference only involves the cluster's
         coupling to the rest of the system and its linear fields.
         """
-        for members, operator, internal in zip(
-                self.clusters, self._cluster_operators, self._cluster_internal):
-            fields = (operator @ spins.T).T + self.linear[members]
-            boundary = np.sum(spins[:, members] * fields, axis=1)
-            for i, j, value in internal:
+        num_replicas = spins.shape[0]
+        blocks = self.num_blocks
+        for columns, operator, length, int_i, int_j, int_v in zip(
+                self._cluster_columns, self._cluster_operators,
+                self._cluster_lengths, self._cluster_int_i,
+                self._cluster_int_j, self._cluster_int_v):
+            fields = (operator @ spins.T).T + self.linear[columns]
+            boundary = (spins[:, columns] * fields).reshape(
+                num_replicas, blocks, length).sum(axis=2)
+            for t in range(int_i.shape[0]):
                 # Subtract the internal couplings, which were double counted
                 # through the fields of both endpoints.
-                boundary -= 2.0 * value * spins[:, i] * spins[:, j]
+                boundary -= (2.0 * int_v[t] * spins[:, int_i[t]]
+                             * spins[:, int_j[t]])
             delta = -2.0 * boundary
             accept = delta <= 0.0
             uphill = ~accept
-            if np.any(uphill):
-                probabilities = np.exp(-delta[uphill] / temperature)
-                accept[uphill] = rng.random(np.count_nonzero(uphill)) < probabilities
+            for b, rng in enumerate(rngs):
+                uphill_b = uphill[:, b]
+                count = int(np.count_nonzero(uphill_b))
+                if count:
+                    # delta > 0 here, acceptance probability exp(-delta / T).
+                    accept[:, b][uphill_b] = (
+                        rng.random(count)
+                        < np.exp(-delta[:, b][uphill_b] / temperature))
             if np.any(accept):
-                spins[np.ix_(accept, members)] *= -1.0
+                flips = np.where(np.repeat(accept, length, axis=1), -1.0, 1.0)
+                spins[:, columns] *= flips
+
+    def _anneal(self, temperatures: Sequence[float], num_replicas: int,
+                rngs: Sequence[np.random.Generator],
+                initial_spins: Optional[np.ndarray]) -> np.ndarray:
+        """Run the replica-batched Metropolis trajectories of all blocks."""
+        num_replicas = check_integer_in_range("num_replicas", num_replicas,
+                                              minimum=1)
+        temperatures = np.asarray(temperatures, dtype=float)
+        if temperatures.ndim != 1 or temperatures.size == 0:
+            raise AnnealerError("temperatures must be a non-empty 1-D sequence")
+        if np.any(temperatures <= 0):
+            raise AnnealerError("temperatures must be strictly positive")
+
+        n = self.num_variables
+        size = self.block_size
+        if initial_spins is None:
+            # The annealer's initial superposition collapses to an unbiased
+            # configuration under thermal sampling; each block draws its own.
+            spins = np.empty((num_replicas, n))
+            for b, rng in enumerate(rngs):
+                spins[:, b * size:(b + 1) * size] = rng.choice(
+                    np.array([-1.0, 1.0]), size=(num_replicas, size))
+        else:
+            spins = np.asarray(initial_spins, dtype=np.float64).copy()
+            if spins.shape != (num_replicas, n):
+                raise AnnealerError(
+                    f"initial_spins must have shape ({num_replicas}, {n}), "
+                    f"got {spins.shape}"
+                )
+
+        for temperature in temperatures:
+            for group, operator, width in zip(self.classes,
+                                              self.class_operators,
+                                              self._class_widths):
+                # Local field of every variable in the group, per replica:
+                # (N x R) -> (blocks*|class| x R), then transpose.
+                fields = (operator @ spins.T).T + self.linear[group]
+                delta = -2.0 * spins[:, group] * fields
+                accept = delta <= 0.0
+                uphill = ~accept
+                for b, rng in enumerate(rngs):
+                    segment = slice(b * width, (b + 1) * width)
+                    uphill_b = uphill[:, segment]
+                    count = int(np.count_nonzero(uphill_b))
+                    if count:
+                        # delta > 0 on the uphill subset, acceptance
+                        # probability exp(-delta / T).
+                        accept[:, segment][uphill_b] = (
+                            rng.random(count)
+                            < np.exp(-delta[:, segment][uphill_b]
+                                     / temperature))
+                flips = np.where(accept, -1.0, 1.0)
+                spins[:, group] *= flips
+            if self._cluster_operators:
+                self._cluster_sweep(spins, temperature, rngs)
+
+        return spins.astype(np.int8)
+
+    def anneal(self, temperatures: Sequence[float], num_replicas: int,
+               random_states: Sequence[RandomState],
+               initial_spins: Optional[np.ndarray] = None) -> np.ndarray:
+        """Anneal all blocks simultaneously, one generator per block.
+
+        Parameters
+        ----------
+        temperatures:
+            One temperature per Monte Carlo sweep (shared by all blocks).
+        num_replicas:
+            Independent trajectories per block (rows of the result).
+        random_states:
+            One randomness source per block; each block consumes draws from
+            its own generator exactly as a one-block sampler with that
+            generator would.
+        initial_spins:
+            Optional ``(num_replicas, blocks*P)`` starting configuration.
+
+        Returns
+        -------
+        numpy.ndarray
+            Combined final configurations, shape ``(num_replicas, blocks*P)``,
+            entries ±1; use :meth:`split_samples` to separate the blocks.
+        """
+        rngs = [ensure_rng(state) for state in random_states]
+        if len(rngs) != self.num_blocks:
+            raise AnnealerError(
+                f"need one random state per block: expected {self.num_blocks}, "
+                f"got {len(rngs)}"
+            )
+        return self._anneal(temperatures, num_replicas, rngs, initial_spins)
+
+
+class IsingSampler(BlockDiagonalSampler):
+    """Reusable Metropolis sampler bound to one Ising problem.
+
+    The one-block case of :class:`BlockDiagonalSampler` with a single-problem
+    interface: ``anneal`` takes one randomness source, and
+    ``matches_structure`` / ``refresh_values`` take one problem.  Precomputes
+    the colour classes and per-class sparse coupling operators so that
+    repeated runs (e.g. the batches of a QA job, or parameter sweeps on the
+    same embedded problem) avoid re-deriving the graph structure; when only
+    the coefficient *values* change between runs (ICE perturbations redraw
+    every coefficient but never the sparsity pattern), ``refresh_values``
+    rebinds the sampler in place.
+    """
+
+    def __init__(self, ising: IsingModel,
+                 classes: Optional[List[np.ndarray]] = None,
+                 clusters: Optional[List[np.ndarray]] = None):
+        super().__init__([ising], classes=classes, clusters=clusters)
+        self.ising = ising
+        #: Cluster member arrays (same as the block-level clusters).
+        self.clusters = self.block_clusters
+
+    def matches_structure(self, ising) -> bool:
+        """Whether *ising* has this sampler's variable count and sparsity."""
+        if isinstance(ising, IsingModel):
+            ising = [ising]
+        return super().matches_structure(ising)
+
+    def refresh_values(self, ising: IsingModel) -> None:
+        """Rebind the sampler to a same-structure problem with new values."""
+        super().refresh_values([ising])
+        self.ising = ising
 
     def anneal(self, temperatures: Sequence[float], num_replicas: int,
                random_state: RandomState = None,
@@ -149,53 +494,15 @@ class IsingSampler:
             Number of independent trajectories (rows of the returned matrix).
         initial_spins:
             Optional ``(num_replicas, N)`` starting configuration; uniform
-            random when omitted (the annealer's initial superposition
-            collapses to an unbiased configuration under thermal sampling).
+            random when omitted.
 
         Returns
         -------
         numpy.ndarray
             Final spin configurations, shape ``(num_replicas, N)``, entries ±1.
         """
-        num_replicas = check_integer_in_range("num_replicas", num_replicas,
-                                              minimum=1)
-        temperatures = np.asarray(temperatures, dtype=float)
-        if temperatures.ndim != 1 or temperatures.size == 0:
-            raise AnnealerError("temperatures must be a non-empty 1-D sequence")
-        if np.any(temperatures <= 0):
-            raise AnnealerError("temperatures must be strictly positive")
-
-        rng = ensure_rng(random_state)
-        n = self.num_variables
-        if initial_spins is None:
-            spins = rng.choice(np.array([-1.0, 1.0]), size=(num_replicas, n))
-        else:
-            spins = np.asarray(initial_spins, dtype=np.float64).copy()
-            if spins.shape != (num_replicas, n):
-                raise AnnealerError(
-                    f"initial_spins must have shape ({num_replicas}, {n}), "
-                    f"got {spins.shape}"
-                )
-
-        for temperature in temperatures:
-            for group, operator in zip(self.classes, self.class_operators):
-                # Local field of every variable in the group, per replica:
-                # (N x R) -> (|group| x R), then transpose.
-                fields = (operator @ spins.T).T + self.linear[group]
-                delta = -2.0 * spins[:, group] * fields
-                accept = delta <= 0.0
-                uphill = ~accept
-                if np.any(uphill):
-                    # delta > 0 here, acceptance probability exp(-delta / T).
-                    probabilities = np.exp(-delta[uphill] / temperature)
-                    accept[uphill] = (rng.random(np.count_nonzero(uphill))
-                                      < probabilities)
-                flips = np.where(accept, -1.0, 1.0)
-                spins[:, group] *= flips
-            if self.clusters:
-                self._cluster_sweep(spins, temperature, rng)
-
-        return spins.astype(np.int8)
+        return self._anneal(temperatures, num_replicas,
+                            [ensure_rng(random_state)], initial_spins)
 
 
 def batched_metropolis(ising: IsingModel, temperatures: Sequence[float],

@@ -17,7 +17,7 @@ preprocessing overheads are tracked separately in :class:`OverheadModel`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from repro import constants
 from repro.annealer.chimera import ChimeraGraph
 from repro.annealer.embedded import EmbeddedIsing, embed_ising
 from repro.annealer.embedding import Embedding, TriangleCliqueEmbedder
-from repro.annealer.engine import IsingSampler
+from repro.annealer.engine import BlockDiagonalSampler, IsingSampler
 from repro.annealer.ice import ICEModel
 from repro.annealer.parallel import parallelization_factor
 from repro.annealer.schedule import AnnealSchedule
@@ -33,7 +33,7 @@ from repro.annealer.unembed import UnembeddingReport, unembed_samples
 from repro.exceptions import AnnealerError
 from repro.ising.model import IsingModel
 from repro.ising.solver import SolverResult, aggregate_samples
-from repro.utils.random import RandomState, ensure_rng
+from repro.utils.random import RandomState, child_rngs, ensure_rng
 from repro.utils.validation import check_integer_in_range, check_positive
 
 
@@ -207,6 +207,9 @@ class QuantumAnnealerSimulator:
             embedding: Optional[Embedding] = None) -> AnnealResult:
         """Submit one QA job: embed, anneal ``N_a`` times, unembed, aggregate.
 
+        A single-problem job is exactly a one-block :meth:`run_batch`, so the
+        serial and batched paths cannot diverge.
+
         Parameters
         ----------
         logical_ising:
@@ -218,52 +221,132 @@ class QuantumAnnealerSimulator:
         embedding:
             Optional pre-computed embedding (must cover the problem).
         """
+        return self.run_batch([logical_ising], parameters=parameters,
+                              random_states=[ensure_rng(random_state)],
+                              embedding=embedding)[0]
+
+    # ------------------------------------------------------------------ #
+    def run_batch(self, logical_isings: Sequence[IsingModel],
+                  parameters: Optional[AnnealerParameters] = None,
+                  random_states: Optional[Sequence[RandomState]] = None,
+                  random_state: RandomState = None,
+                  embedding: Optional[Embedding] = None) -> List[AnnealResult]:
+        """Submit several same-size problems as one packed QA job.
+
+        This is the Section 5.5 parallelization: small problems leave room on
+        the chip, so different subcarriers' problems share a single QA run.
+        All problems reuse one embedding, one temperature profile and one
+        block-diagonal sampler structure, and their anneals advance together
+        as replica rows of a single Metropolis batch.
+
+        Each problem consumes randomness from its own generator in exactly
+        the order a standalone :meth:`run` with that generator would, so the
+        per-problem results are bit-for-bit identical to serial submission.
+
+        Parameters
+        ----------
+        logical_isings:
+            The logical problems; all must have the same variable count and
+            the same coupling sparsity structure (the usual case for the
+            subcarriers of one OFDM symbol).
+        parameters:
+            Run parameters shared by all problems.
+        random_states:
+            One randomness source per problem.  When omitted, independent
+            child generators are spawned from *random_state*.
+        random_state:
+            Base seed used only when *random_states* is omitted.
+        embedding:
+            Optional pre-computed embedding shared by all problems.
+        """
         parameters = parameters or AnnealerParameters()
-        rng = ensure_rng(random_state)
+        isings = list(logical_isings)
+        if not isings:
+            raise AnnealerError("run_batch needs at least one problem")
+        num_logical = isings[0].num_variables
+        for other in isings[1:]:
+            if other.num_variables != num_logical:
+                raise AnnealerError(
+                    "run_batch requires problems of identical size; group "
+                    "subcarriers by problem size first"
+                )
+        if random_states is None:
+            rngs = list(child_rngs(random_state, len(isings)))
+        else:
+            if len(random_states) != len(isings):
+                raise AnnealerError(
+                    f"need one random state per problem: expected "
+                    f"{len(isings)}, got {len(random_states)}"
+                )
+            rngs = [ensure_rng(state) for state in random_states]
+
         if embedding is None:
-            embedding = self.embedding_for(logical_ising.num_variables)
-        embedded = embed_ising(
-            logical_ising, embedding,
-            chain_strength=parameters.chain_strength,
-            extended_range=parameters.extended_range,
-        )
+            embedding = self.embedding_for(num_logical)
+        embedded = [
+            embed_ising(ising, embedding,
+                        chain_strength=parameters.chain_strength,
+                        extended_range=parameters.extended_range)
+            for ising in isings
+        ]
         temperatures = parameters.schedule.temperature_profile(
             sweeps_per_us=self.sweeps_per_us,
             hot=self.hot_temperature,
             cold=self.cold_temperature,
         )
+        clusters = [np.asarray(chain, dtype=np.intp)
+                    for chain in embedded[0].compact_chains.values()]
 
         num_anneals = parameters.num_anneals
-        physical = np.empty((num_anneals, embedded.num_physical), dtype=np.int8)
-        clusters = [np.asarray(chain, dtype=np.intp)
-                    for chain in embedded.compact_chains.values()]
-        classes = None
+        num_physical = embedded[0].num_physical
+        physical = np.empty((num_anneals, len(isings) * num_physical),
+                            dtype=np.int8)
+        sampler: Optional[BlockDiagonalSampler] = None
         produced = 0
         while produced < num_anneals:
             batch = min(self.ice_batch_size, num_anneals - produced)
-            perturbed = self.ice.perturb(embedded.ising, rng)
-            sampler = IsingSampler(perturbed, classes=classes, clusters=clusters)
-            classes = sampler.classes
-            physical[produced:produced + batch] = sampler.anneal(
-                temperatures, batch, random_state=rng)
+            perturbed = [self.ice.perturb(item.ising, rng)
+                         for item, rng in zip(embedded, rngs)]
+            if sampler is not None and sampler.matches_structure(perturbed):
+                sampler.refresh_values(perturbed)
+                samples = sampler.anneal(temperatures, batch, rngs)
+            else:
+                try:
+                    sampler = BlockDiagonalSampler(perturbed, clusters=clusters)
+                    samples = sampler.anneal(temperatures, batch, rngs)
+                except AnnealerError:
+                    # An ICE draw cancelled a coupling exactly, so the blocks
+                    # no longer share one structure this batch; fall back to
+                    # per-problem anneals (identical trajectories, just not
+                    # packed).
+                    sampler = None
+                    samples = np.concatenate([
+                        IsingSampler(problem, clusters=clusters).anneal(
+                            temperatures, batch, random_state=rng)
+                        for problem, rng in zip(perturbed, rngs)
+                    ], axis=1)
+            physical[produced:produced + batch] = samples
             produced += batch
 
-        logical_spins, unembedding_report = unembed_samples(embedded, physical,
-                                                            random_state=rng)
-        solutions = aggregate_samples(logical_ising, logical_spins)
         factor = parallelization_factor(
-            logical_ising.num_variables,
+            num_logical,
             total_qubits=self.num_qubits,
             shore_size=self.topology.shore_size,
         )
-        return AnnealResult(
-            solutions=solutions,
-            embedded=embedded,
-            parameters=parameters,
-            unembedding=unembedding_report,
-            parallelization=factor,
-            logical_ising=logical_ising,
-        )
+        results: List[AnnealResult] = []
+        for index, (item, rng) in enumerate(zip(embedded, rngs)):
+            block = physical[:, index * num_physical:(index + 1) * num_physical]
+            logical_spins, unembedding_report = unembed_samples(
+                item, block, random_state=rng)
+            solutions = aggregate_samples(isings[index], logical_spins)
+            results.append(AnnealResult(
+                solutions=solutions,
+                embedded=item,
+                parameters=parameters,
+                unembedding=unembedding_report,
+                parallelization=factor,
+                logical_ising=isings[index],
+            ))
+        return results
 
     def __repr__(self) -> str:
         return (f"QuantumAnnealerSimulator(qubits={self.num_qubits}, "

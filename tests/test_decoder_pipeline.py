@@ -61,6 +61,29 @@ class TestDecodeSubcarriers:
         assert [r.subcarrier for r in report.subcarrier_results] == [0, 1, 2, 3]
 
 
+class TestDecodeSubcarriersBatched:
+    def test_batched_report_matches_serial(self, pipeline):
+        channel_uses = make_channel_uses(4, seed=7)
+        serial = pipeline.decode_subcarriers(channel_uses, random_state=5)
+        batched = pipeline.decode_subcarriers_batched(channel_uses,
+                                                      random_state=5)
+        assert batched.num_subcarriers == serial.num_subcarriers
+        assert batched.total_bit_errors == serial.total_bit_errors
+        for a, b in zip(serial.subcarrier_results, batched.subcarrier_results):
+            np.testing.assert_array_equal(a.result.detection.bits,
+                                          b.result.detection.bits)
+
+    def test_batched_noiseless_zero_ber(self, pipeline):
+        channel_uses = make_channel_uses(3, seed=8)
+        report = pipeline.decode_subcarriers_batched(channel_uses,
+                                                     random_state=1)
+        assert report.total_bit_errors == 0
+
+    def test_batched_empty_input_rejected(self, pipeline):
+        with pytest.raises(DetectionError):
+            pipeline.decode_subcarriers_batched([])
+
+
 class TestDecodeFrame:
     def test_frame_decodes_without_errors(self, pipeline):
         # 3 users x 2 bits = 6 bits per channel use; a 3-byte frame needs 4 uses.
