@@ -1,17 +1,24 @@
 #!/usr/bin/env python3
 """Micro-benchmarks for the unified Metropolis core and the batched decode path.
 
-Times three hot paths, each as a before/after pair so the repository carries
+Times five hot paths, each as a before/after pair so the repository carries
 its own perf trajectory:
 
 * ``sa_solver`` — the classical simulated-annealing baseline: the scalar
   per-spin reference loop (:meth:`SimulatedAnnealingSolver.sample_reference`)
   versus the replica-batched vectorised engine (:meth:`~.sample`);
+* ``dense_kernel`` — one replica-batched anneal of a dense (logical) Ising
+  problem: the colour-class kernel, degenerated to singleton classes, versus
+  the dense sequential-sweep kernel with incrementally maintained local
+  fields (``kernel="dense"``, what ``kernel="auto"`` dispatches to here);
 * ``annealer_engine`` — one ICE-batch cycle of the machine model: rebuilding
   the :class:`IsingSampler` (colour classes + CSR slicing) per batch versus
   rebinding the cached structure with :meth:`IsingSampler.refresh_values`;
 * ``frame_decode`` — end-to-end OFDM decode of same-size subcarriers: one QA
-  job per subcarrier versus the Section 5.5 packed block-diagonal batch.
+  job per subcarrier versus the Section 5.5 packed block-diagonal batch;
+* ``chunked_frame`` — early-exit frame decode: the batched path decoding the
+  whole frame in one submission versus chunked submissions
+  (``chunk_size=``) that stop at the first chunk boundary past completion.
 
 Results are written to ``BENCH_core.json`` (next to this file by default).
 
@@ -37,11 +44,17 @@ DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_core.json"
 #: is a seconds-scale smoke configuration for CI.
 SCALES = {
     "quick": dict(sa_variables=16, sa_reads=20, sa_sweeps=50,
+                  dense_variables=16, dense_replicas=40, dense_sweeps=80,
                   engine_users=3, engine_batches=8, engine_anneals=25,
-                  decode_users=3, decode_subcarriers=8, decode_anneals=50),
+                  decode_users=3, decode_subcarriers=8, decode_anneals=50,
+                  chunk_subcarriers=12, chunk_frame_bytes=3, chunk_size=2,
+                  chunk_anneals=50),
     "full": dict(sa_variables=24, sa_reads=100, sa_sweeps=200,
+                 dense_variables=24, dense_replicas=100, dense_sweeps=200,
                  engine_users=4, engine_batches=12, engine_anneals=25,
-                 decode_users=3, decode_subcarriers=16, decode_anneals=100),
+                 decode_users=3, decode_subcarriers=16, decode_anneals=100,
+                 chunk_subcarriers=16, chunk_frame_bytes=3, chunk_size=2,
+                 chunk_anneals=100),
 }
 
 
@@ -76,6 +89,41 @@ def bench_sa_solver(num_variables: int, num_reads: int, num_sweeps: int,
         "speedup": before_s / after_s,
         "best_energy_before": reference.best_energy,
         "best_energy_after": vectorised.best_energy,
+    }
+
+
+def bench_dense_kernel(num_variables: int, num_replicas: int,
+                       num_sweeps: int, seed: int = 0) -> dict:
+    """Colour-class kernel vs. dense sequential-sweep kernel, dense problem."""
+    from repro.annealer.engine import IsingSampler
+    from repro.ising.model import IsingModel
+    from repro.ising.solver import geometric_temperature_schedule
+
+    rng = np.random.default_rng(seed)
+    couplings = {(i, j): float(rng.normal())
+                 for i in range(num_variables)
+                 for j in range(i + 1, num_variables)}
+    ising = IsingModel(num_variables=num_variables,
+                       linear=rng.normal(size=num_variables),
+                       couplings=couplings)
+    temperatures = geometric_temperature_schedule(num_sweeps, 5.0, 0.05)
+    colour = IsingSampler(ising, kernel="colour")
+    dense = IsingSampler(ising, kernel="dense")
+    # Warm both kernels so one-time NumPy/scipy dispatch setup is excluded.
+    colour.anneal(temperatures[:2], 2, random_state=seed)
+    dense.anneal(temperatures[:2], 2, random_state=seed)
+    before_s, colour_spins = _timed(colour.anneal, temperatures, num_replicas,
+                                    seed + 1)
+    after_s, dense_spins = _timed(dense.anneal, temperatures, num_replicas,
+                                  seed + 1)
+    return {
+        "params": {"num_variables": num_variables,
+                   "num_replicas": num_replicas, "num_sweeps": num_sweeps},
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "auto_dispatches_dense": IsingSampler(ising).selected_kernel == "dense",
+        "samples_identical": bool(np.array_equal(colour_spins, dense_spins)),
     }
 
 
@@ -182,8 +230,50 @@ def bench_frame_decode(num_users: int, num_subcarriers: int,
     }
 
 
+def bench_chunked_frame(num_users: int, num_subcarriers: int,
+                        frame_size_bytes: int, chunk_size: int,
+                        num_anneals: int, seed: int = 0) -> dict:
+    """Whole-frame batched decode vs. chunked batched decode with early exit."""
+    from repro.annealer.machine import AnnealerParameters, QuantumAnnealerSimulator
+    from repro.decoder.pipeline import OFDMDecodingPipeline
+    from repro.decoder.quamax import QuAMaxDecoder
+    from repro.mimo.system import MimoUplink
+
+    link = MimoUplink(num_users=num_users, constellation="QPSK")
+    rng = np.random.default_rng(seed)
+    channel_uses = [link.transmit(snr_db=20.0, random_state=rng)
+                    for _ in range(num_subcarriers)]
+    pipeline = OFDMDecodingPipeline(QuAMaxDecoder(
+        QuantumAnnealerSimulator(),
+        AnnealerParameters(num_anneals=num_anneals)))
+    # Warm the embedding cache so both paths time pure decode work.
+    pipeline.decode_subcarriers(channel_uses[:1], random_state=seed)
+    before_s, whole = _timed(pipeline.decode_frame, channel_uses,
+                             frame_size_bytes, seed, True)
+    after_s, chunked = _timed(pipeline.decode_frame, channel_uses,
+                              frame_size_bytes, seed, True, chunk_size)
+    serial = pipeline.decode_frame(channel_uses, frame_size_bytes, seed)
+    identical = (
+        chunked.bits_accumulated == serial.bits_accumulated
+        and chunked.bit_errors() == serial.bit_errors()
+        and chunked.total_compute_time_us == serial.total_compute_time_us)
+    return {
+        "params": {"num_users": num_users,
+                   "num_subcarriers": num_subcarriers,
+                   "frame_size_bytes": frame_size_bytes,
+                   "chunk_size": chunk_size,
+                   "num_anneals": num_anneals},
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "subcarriers_decoded_whole": whole.num_decoded,
+        "subcarriers_decoded_chunked": chunked.num_decoded,
+        "accounting_identical_to_serial": identical,
+    }
+
+
 def run_suite(scale: str = "quick") -> dict:
-    """Run all three benchmark pairs at *scale* and return the report."""
+    """Run all five benchmark pairs at *scale* and return the report."""
     knobs = SCALES[scale]
     return {
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -191,12 +281,19 @@ def run_suite(scale: str = "quick") -> dict:
         "benchmarks": {
             "sa_solver": bench_sa_solver(
                 knobs["sa_variables"], knobs["sa_reads"], knobs["sa_sweeps"]),
+            "dense_kernel": bench_dense_kernel(
+                knobs["dense_variables"], knobs["dense_replicas"],
+                knobs["dense_sweeps"]),
             "annealer_engine": bench_annealer_engine(
                 knobs["engine_users"], knobs["engine_batches"],
                 knobs["engine_anneals"]),
             "frame_decode": bench_frame_decode(
                 knobs["decode_users"], knobs["decode_subcarriers"],
                 knobs["decode_anneals"]),
+            "chunked_frame": bench_chunked_frame(
+                knobs["decode_users"], knobs["chunk_subcarriers"],
+                knobs["chunk_frame_bytes"], knobs["chunk_size"],
+                knobs["chunk_anneals"]),
         },
     }
 

@@ -35,12 +35,33 @@ class TestPerfSmoke:
     def test_report_written(self, quick_report, output_dir):
         recorded = json.loads((output_dir / "BENCH_core.json").read_text())
         assert set(recorded["benchmarks"]) == {
-            "sa_solver", "annealer_engine", "frame_decode"}
+            "sa_solver", "dense_kernel", "annealer_engine", "frame_decode",
+            "chunked_frame"}
 
     def test_sa_solver_vectorisation_holds(self, quick_report):
         entry = quick_report["benchmarks"]["sa_solver"]
         # ~16x at quick scale, >100x at full scale; 3x is the loud-failure bar.
         assert entry["speedup"] >= 3.0
+
+    def test_dense_kernel_beats_colour_classes(self, quick_report):
+        entry = quick_report["benchmarks"]["dense_kernel"]
+        # ~1.5-2x measured on dense logical problems; the smoke bar only
+        # requires the dense kernel not to LOSE to the colour path, plus the
+        # contracts that make it safe to dispatch automatically.
+        assert entry["auto_dispatches_dense"]
+        assert entry["samples_identical"]
+        assert entry["speedup"] >= 1.05
+
+    def test_chunked_frame_early_exit_saves_work(self, quick_report):
+        entry = quick_report["benchmarks"]["chunked_frame"]
+        assert entry["accounting_identical_to_serial"]
+        assert (entry["subcarriers_decoded_chunked"]
+                < entry["subcarriers_decoded_whole"])
+        # Decoding 4 of 12 subcarriers should be clearly faster (~1.4x
+        # measured; small chunks give back some batching efficiency); 1.1x
+        # is the loud-failure bar, the decoded-count check above is the
+        # structural guard.
+        assert entry["speedup"] >= 1.1
 
     def test_engine_refresh_not_slower_than_rebuild(self, quick_report):
         entry = quick_report["benchmarks"]["annealer_engine"]

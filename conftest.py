@@ -1,17 +1,117 @@
-"""Pytest path bootstrap.
+"""Pytest path bootstrap and golden-digest helpers.
 
-Makes the ``src`` layout importable even when the package has not been
-installed (e.g. a fully offline checkout where ``pip install -e .`` is not
-possible); an installed copy always takes precedence because ``src`` is
-appended rather than prepended when the package is already importable.
+Path bootstrap: makes the ``src`` layout importable even when the package has
+not been installed (e.g. a fully offline checkout where ``pip install -e .``
+is not possible); an installed copy always takes precedence because ``src``
+is appended rather than prepended when the package is already importable.
+
+Golden digests: seeded end-to-end outputs (decode paths, sampler streams) are
+frozen as SHA-256 digests under ``tests/goldens/``.  Any change to a random
+draw order — adding a draw, reordering kernels, re-deriving child streams —
+changes the digest and fails the suite loudly instead of silently changing
+seeded outputs (which is what happened, undetected, between the seed revision
+and PR 1).  After an *intentional* stream change, regenerate the fixtures
+with::
+
+    UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_golden_digests.py
+
+and commit the refreshed ``tests/goldens/*.json`` together with a changelog
+note explaining why seeded outputs moved.
 """
 
+import hashlib
+import json
 import os
 import sys
 
-_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+import numpy as np
+import pytest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(_HERE, "src")
 if _SRC not in sys.path:
     try:
         import repro  # noqa: F401  (already installed somewhere)
     except ImportError:
         sys.path.insert(0, _SRC)
+
+GOLDENS_DIR = os.path.join(_HERE, "tests", "goldens")
+
+#: Decimal places floats are rounded to before hashing.  Coarse enough to
+#: absorb BLAS/platform summation-order noise (~1e-15 relative), fine enough
+#: that any real trajectory change lands on different digits.
+_FLOAT_DECIMALS = 9
+
+
+def _canonical_chunks(value):
+    """Yield stable byte chunks for *value* (arrays, scalars, containers)."""
+    if isinstance(value, dict):
+        for key in sorted(value):
+            yield repr(key).encode()
+            yield from _canonical_chunks(value[key])
+        return
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _canonical_chunks(item)
+        return
+    array = np.asarray(value)
+    yield str(array.shape).encode()
+    if array.dtype.kind in "iub":
+        yield array.astype(np.int64).tobytes()
+    elif array.dtype.kind == "f":
+        rounded = np.round(array.astype(np.float64), _FLOAT_DECIMALS)
+        # Normalise the two float zeros so -0.0 and 0.0 hash identically.
+        yield (rounded + 0.0).tobytes()
+    elif array.dtype.kind == "c":
+        yield from _canonical_chunks(array.real)
+        yield from _canonical_chunks(array.imag)
+    else:
+        yield repr(array.tolist()).encode()
+
+
+def compute_digest(payload) -> str:
+    """SHA-256 hex digest of a canonicalised payload of (nested) arrays."""
+    digest = hashlib.sha256()
+    for chunk in _canonical_chunks(payload):
+        digest.update(chunk)
+    return digest.hexdigest()
+
+
+@pytest.fixture
+def array_digest():
+    """The canonical digest function, for in-test digest comparisons."""
+    return compute_digest
+
+
+@pytest.fixture
+def golden():
+    """Compare a payload digest against its committed golden fixture.
+
+    Usage: ``golden("name", payload)``.  With ``UPDATE_GOLDENS=1`` in the
+    environment the fixture is (re)written instead of checked.
+    """
+
+    def check(name: str, payload) -> None:
+        digest = compute_digest(payload)
+        path = os.path.join(GOLDENS_DIR, f"{name}.json")
+        update = os.environ.get("UPDATE_GOLDENS", "").strip().lower()
+        if update not in ("", "0", "false", "no"):
+            os.makedirs(GOLDENS_DIR, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump({"name": name, "sha256": digest}, handle, indent=2)
+                handle.write("\n")
+            return
+        assert os.path.exists(path), (
+            f"golden fixture {name!r} is missing; generate it with "
+            f"UPDATE_GOLDENS=1 and commit tests/goldens/{name}.json"
+        )
+        with open(path, encoding="utf-8") as handle:
+            recorded = json.load(handle)["sha256"]
+        assert digest == recorded, (
+            f"seeded output of {name!r} changed: digest {digest} != recorded "
+            f"{recorded}.  If this RNG-stream change is intentional, "
+            f"regenerate with UPDATE_GOLDENS=1 and document it in CHANGES.md; "
+            f"otherwise a draw was added, dropped or reordered somewhere."
+        )
+
+    return check

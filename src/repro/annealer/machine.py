@@ -337,7 +337,11 @@ class QuantumAnnealerSimulator:
             block = physical[:, index * num_physical:(index + 1) * num_physical]
             logical_spins, unembedding_report = unembed_samples(
                 item, block, random_state=rng)
-            solutions = aggregate_samples(isings[index], logical_spins)
+            # Aggregate through the logical problem's sparse operator instead
+            # of densifying its coupling matrix on every run.
+            solutions = aggregate_samples(
+                isings[index], logical_spins,
+                operator=isings[index].coupling_operator())
             results.append(AnnealResult(
                 solutions=solutions,
                 embedded=item,

@@ -1,11 +1,18 @@
 """End-to-end QuAMax decoder built on the annealer simulator."""
 
 from repro.decoder.quamax import QuAMaxDecoder, QuAMaxDetectionResult
-from repro.decoder.pipeline import OFDMDecodingPipeline, SubcarrierResult
+from repro.decoder.pipeline import (
+    FrameResult,
+    OFDMDecodingPipeline,
+    PipelineReport,
+    SubcarrierResult,
+)
 
 __all__ = [
     "QuAMaxDecoder",
     "QuAMaxDetectionResult",
+    "FrameResult",
     "OFDMDecodingPipeline",
+    "PipelineReport",
     "SubcarrierResult",
 ]

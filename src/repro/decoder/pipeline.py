@@ -18,7 +18,12 @@ Two decode paths are offered:
 Both paths drive every subcarrier from its own child random stream derived
 from the caller's seed, so for a fixed seed the batched decode produces
 bit-for-bit the same per-subcarrier detections as the serial one — batching
-is purely a throughput optimisation.
+is purely a throughput optimisation.  Frame decoding
+(:meth:`OFDMDecodingPipeline.decode_frame`) layers the early exit on top: the
+serial path stops decoding as soon as the frame is full, and the batched path
+decodes in configurable chunks (``chunk_size=``) so it stops submitting QA
+jobs at the first chunk boundary past frame completion while staying
+bit-identical to the serial decode.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from repro.metrics.error_rates import bit_errors
 from repro.mimo.frame import Frame
 from repro.mimo.system import ChannelUse
 from repro.utils.random import RandomState, child_rngs, ensure_rng
+from repro.utils.validation import check_integer_in_range
 
 
 @dataclass(frozen=True)
@@ -82,6 +88,59 @@ class PipelineReport:
         if total_bits == 0:
             return 0.0
         return total_errors / total_bits
+
+
+@dataclass(frozen=True)
+class FrameResult:
+    """Outcome of a frame decode: the frame plus its compute accounting.
+
+    ``subcarrier_results`` holds exactly the channel uses whose bits were
+    accumulated into the frame (the serial early-exit set), so the compute
+    accounting is identical between the serial and chunked-batched paths even
+    when chunking decoded a few subcarriers past the completion point;
+    ``num_decoded`` reports the decode work actually performed, which is how
+    chunk-boundary overshoot stays visible.  The frame's own accounting
+    (completeness, accumulated bits, bit errors) is re-exposed directly so the
+    result can be used wherever a bare :class:`~repro.mimo.frame.Frame` was.
+    """
+
+    frame: Frame
+    subcarrier_results: List[SubcarrierResult]
+    num_decoded: int
+
+    # -- frame accounting (delegation) --------------------------------- #
+    @property
+    def is_complete(self) -> bool:
+        """Whether the frame accumulated its full payload."""
+        return self.frame.is_complete
+
+    @property
+    def bits_accumulated(self) -> int:
+        """Number of payload bits accumulated into the frame."""
+        return self.frame.bits_accumulated
+
+    def bit_errors(self) -> int:
+        """Total bit errors of the accumulated frame payload."""
+        return self.frame.bit_errors()
+
+    def bit_error_rate(self) -> float:
+        """Bit error rate over the accumulated frame payload."""
+        return self.frame.bit_error_rate()
+
+    def is_errored(self) -> bool:
+        """Whether the frame contains at least one bit error."""
+        return self.frame.is_errored()
+
+    # -- compute accounting -------------------------------------------- #
+    @property
+    def total_compute_time_us(self) -> float:
+        """Amortised QA compute time attributed to the frame (µs).
+
+        Sums the subcarriers whose bits entered the frame — the same set the
+        serial early-exit path decodes, so serial and chunked decodes report
+        identical frame compute time.
+        """
+        return float(sum(r.compute_time_us for r in self.subcarrier_results))
 
 
 class OFDMDecodingPipeline:
@@ -148,40 +207,74 @@ class OFDMDecodingPipeline:
     def decode_frame(self, channel_uses: Sequence[ChannelUse],
                      frame_size_bytes: int,
                      random_state: RandomState = None,
-                     batched: bool = False) -> Frame:
+                     batched: bool = False,
+                     chunk_size: Optional[int] = None) -> FrameResult:
         """Decode channel uses into a frame and return its error accounting.
 
-        With ``batched=True`` all channel uses are decoded through the packed
-        QA path before accumulation; the resulting frame is identical to the
-        serial decode (same per-subcarrier streams), the early-exit merely
-        stops *accumulating* rather than stops *decoding*.
+        The serial path decodes one channel use at a time and stops as soon
+        as the frame is complete.  With ``batched=True`` channel uses are
+        decoded through the packed QA path in chunks of *chunk_size* (the
+        whole frame at once when omitted); the early exit is honoured
+        *between* chunks, so a small chunk size recovers the serial path's
+        work savings while each chunk still amortises its QA setup.  Every
+        subcarrier keeps its own child random stream derived from
+        *random_state* — derived once for the whole frame, independent of
+        chunking — so both paths produce bit-identical frames and identical
+        :class:`FrameResult` accounting for a fixed seed; chunking only
+        changes ``num_decoded``, the work performed past the exit point.
         """
-        rng = ensure_rng(random_state)
-        frame = Frame(size_bytes=frame_size_bytes)
-        if batched:
-            for channel_use in channel_uses:
-                if channel_use.transmitted_bits is None:
-                    raise DetectionError(
-                        "frame decoding requires ground-truth bits on every "
-                        "channel use"
-                    )
-            outcomes = self.decoder.detect_batch(channel_uses,
-                                                 random_state=rng)
-            for channel_use, outcome in zip(channel_uses, outcomes):
-                frame.add(channel_use.transmitted_bits, outcome.detection.bits)
-                if frame.is_complete:
-                    break
-            return frame
-        rngs = child_rngs(rng, len(channel_uses))
-        for channel_use, child in zip(channel_uses, rngs):
+        channel_uses = list(channel_uses)
+        if chunk_size is not None:
+            if not batched:
+                raise DetectionError(
+                    "chunk_size only applies to the batched decode path")
+            chunk_size = check_integer_in_range("chunk_size", chunk_size,
+                                                minimum=1)
+        for channel_use in channel_uses:
             if channel_use.transmitted_bits is None:
                 raise DetectionError(
                     "frame decoding requires ground-truth bits on every "
                     "channel use"
                 )
+        rng = ensure_rng(random_state)
+        rngs = list(child_rngs(rng, len(channel_uses)))
+        frame = Frame(size_bytes=frame_size_bytes)
+        accumulated: List[SubcarrierResult] = []
+        num_decoded = 0
+
+        def accumulate(subcarrier: int, channel_use: ChannelUse,
+                       outcome: QuAMaxDetectionResult) -> None:
+            frame.add(channel_use.transmitted_bits, outcome.detection.bits)
+            accumulated.append(
+                self._subcarrier_result(subcarrier, channel_use, outcome))
+
+        if batched:
+            if not channel_uses:
+                raise DetectionError(
+                    "batched frame decoding needs at least one channel use")
+            step = chunk_size if chunk_size is not None else len(channel_uses)
+            for start in range(0, len(channel_uses), step):
+                chunk = channel_uses[start:start + step]
+                outcomes = self.decoder.detect_batch(
+                    chunk, random_states=rngs[start:start + len(chunk)])
+                num_decoded += len(chunk)
+                for offset, (channel_use, outcome) in enumerate(
+                        zip(chunk, outcomes)):
+                    if frame.is_complete:
+                        break
+                    accumulate(start + offset, channel_use, outcome)
+                if frame.is_complete:
+                    break
+            return FrameResult(frame=frame, subcarrier_results=accumulated,
+                               num_decoded=num_decoded)
+
+        for subcarrier, (channel_use, child) in enumerate(
+                zip(channel_uses, rngs)):
             outcome = self.decoder.detect_with_run(channel_use,
                                                    random_state=child)
-            frame.add(channel_use.transmitted_bits, outcome.detection.bits)
+            num_decoded += 1
+            accumulate(subcarrier, channel_use, outcome)
             if frame.is_complete:
                 break
-        return frame
+        return FrameResult(frame=frame, subcarrier_results=accumulated,
+                           num_decoded=num_decoded)

@@ -109,7 +109,8 @@ class QuAMaxDecoder(Detector):
 
     def detect_batch(self, channel_uses: Sequence[ChannelUse],
                      parameters: Optional[AnnealerParameters] = None,
-                     random_state: RandomState = None
+                     random_state: RandomState = None,
+                     random_states: Optional[Sequence[RandomState]] = None
                      ) -> List[QuAMaxDetectionResult]:
         """Decode many channel uses, packing same-size problems into QA jobs.
 
@@ -124,7 +125,11 @@ class QuAMaxDecoder(Detector):
         *random_state*, in exactly the stream a serial
         :meth:`detect_with_run` with that child would consume — so the
         returned results are bit-for-bit identical to serial decoding,
-        independent of how the problems were grouped.
+        independent of how the problems were grouped.  Callers that have
+        already derived per-use streams (e.g. the chunked frame decode,
+        which derives one child per subcarrier of the *whole* frame and
+        submits a chunk at a time) pass them via *random_states* instead;
+        *random_state* is then ignored.
         """
         channel_uses = list(channel_uses)
         if not channel_uses:
@@ -132,8 +137,17 @@ class QuAMaxDecoder(Detector):
         for channel_use in channel_uses:
             self._check_square_or_tall(channel_use)
         parameters = parameters or self.parameters
-        rng = ensure_rng(random_state) if random_state is not None else self._rng
-        rngs = list(child_rngs(rng, len(channel_uses)))
+        if random_states is not None:
+            if len(random_states) != len(channel_uses):
+                raise DetectionError(
+                    f"need one random state per channel use: expected "
+                    f"{len(channel_uses)}, got {len(random_states)}"
+                )
+            rngs = [ensure_rng(state) for state in random_states]
+        else:
+            rng = (ensure_rng(random_state) if random_state is not None
+                   else self._rng)
+            rngs = list(child_rngs(rng, len(channel_uses)))
 
         reduced = [self._reducer.reduce(channel_use)
                    for channel_use in channel_uses]

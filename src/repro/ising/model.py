@@ -16,9 +16,10 @@ what lets tests assert equality of full energy landscapes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
+from scipy import sparse
 
 from repro.exceptions import ConfigurationError
 from repro.utils.validation import check_integer_in_range
@@ -121,6 +122,27 @@ class IsingModel:
             matrix[i, j] = value
         return self.linear.copy(), matrix
 
+    def coupling_operator(self) -> sparse.csr_matrix:
+        """Symmetric sparse CSR coupling matrix (zero diagonal).
+
+        Build it once and pass it back into :meth:`energies` (or
+        :func:`repro.ising.solver.aggregate_samples`) to evaluate many sample
+        batches of one problem without densifying the couplings per call; the
+        empty-couplings case returns the same canonical ``float64`` CSR dtype
+        as the populated one.
+        """
+        n = self.num_variables
+        if not self.couplings:
+            return sparse.csr_matrix((n, n), dtype=np.float64)
+        indices = np.array(list(self.couplings), dtype=np.intp)
+        values = np.fromiter(self.couplings.values(), dtype=np.float64,
+                             count=len(self.couplings))
+        rows = np.concatenate([indices[:, 0], indices[:, 1]])
+        cols = np.concatenate([indices[:, 1], indices[:, 0]])
+        matrix = sparse.coo_matrix(
+            (np.concatenate([values, values]), (rows, cols)), shape=(n, n))
+        return matrix.tocsr()
+
     # ------------------------------------------------------------------ #
     # Evaluation
     # ------------------------------------------------------------------ #
@@ -136,13 +158,39 @@ class IsingModel:
             total += value * spins[i] * spins[j]
         return total
 
-    def energies(self, spin_matrix) -> np.ndarray:
-        """Vectorised energy evaluation for a ``(num_samples, N)`` spin matrix."""
+    def energies(self, spin_matrix,
+                 operator: Optional[sparse.spmatrix] = None) -> np.ndarray:
+        """Vectorised energy evaluation for a ``(num_samples, N)`` spin matrix.
+
+        Parameters
+        ----------
+        spin_matrix:
+            Samples as rows (a single 1-D configuration is promoted).
+        operator:
+            Optional prebuilt symmetric coupling operator from
+            :meth:`coupling_operator`.  When provided, the quadratic term is
+            evaluated through the sparse operator and the couplings are
+            *not* densified — the point of caching the operator across the
+            repeated aggregations of a batch cycle.
+        """
         spin_matrix = np.asarray(spin_matrix, dtype=float)
         if spin_matrix.ndim == 1:
             spin_matrix = spin_matrix[None, :]
-        _, matrix = self.to_dense()
-        quadratic = np.einsum("ki,ij,kj->k", spin_matrix, matrix, spin_matrix)
+        if operator is None:
+            _, matrix = self.to_dense()
+            quadratic = np.einsum("ki,ij,kj->k", spin_matrix, matrix,
+                                  spin_matrix)
+        else:
+            n = self.num_variables
+            if operator.shape != (n, n):
+                raise ConfigurationError(
+                    f"operator must have shape ({n}, {n}), "
+                    f"got {operator.shape}"
+                )
+            # The operator holds every coupling twice (g_ij and g_ji), so the
+            # halved symmetric quadratic form equals the upper-triangular sum.
+            quadratic = 0.5 * np.einsum("ki,ik->k", spin_matrix,
+                                        operator @ spin_matrix.T)
         linear = spin_matrix @ self.linear
         return quadratic + linear + self.offset
 

@@ -102,13 +102,20 @@ class SolverResult:
         return float(self.num_occurrences[matching].sum() / self.total_reads)
 
 
-def aggregate_samples(ising: IsingModel, raw_samples: np.ndarray) -> SolverResult:
-    """Collapse raw reads onto distinct configurations with occurrence counts."""
+def aggregate_samples(ising: IsingModel, raw_samples: np.ndarray,
+                      operator=None) -> SolverResult:
+    """Collapse raw reads onto distinct configurations with occurrence counts.
+
+    *operator* is an optional prebuilt symmetric coupling operator
+    (:meth:`IsingModel.coupling_operator`); passing one lets repeated
+    aggregations of the same problem — e.g. the ICE batches of a QA run —
+    skip densifying the coupling matrix on every call.
+    """
     raw_samples = np.asarray(raw_samples, dtype=np.int8)
     if raw_samples.ndim != 2:
         raise ConfigurationError("raw_samples must be 2-D (reads x variables)")
     distinct, counts = np.unique(raw_samples, axis=0, return_counts=True)
-    energies = ising.energies(distinct)
+    energies = ising.energies(distinct, operator=operator)
     return SolverResult(samples=distinct, energies=energies, num_occurrences=counts)
 
 
@@ -148,8 +155,9 @@ class BruteForceIsingSolver:
         num_states = check_integer_in_range("num_states", num_states, minimum=1)
         best_samples: Optional[np.ndarray] = None
         best_energies: Optional[np.ndarray] = None
+        operator = ising.coupling_operator()
         for spins in self._enumerate_blocks(ising.num_variables):
-            energies = ising.energies(spins)
+            energies = ising.energies(spins, operator=operator)
             if best_samples is None:
                 pool_samples, pool_energies = spins, energies
             else:
@@ -268,7 +276,9 @@ class SimulatedAnnealingSolver:
         temperatures = self.temperature_schedule_for(ising)
         sampler = IsingSampler(ising)
         raw = sampler.anneal(temperatures, reads, random_state=rng)
-        return aggregate_samples(ising, raw)
+        # The sampler's combined matrix *is* the problem's coupling operator
+        # (one block), so aggregation reuses it instead of densifying.
+        return aggregate_samples(ising, raw, operator=sampler.coupling_matrix)
 
     def sample_reference(self, ising: IsingModel,
                          random_state: RandomState = None,

@@ -8,7 +8,7 @@ from repro.annealer.ice import ICEModel
 from repro.annealer.machine import AnnealerParameters, QuantumAnnealerSimulator
 from repro.decoder.pipeline import OFDMDecodingPipeline, PipelineReport
 from repro.decoder.quamax import QuAMaxDecoder
-from repro.exceptions import DetectionError
+from repro.exceptions import ConfigurationError, DetectionError
 from repro.mimo.system import ChannelUse, MimoUplink
 from repro.modulation import QPSK
 
@@ -82,6 +82,88 @@ class TestDecodeSubcarriersBatched:
     def test_batched_empty_input_rejected(self, pipeline):
         with pytest.raises(DetectionError):
             pipeline.decode_subcarriers_batched([])
+
+
+class CountingDecoder:
+    """Decoder stub that counts decode work while delegating to the real one."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.batch_calls = 0
+        self.uses_decoded = 0
+
+    def detect_batch(self, channel_uses, **kwargs):
+        self.batch_calls += 1
+        self.uses_decoded += len(channel_uses)
+        return self.inner.detect_batch(channel_uses, **kwargs)
+
+    def detect_with_run(self, channel_use, **kwargs):
+        self.uses_decoded += 1
+        return self.inner.detect_with_run(channel_use, **kwargs)
+
+
+class TestChunkedFrameDecode:
+    """Chunked batched decode_frame: early exit and accounting parity."""
+
+    def _counting_pipeline(self, pipeline):
+        counter = CountingDecoder(pipeline.decoder)
+        return OFDMDecodingPipeline(counter), counter
+
+    def test_early_exit_skips_remaining_chunks(self, pipeline):
+        # 3 users x 2 bits = 6 bits per use; a 3-byte frame completes after
+        # 4 uses, so chunks of 2 need exactly 2 batch submissions.
+        channel_uses = make_channel_uses(10, seed=9)
+        counting, counter = self._counting_pipeline(pipeline)
+        result = counting.decode_frame(channel_uses, frame_size_bytes=3,
+                                       random_state=12, batched=True,
+                                       chunk_size=2)
+        assert result.is_complete
+        assert counter.batch_calls == 2
+        assert counter.uses_decoded == 4
+        assert result.num_decoded == 4
+
+    def test_unchunked_batched_decodes_everything(self, pipeline):
+        channel_uses = make_channel_uses(10, seed=9)
+        counting, counter = self._counting_pipeline(pipeline)
+        result = counting.decode_frame(channel_uses, frame_size_bytes=3,
+                                       random_state=12, batched=True)
+        assert counter.batch_calls == 1
+        assert counter.uses_decoded == 10
+        assert result.num_decoded == 10
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 5, 10])
+    def test_accounting_identical_to_serial(self, pipeline, chunk_size):
+        channel_uses = make_channel_uses(10, seed=10)
+        serial = pipeline.decode_frame(channel_uses, frame_size_bytes=3,
+                                       random_state=13)
+        chunked = pipeline.decode_frame(channel_uses, frame_size_bytes=3,
+                                        random_state=13, batched=True,
+                                        chunk_size=chunk_size)
+        assert chunked.bits_accumulated == serial.bits_accumulated
+        assert chunked.bit_errors() == serial.bit_errors()
+        assert chunked.bit_error_rate() == serial.bit_error_rate()
+        assert chunked.total_compute_time_us == serial.total_compute_time_us
+        assert (len(chunked.subcarrier_results)
+                == len(serial.subcarrier_results))
+        for a, b in zip(serial.subcarrier_results, chunked.subcarrier_results):
+            assert a.subcarrier == b.subcarrier
+            np.testing.assert_array_equal(a.result.detection.bits,
+                                          b.result.detection.bits)
+        # Chunking may only overshoot in whole chunks past the serial count.
+        assert chunked.num_decoded >= serial.num_decoded
+        assert chunked.num_decoded - serial.num_decoded < chunk_size
+
+    def test_chunk_size_requires_batched(self, pipeline):
+        channel_uses = make_channel_uses(2, seed=11)
+        with pytest.raises(DetectionError):
+            pipeline.decode_frame(channel_uses, frame_size_bytes=1,
+                                  random_state=0, chunk_size=2)
+
+    def test_invalid_chunk_size_rejected(self, pipeline):
+        channel_uses = make_channel_uses(2, seed=11)
+        with pytest.raises(ConfigurationError):
+            pipeline.decode_frame(channel_uses, frame_size_bytes=1,
+                                  random_state=0, batched=True, chunk_size=0)
 
 
 class TestDecodeFrame:

@@ -72,6 +72,59 @@ class TestAggregateSamples:
         assert result.energies[0] == pytest.approx(ising.energy(raw[0]))
 
 
+class TestSparseEnergyOperator:
+    """aggregate_samples / IsingModel.energies with a prebuilt CSR operator."""
+
+    def test_energies_with_operator_never_densifies(self, monkeypatch):
+        ising = random_ising(8, 20, density=0.6)
+        operator = ising.coupling_operator()
+        rng = np.random.default_rng(0)
+        spins = rng.choice(np.array([-1, 1], dtype=np.int8), size=(12, 8))
+        expected = ising.energies(spins)
+
+        def densify_forbidden(self):
+            raise AssertionError(
+                "energies densified the couplings despite the cached operator")
+
+        monkeypatch.setattr(IsingModel, "to_dense", densify_forbidden)
+        np.testing.assert_allclose(ising.energies(spins, operator=operator),
+                                   expected)
+
+    def test_aggregate_samples_with_operator_matches_dense(self):
+        ising = random_ising(7, 21)
+        rng = np.random.default_rng(1)
+        raw = rng.choice(np.array([-1, 1], dtype=np.int8), size=(20, 7))
+        dense = aggregate_samples(ising, raw)
+        sparse = aggregate_samples(ising, raw,
+                                   operator=ising.coupling_operator())
+        np.testing.assert_array_equal(dense.samples, sparse.samples)
+        np.testing.assert_array_equal(dense.num_occurrences,
+                                      sparse.num_occurrences)
+        np.testing.assert_allclose(dense.energies, sparse.energies)
+
+    def test_operator_of_uncoupled_problem(self):
+        ising = IsingModel(num_variables=3, linear=np.array([1.0, -2.0, 0.5]))
+        operator = ising.coupling_operator()
+        assert operator.nnz == 0
+        spins = np.array([[1, -1, 1]], dtype=np.int8)
+        np.testing.assert_allclose(ising.energies(spins, operator=operator),
+                                   ising.energies(spins))
+
+    def test_operator_shape_mismatch_rejected(self):
+        ising = random_ising(5, 22)
+        wrong = random_ising(6, 23).coupling_operator()
+        with pytest.raises(ConfigurationError):
+            ising.energies(np.ones((1, 5)), operator=wrong)
+
+    def test_sampler_matrix_is_the_problem_operator(self):
+        from repro.annealer.engine import IsingSampler
+
+        ising = random_ising(6, 24, density=0.8)
+        sampler = IsingSampler(ising)
+        np.testing.assert_allclose(sampler.coupling_matrix.toarray(),
+                                   ising.coupling_operator().toarray())
+
+
 class TestBruteForce:
     def test_ground_state_is_global_minimum(self):
         ising = random_ising(6, 2)

@@ -1,0 +1,263 @@
+"""Randomized equivalence suite for the dense sequential-sweep kernel.
+
+The dense kernel is only trusted because it is checked against the other two
+Metropolis implementations of the repository:
+
+* on problems whose colour classes degenerate to singletons (any complete
+  coupling graph — the QuAMax logical regime), the dense and colour-class
+  kernels perform the *same* sequential dynamics and consume the *same*
+  per-variable Metropolis draws, so their energy trajectories and sample
+  digests must agree bit-for-bit;
+* on general problems the kernels' update orders differ, so agreement is
+  statistical: both must reach the brute-force ground state and produce
+  compatible energy distributions, as must the scalar ``sample_reference``
+  loop (whose random-permutation sweeps never share a stream with either
+  vectorised kernel).
+
+The sweep over ``(num_vars, density, schedule)`` is seeded, so failures are
+reproducible, and dispatch itself is pinned: dense problems must select the
+dense kernel, sparse problems the colour kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.annealer.engine import (
+    KERNELS,
+    BlockDiagonalSampler,
+    IsingSampler,
+    colour_classes,
+)
+from repro.exceptions import AnnealerError
+from repro.ising.model import IsingModel
+from repro.ising.solver import (
+    BruteForceIsingSolver,
+    SimulatedAnnealingSolver,
+    geometric_temperature_schedule,
+)
+
+
+def random_ising(num_variables, seed, density=1.0):
+    rng = np.random.default_rng(seed)
+    couplings = {}
+    for i in range(num_variables):
+        for j in range(i + 1, num_variables):
+            if rng.random() <= density:
+                couplings[(i, j)] = float(rng.normal())
+    return IsingModel(num_variables=num_variables,
+                      linear=rng.normal(size=num_variables),
+                      couplings=couplings)
+
+
+def schedule(num_sweeps, hot=5.0, cold=0.05):
+    return geometric_temperature_schedule(num_sweeps, hot, cold)
+
+
+class TestKernelDispatch:
+    @pytest.mark.parametrize("num_variables", [4, 12, 24])
+    def test_dense_problem_selects_dense_kernel(self, num_variables):
+        sampler = IsingSampler(random_ising(num_variables, 0))
+        assert sampler.kernel == "auto"
+        assert sampler.selected_kernel == "dense"
+
+    @pytest.mark.parametrize("num_variables,density", [(16, 0.15), (24, 0.3)])
+    def test_sparse_problem_selects_colour_kernel(self, num_variables, density):
+        ising = random_ising(num_variables, 1, density=density)
+        sampler = IsingSampler(ising)
+        assert len(sampler.block_classes) < num_variables / 2
+        assert sampler.selected_kernel == "colour"
+
+    @pytest.mark.parametrize("num_users", [4, 8, 12])
+    def test_quamax_logical_problem_selects_dense_kernel(self, num_users):
+        # The ML reduction couples almost every variable pair, so its
+        # colouring degenerates toward singletons — the regime the dense
+        # kernel exists for (ISSUE motivation: dense logical Ising from the
+        # QuAMax transform).
+        from repro.mimo.system import MimoUplink
+        from repro.transform.reduction import MLToIsingReducer
+
+        link = MimoUplink(num_users=num_users, constellation="QPSK")
+        channel_use = link.transmit(snr_db=20.0, random_state=1)
+        ising = MLToIsingReducer().reduce(channel_use).ising
+        assert IsingSampler(ising).selected_kernel == "dense"
+
+    def test_uncoupled_problem_selects_colour_kernel(self):
+        ising = IsingModel(num_variables=6, linear=np.ones(6))
+        assert IsingSampler(ising).selected_kernel == "colour"
+
+    def test_small_sparse_problems_keep_colour_kernel(self):
+        # These colourings hit the class-count ratio by accident (a chain
+        # colours into 2 classes, an uncoupled pair into 1) but are nowhere
+        # near dense; auto must leave their seeded colour streams alone.
+        chain = IsingModel(num_variables=4, linear=np.zeros(4),
+                           couplings={(0, 1): 1.0, (1, 2): -1.0,
+                                      (2, 3): 0.5})
+        assert IsingSampler(chain).selected_kernel == "colour"
+        pair = IsingModel(num_variables=2, linear=np.ones(2))
+        assert IsingSampler(pair).selected_kernel == "colour"
+
+    def test_explicit_override_wins(self):
+        dense_problem = random_ising(10, 2)
+        assert IsingSampler(dense_problem,
+                            kernel="colour").selected_kernel == "colour"
+        sparse_problem = random_ising(16, 3, density=0.2)
+        assert IsingSampler(sparse_problem,
+                            kernel="dense").selected_kernel == "dense"
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(AnnealerError):
+            IsingSampler(random_ising(6, 4), kernel="sequential")
+        assert KERNELS == ("auto", "dense", "colour")
+
+    def test_multi_block_dispatch(self):
+        dense = [random_ising(8, seed) for seed in (5, 6)]
+        assert BlockDiagonalSampler(dense).selected_kernel == "dense"
+        base = random_ising(12, 7, density=0.25)
+        rng = np.random.default_rng(0)
+        sparse_blocks = [
+            IsingModel(num_variables=12, linear=rng.normal(size=12),
+                       couplings={key: float(rng.normal())
+                                  for key in base.couplings})
+            for _ in range(2)
+        ]
+        assert BlockDiagonalSampler(sparse_blocks).selected_kernel == "colour"
+
+
+class TestDenseColourSharedDynamics:
+    """Bit-for-bit agreement where the two kernels share one dynamics."""
+
+    # Seeded randomized sweep: complete graphs of several sizes, several
+    # temperature schedules, several seeds.  Complete graphs guarantee the
+    # all-singleton colouring under which the kernels are one algorithm.
+    CASES = [(num_variables, num_sweeps, hot, seed)
+             for num_variables in (5, 11, 18)
+             for num_sweeps, hot in ((30, 5.0), (75, 2.0))
+             for seed in (0, 1)]
+
+    @pytest.mark.parametrize("num_variables,num_sweeps,hot,seed", CASES)
+    def test_energy_trajectories_and_digests_agree(self, num_variables,
+                                                   num_sweeps, hot, seed,
+                                                   array_digest):
+        ising = random_ising(num_variables, seed)
+        assert len(colour_classes(ising)) == num_variables
+        colour = IsingSampler(ising, kernel="colour")
+        dense = IsingSampler(ising, kernel="dense")
+        temperatures = schedule(num_sweeps, hot=hot)
+        operator = ising.coupling_operator()
+        # Annealing over a schedule prefix consumes a prefix of the random
+        # stream, so the k-sweep samples ARE the trajectory state after k
+        # sweeps of the full anneal — comparing them over several prefixes
+        # compares the energy trajectories, not just the end points.
+        for prefix in (1, num_sweeps // 2, num_sweeps):
+            colour_spins = colour.anneal(temperatures[:prefix], 12,
+                                         random_state=seed + 40)
+            dense_spins = dense.anneal(temperatures[:prefix], 12,
+                                       random_state=seed + 40)
+            np.testing.assert_array_equal(colour_spins, dense_spins)
+            np.testing.assert_array_equal(
+                ising.energies(colour_spins, operator=operator),
+                ising.energies(dense_spins, operator=operator))
+            assert array_digest(colour_spins) == array_digest(dense_spins)
+
+    def test_multi_block_dense_matches_colour_and_serial(self):
+        rng = np.random.default_rng(8)
+        base = random_ising(9, 9)
+        problems = [
+            IsingModel(num_variables=9, linear=rng.normal(size=9),
+                       couplings={key: float(rng.normal())
+                                  for key in base.couplings})
+            for _ in range(3)
+        ]
+        temperatures = schedule(40)
+        combined_dense = BlockDiagonalSampler(problems, kernel="dense").anneal(
+            temperatures, 8, [np.random.default_rng(70 + b) for b in range(3)])
+        combined_colour = BlockDiagonalSampler(problems, kernel="colour").anneal(
+            temperatures, 8, [np.random.default_rng(70 + b) for b in range(3)])
+        np.testing.assert_array_equal(combined_dense, combined_colour)
+        blocked = BlockDiagonalSampler(problems)
+        for b, block in enumerate(blocked.split_samples(combined_dense)):
+            serial = IsingSampler(problems[b]).anneal(
+                temperatures, 8, random_state=np.random.default_rng(70 + b))
+            np.testing.assert_array_equal(block, serial)
+
+    def test_cluster_moves_shared_between_kernels(self):
+        ising = random_ising(10, 11)
+        clusters = [np.array([0, 1, 2], dtype=np.intp),
+                    np.array([6, 7], dtype=np.intp)]
+        temperatures = schedule(35)
+        colour = IsingSampler(ising, clusters=clusters, kernel="colour")
+        dense = IsingSampler(ising, clusters=clusters, kernel="dense")
+        np.testing.assert_array_equal(
+            colour.anneal(temperatures, 10, random_state=13),
+            dense.anneal(temperatures, 10, random_state=13))
+
+    def test_initial_spins_honoured(self):
+        ising = random_ising(8, 14)
+        rng = np.random.default_rng(3)
+        start = rng.choice(np.array([-1.0, 1.0]), size=(6, 8))
+        temperatures = schedule(25)
+        np.testing.assert_array_equal(
+            IsingSampler(ising, kernel="colour").anneal(
+                temperatures, 6, random_state=15, initial_spins=start),
+            IsingSampler(ising, kernel="dense").anneal(
+                temperatures, 6, random_state=15, initial_spins=start))
+
+    def test_refresh_values_rebinds_dense_kernel(self):
+        base = random_ising(9, 16)
+        rng = np.random.default_rng(4)
+        replacement = IsingModel(
+            num_variables=9, linear=rng.normal(size=9),
+            couplings={key: float(rng.normal()) for key in base.couplings})
+        refreshed = IsingSampler(base, kernel="dense")
+        refreshed.refresh_values(replacement)
+        fresh = IsingSampler(replacement, classes=refreshed.classes,
+                             kernel="dense")
+        temperatures = schedule(30)
+        np.testing.assert_array_equal(
+            refreshed.anneal(temperatures, 7, random_state=17),
+            fresh.anneal(temperatures, 7, random_state=17))
+
+    def test_dense_kernel_is_deterministic(self, array_digest):
+        ising = random_ising(14, 18)
+        sampler = IsingSampler(ising)
+        assert sampler.selected_kernel == "dense"
+        temperatures = schedule(50)
+        first = sampler.anneal(temperatures, 20, random_state=19)
+        second = sampler.anneal(temperatures, 20, random_state=19)
+        assert array_digest(first) == array_digest(second)
+
+
+class TestStatisticalAgreementAcrossDynamics:
+    """Where the update orders differ, agreement is statistical."""
+
+    @pytest.mark.parametrize("density,seed", [(0.5, 21), (0.8, 22)])
+    def test_forced_dense_solves_sparse_problems(self, density, seed):
+        # Forcing the dense kernel onto a sparser problem changes the update
+        # order (classes are no longer singletons) but must remain a correct
+        # Metropolis sampler: it still finds the exact ground state.
+        ising = random_ising(12, seed, density=density)
+        exact = BruteForceIsingSolver().ground_energy(ising)
+        sampler = IsingSampler(ising, kernel="dense")
+        samples = sampler.anneal(schedule(150), 60, random_state=seed)
+        assert ising.energies(samples).min() == pytest.approx(exact)
+
+    def test_dense_solver_matches_scalar_reference_statistics(self):
+        ising = random_ising(12, 23)
+        exact = BruteForceIsingSolver().ground_energy(ising)
+        solver = SimulatedAnnealingSolver(num_sweeps=120, num_reads=150)
+        vectorised = solver.sample(ising, random_state=24)
+        reference = solver.sample_reference(ising, random_state=24)
+
+        def read_energies(result):
+            return np.repeat(result.energies, result.num_occurrences)
+
+        vec = read_energies(vectorised)
+        ref = read_energies(reference)
+        assert vec.size == ref.size == 150
+        pooled_sem = np.hypot(vec.std(ddof=1) / np.sqrt(vec.size),
+                              ref.std(ddof=1) / np.sqrt(ref.size))
+        assert abs(vec.mean() - ref.mean()) <= 2.5 * max(pooled_sem, 1e-12)
+        assert vectorised.best_energy == pytest.approx(exact)
+        assert reference.best_energy == pytest.approx(exact)
+        assert vectorised.ground_state_probability(exact, 1e-9) > 0.3
+        assert reference.ground_state_probability(exact, 1e-9) > 0.3
