@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Offered-load benchmark of the C-RAN serving subsystem.
+
+Two measurements over a synthetic Argos-like trace workload:
+
+* ``cran_serving`` — the headline pair: the same saturating offered load
+  (every burst arrives almost immediately, so batches fill) replayed through
+  a batch-size-1 scheduler (every job becomes its own QA submission — the
+  serial serving baseline) versus the structure-keyed EDF scheduler flushing
+  full ``max_batch`` packs into :meth:`QuAMaxDecoder.detect_batch`.  Decode
+  results are bit-identical between the two; the difference is pure
+  throughput (wall-clock jobs/s) and virtual-clock latency.
+* ``cran_load_sweep`` — the same service at three offered loads (under,
+  near, over the pool's service rate), recording virtual throughput, p50/p99
+  latency, batch fill and deadline misses at each point.
+
+Results are *merged* into ``BENCH_core.json`` (next to this file by default)
+alongside the core benchmarks, preserving whatever entries are already there.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf/bench_cran.py [--scale quick|full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_core.json"
+
+#: Workload knobs per scale.  ``full`` is the acceptance configuration — an
+#: offered load that fills batches of 16; ``quick`` is a seconds-scale CI
+#: smoke configuration.
+SCALES = {
+    "quick": dict(num_users=3, num_bs_antennas=12, num_subcarriers=16,
+                  num_frames=2, num_bursts=6, burst_subcarriers=4,
+                  max_batch=8, num_anneals=25, max_wait_us=50_000.0,
+                  sweep_interarrival_us=(2_000.0, 20_000.0, 60_000.0),
+                  sweep_bursts=4, deadline_us=120_000.0),
+    "full": dict(num_users=3, num_bs_antennas=12, num_subcarriers=16,
+                 num_frames=2, num_bursts=16, burst_subcarriers=4,
+                 max_batch=16, num_anneals=50, max_wait_us=200_000.0,
+                 sweep_interarrival_us=(2_000.0, 20_000.0, 60_000.0),
+                 sweep_bursts=8, deadline_us=120_000.0),
+}
+
+
+def _timed(function, *args, **kwargs):
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def _make_decoder(num_anneals: int):
+    from repro.annealer.machine import (AnnealerParameters,
+                                        QuantumAnnealerSimulator)
+    from repro.decoder.quamax import QuAMaxDecoder
+
+    return QuAMaxDecoder(QuantumAnnealerSimulator(),
+                         AnnealerParameters(num_anneals=num_anneals))
+
+
+def _make_trace(knobs: dict, seed: int):
+    from repro.channel.trace import ArgosLikeTraceGenerator
+
+    return ArgosLikeTraceGenerator(
+        num_bs_antennas=knobs["num_bs_antennas"],
+        num_users=knobs["num_users"],
+        num_subcarriers=knobs["num_subcarriers"],
+    ).generate(num_frames=knobs["num_frames"], random_state=seed)
+
+
+def _make_jobs(knobs: dict, trace, mean_interarrival_us: float,
+               num_bursts: int, seed: int, modulations="QPSK"):
+    from repro.cran.traffic import PoissonTrafficGenerator
+
+    generator = PoissonTrafficGenerator(
+        trace,
+        modulations=modulations,
+        mean_interarrival_us=mean_interarrival_us,
+        burst_subcarriers=knobs["burst_subcarriers"],
+        user_snrs_db=20.0,
+        deadline_us=knobs["deadline_us"],
+    )
+    return generator.generate(num_bursts, random_state=seed)
+
+
+def bench_serving_speedup(knobs: dict, seed: int = 0) -> dict:
+    """Batch-size-1 scheduler vs. full structure-keyed batching, saturating load."""
+    import numpy as np
+
+    from repro.cran.service import CranService
+
+    trace = _make_trace(knobs, seed)
+    decoder = _make_decoder(knobs["num_anneals"])
+    # A saturating load: bursts arrive ~back to back, so the batched
+    # scheduler's groups fill to max_batch.  One modulation keeps a single
+    # structure group, the configuration the acceptance criterion measures.
+    jobs = _make_jobs(knobs, trace, mean_interarrival_us=10.0,
+                      num_bursts=knobs["num_bursts"], seed=seed)
+    # Warm the embedding cache so both paths time pure serving work.
+    CranService(decoder, max_batch=1, max_wait_us=math.inf).run(jobs[:1])
+
+    baseline = CranService(decoder, max_batch=1, max_wait_us=math.inf)
+    batched = CranService(decoder, max_batch=knobs["max_batch"],
+                          max_wait_us=knobs["max_wait_us"])
+    before_s, report_1 = _timed(baseline.run, jobs)
+    after_s, report_b = _timed(batched.run, jobs)
+    identical = all(
+        np.array_equal(a.result.detection.bits, b.result.detection.bits)
+        for a, b in zip(report_1.results, report_b.results))
+    return {
+        "params": {
+            "num_users": knobs["num_users"],
+            "num_jobs": len(jobs),
+            "max_batch": knobs["max_batch"],
+            "num_anneals": knobs["num_anneals"],
+        },
+        "before_s": before_s,
+        "after_s": after_s,
+        "jobs_per_s_before": len(jobs) / before_s,
+        "jobs_per_s_after": len(jobs) / after_s,
+        "speedup": before_s / after_s,
+        "mean_batch_fill": report_b.telemetry["mean_batch_fill"],
+        "p99_latency_us_before": report_1.telemetry["latency_us"]["p99"],
+        "p99_latency_us_after": report_b.telemetry["latency_us"]["p99"],
+        "detections_identical": identical,
+    }
+
+
+def bench_offered_load_sweep(knobs: dict, seed: int = 0) -> dict:
+    """One service, three offered loads: throughput and latency vs. load."""
+    from repro.cran.service import CranService
+
+    trace = _make_trace(knobs, seed)
+    decoder = _make_decoder(knobs["num_anneals"])
+    service = CranService(decoder, max_batch=knobs["max_batch"],
+                          max_wait_us=knobs["max_wait_us"])
+    points = []
+    for interarrival_us in knobs["sweep_interarrival_us"]:
+        jobs = _make_jobs(knobs, trace, mean_interarrival_us=interarrival_us,
+                          num_bursts=knobs["sweep_bursts"], seed=seed + 1,
+                          modulations=("BPSK", "QPSK"))
+        report = service.run(jobs)
+        telemetry = report.telemetry
+        points.append({
+            "mean_interarrival_us": interarrival_us,
+            "offered_jobs_per_s": (knobs["burst_subcarriers"]
+                                   / (interarrival_us * 1e-6)),
+            "virtual_jobs_per_s": telemetry["throughput_jobs_per_s"],
+            "wall_jobs_per_s": report.wall_jobs_per_s,
+            "p50_latency_us": telemetry["latency_us"]["p50"],
+            "p99_latency_us": telemetry["latency_us"]["p99"],
+            "mean_batch_fill": telemetry["mean_batch_fill"],
+            "deadline_miss_rate": telemetry["deadline_miss_rate"],
+            "max_queue_depth": telemetry["queue_depth_max"],
+        })
+    return {
+        "params": {
+            "max_batch": knobs["max_batch"],
+            "burst_subcarriers": knobs["burst_subcarriers"],
+            "num_bursts": knobs["sweep_bursts"],
+            "num_anneals": knobs["num_anneals"],
+            "deadline_us": knobs["deadline_us"],
+        },
+        "points": points,
+    }
+
+
+def run_suite(scale: str = "quick") -> dict:
+    """Run both C-RAN benchmarks at *scale* and return their entries."""
+    knobs = SCALES[scale]
+    return {
+        "cran_serving": bench_serving_speedup(knobs),
+        "cran_load_sweep": bench_offered_load_sweep(knobs),
+    }
+
+
+def merge_report(entries: dict, scale: str, output: Path,
+                 force: bool = False) -> dict:
+    """Merge *entries* into the (possibly existing) BENCH_core.json report.
+
+    Refuses to overwrite a record of a *different* scale (e.g. quick-scale
+    entries over the committed full-scale acceptance record) unless *force*.
+    """
+    if output.exists():
+        report = json.loads(output.read_text(encoding="utf-8"))
+        existing = report.get("cran_scale") or report.get("scale")
+        if existing and existing != scale and not force:
+            raise SystemExit(
+                f"refusing to merge {scale}-scale cran entries into {output} "
+                f"recorded at scale {existing!r}; pass --force or use a "
+                f"different --output")
+    else:
+        report = {"scale": scale, "benchmarks": {}}
+    report.setdefault("benchmarks", {}).update(entries)
+    report["cran_generated"] = datetime.now(timezone.utc).isoformat(
+        timespec="seconds")
+    report["cran_scale"] = scale
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--force", action="store_true",
+                        help="merge even when the existing record was "
+                             "produced at a different scale")
+    args = parser.parse_args()
+
+    entries = run_suite(args.scale)
+    report = merge_report(entries, args.scale, args.output, force=args.force)
+    args.output.write_text(json.dumps(report, indent=2) + "\n",
+                           encoding="utf-8")
+    serving = entries["cran_serving"]
+    print(f"cran_serving      batch-1 {serving['jobs_per_s_before']:8.1f} "
+          f"jobs/s  batched {serving['jobs_per_s_after']:8.1f} jobs/s  "
+          f"speedup {serving['speedup']:5.1f}x  "
+          f"fill {serving['mean_batch_fill']:.1f}")
+    for point in entries["cran_load_sweep"]["points"]:
+        print(f"cran_load_sweep   offered {point['offered_jobs_per_s']:8.1f} "
+              f"jobs/s  p99 {point['p99_latency_us']:10.0f} us  "
+              f"miss {point['deadline_miss_rate']:.2f}  "
+              f"fill {point['mean_batch_fill']:.1f}")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""C-RAN serving demo: a QuAMax pool under Poisson multi-user load.
+
+The paper's deployment model is a centralized RAN: one quantum-annealer
+processing pool decodes the uplink of many base stations.  This demo stands
+that pool up in software and drives it with realistic traffic:
+
+1. a synthetic Argos-like trace supplies channel state for every user;
+2. a Poisson generator emits frame bursts with mixed BPSK/QPSK modulation,
+   per-user SNR and per-job deadlines;
+3. the deadline-aware EDF scheduler groups jobs by problem structure
+   (users x modulation => identical Ising shape) and flushes full packs into
+   the block-diagonal batched decoder;
+4. telemetry reports throughput, latency percentiles, batch fill and
+   deadline misses.
+
+The same offered load is replayed through a batch-size-1 scheduler first, so
+the printout shows exactly what structure-keyed batching buys — with decode
+results that are bit-for-bit identical between the two (batching is pure
+scheduling, never a numerics change).
+
+Run with::
+
+    python examples/cran_serving.py [--bursts 8] [--max-batch 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+from repro import (
+    AnnealerParameters,
+    ArgosLikeTraceGenerator,
+    CranService,
+    PoissonTrafficGenerator,
+    QuAMaxDecoder,
+    QuantumAnnealerSimulator,
+)
+
+
+def build_workload(num_bursts: int, seed: int):
+    """Generate the offered load: Poisson frame bursts over a trace."""
+    trace = ArgosLikeTraceGenerator(
+        num_bs_antennas=12, num_users=3, num_subcarriers=16,
+    ).generate(num_frames=2, random_state=seed)
+    generator = PoissonTrafficGenerator(
+        trace,
+        modulations={"BPSK": 0.5, "QPSK": 0.5},
+        mean_interarrival_us=2_000.0,
+        burst_subcarriers=4,
+        user_snrs_db=(18.0, 22.0, 26.0),
+        deadline_us=150_000.0,
+    )
+    return generator.generate(num_bursts, random_state=seed)
+
+
+def describe(tag: str, report) -> None:
+    telemetry = report.telemetry
+    latency = telemetry["latency_us"]
+    ber = report.bit_error_rate()
+    print(f"{tag:>10}: {report.jobs_completed} jobs in "
+          f"{report.wall_time_s:.2f}s wall ({report.wall_jobs_per_s:.0f} "
+          f"jobs/s) | batch fill {telemetry['mean_batch_fill']:.1f} | "
+          f"p50/p99 latency {latency['p50'] / 1e3:.1f}/"
+          f"{latency['p99'] / 1e3:.1f} ms | deadline misses "
+          f"{telemetry['deadline_misses']} | BER "
+          f"{'n/a' if ber is None else f'{ber:.4f}'}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bursts", type=int, default=8)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--max-wait-ms", type=float, default=50.0)
+    parser.add_argument("--seed", type=int, default=2019)
+    args = parser.parse_args()
+
+    print("Generating Poisson multi-user workload over an Argos-like trace...")
+    jobs = build_workload(args.bursts, args.seed)
+    modulations = sorted({job.modulation for job in jobs})
+    print(f"Offered load: {len(jobs)} jobs in {args.bursts} bursts, "
+          f"modulations {modulations}\n")
+
+    decoder = QuAMaxDecoder(QuantumAnnealerSimulator(),
+                            AnnealerParameters(num_anneals=25))
+    serial = CranService(decoder, max_batch=1, max_wait_us=math.inf)
+    batched = CranService(decoder, max_batch=args.max_batch,
+                          max_wait_us=args.max_wait_ms * 1e3)
+
+    serial_report = serial.run(jobs)
+    describe("batch=1", serial_report)
+    batched_report = batched.run(jobs)
+    describe(f"batch={args.max_batch}", batched_report)
+
+    speedup = serial_report.wall_time_s / batched_report.wall_time_s
+    identical = all(
+        (a.result.detection.bits == b.result.detection.bits).all()
+        for a, b in zip(serial_report.results, batched_report.results))
+    print(f"\nStructure-keyed batching: {speedup:.1f}x jobs/s, decode "
+          f"results identical: {identical}")
+
+
+if __name__ == "__main__":
+    main()

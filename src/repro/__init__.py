@@ -37,6 +37,16 @@ from repro.channel import (
     RayleighChannel,
     TraceChannel,
 )
+from repro.cran import (
+    CranService,
+    DecodeJob,
+    EDFBatchScheduler,
+    JobResult,
+    PoissonTrafficGenerator,
+    ServiceReport,
+    TelemetryRecorder,
+    WorkerPool,
+)
 from repro.decoder import OFDMDecodingPipeline, QuAMaxDecoder
 from repro.detectors import (
     ExhaustiveMLDetector,
@@ -73,6 +83,10 @@ __all__ = [
     "QuantumAnnealerSimulator",
     # decoder
     "QuAMaxDecoder", "OFDMDecodingPipeline",
+    # cran serving
+    "DecodeJob", "JobResult", "EDFBatchScheduler", "WorkerPool",
+    "PoissonTrafficGenerator", "TelemetryRecorder", "CranService",
+    "ServiceReport",
     # metrics
     "InstanceSolutionProfile", "time_to_solution",
 ]

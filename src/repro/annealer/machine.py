@@ -25,7 +25,7 @@ from repro import constants
 from repro.annealer.chimera import ChimeraGraph
 from repro.annealer.embedded import EmbeddedIsing, embed_ising
 from repro.annealer.embedding import Embedding, TriangleCliqueEmbedder
-from repro.annealer.engine import BlockDiagonalSampler, IsingSampler
+from repro.annealer.engine import KERNELS, BlockDiagonalSampler, IsingSampler
 from repro.annealer.ice import ICEModel
 from repro.annealer.parallel import parallelization_factor
 from repro.annealer.schedule import AnnealSchedule
@@ -204,7 +204,8 @@ class QuantumAnnealerSimulator:
     def run(self, logical_ising: IsingModel,
             parameters: Optional[AnnealerParameters] = None,
             random_state: RandomState = None,
-            embedding: Optional[Embedding] = None) -> AnnealResult:
+            embedding: Optional[Embedding] = None,
+            kernel: str = "auto") -> AnnealResult:
         """Submit one QA job: embed, anneal ``N_a`` times, unembed, aggregate.
 
         A single-problem job is exactly a one-block :meth:`run_batch`, so the
@@ -220,17 +221,22 @@ class QuantumAnnealerSimulator:
             Seed or generator for ICE draws, Metropolis moves and tie breaks.
         embedding:
             Optional pre-computed embedding (must cover the problem).
+        kernel:
+            Metropolis sweep kernel passed to the sampler (``"auto"``,
+            ``"dense"`` or ``"colour"``); see
+            :class:`~repro.annealer.engine.BlockDiagonalSampler`.
         """
         return self.run_batch([logical_ising], parameters=parameters,
                               random_states=[ensure_rng(random_state)],
-                              embedding=embedding)[0]
+                              embedding=embedding, kernel=kernel)[0]
 
     # ------------------------------------------------------------------ #
     def run_batch(self, logical_isings: Sequence[IsingModel],
                   parameters: Optional[AnnealerParameters] = None,
                   random_states: Optional[Sequence[RandomState]] = None,
                   random_state: RandomState = None,
-                  embedding: Optional[Embedding] = None) -> List[AnnealResult]:
+                  embedding: Optional[Embedding] = None,
+                  kernel: str = "auto") -> List[AnnealResult]:
         """Submit several same-size problems as one packed QA job.
 
         This is the Section 5.5 parallelization: small problems leave room on
@@ -258,8 +264,16 @@ class QuantumAnnealerSimulator:
             Base seed used only when *random_states* is omitted.
         embedding:
             Optional pre-computed embedding shared by all problems.
+        kernel:
+            Metropolis sweep kernel for the packed sampler (``"auto"``,
+            ``"dense"`` or ``"colour"``); embedded problems are sparse, so
+            ``"auto"`` keeps the colour-class kernel, but services can pin a
+            kernel without reaching into engine internals.
         """
         parameters = parameters or AnnealerParameters()
+        if kernel not in KERNELS:
+            raise AnnealerError(
+                f"kernel must be one of {KERNELS}, got {kernel!r}")
         isings = list(logical_isings)
         if not isings:
             raise AnnealerError("run_batch needs at least one problem")
@@ -311,7 +325,8 @@ class QuantumAnnealerSimulator:
                 samples = sampler.anneal(temperatures, batch, rngs)
             else:
                 try:
-                    sampler = BlockDiagonalSampler(perturbed, clusters=clusters)
+                    sampler = BlockDiagonalSampler(perturbed, clusters=clusters,
+                                                   kernel=kernel)
                     samples = sampler.anneal(temperatures, batch, rngs)
                 except AnnealerError:
                     # An ICE draw cancelled a coupling exactly, so the blocks
@@ -320,7 +335,8 @@ class QuantumAnnealerSimulator:
                     # packed).
                     sampler = None
                     samples = np.concatenate([
-                        IsingSampler(problem, clusters=clusters).anneal(
+                        IsingSampler(problem, clusters=clusters,
+                                     kernel=kernel).anneal(
                             temperatures, batch, random_state=rng)
                         for problem, rng in zip(perturbed, rngs)
                     ], axis=1)

@@ -1,0 +1,50 @@
+"""C-RAN serving subsystem: the library as a base-station processing pool.
+
+The paper's deployment story is a *centralized* RAN where one QuAMax-equipped
+pool decodes the uplink of many base stations.  This package is that serving
+layer, built on the batched decode substrate underneath it:
+
+* :mod:`repro.cran.jobs` — :class:`DecodeJob` / :class:`JobResult`, the unit
+  of work with arrival time, deadline and a private random stream;
+* :mod:`repro.cran.scheduler` — :class:`EDFBatchScheduler`, deadline-aware
+  batching keyed on problem structure (users × modulation ⇒ Ising shape);
+* :mod:`repro.cran.workers` — :class:`WorkerPool`, bounded-queue decode
+  workers with block-or-shed backpressure and virtual-time accounting;
+* :mod:`repro.cran.traffic` — :class:`PoissonTrafficGenerator`, Poisson
+  frame bursts over a :class:`~repro.channel.trace.ChannelTrace` with mixed
+  modulations and per-user SNR;
+* :mod:`repro.cran.telemetry` — :class:`TelemetryRecorder`, rolling
+  throughput, latency percentiles, batch-fill and deadline-miss statistics;
+* :mod:`repro.cran.service` — :class:`CranService`, the event loop tying
+  them together, and its :class:`ServiceReport`.
+"""
+
+from repro.cran.jobs import DecodeJob, JobResult
+from repro.cran.scheduler import (
+    FLUSH_DRAIN,
+    FLUSH_FULL,
+    FLUSH_TIMEOUT,
+    DecodeBatch,
+    EDFBatchScheduler,
+)
+from repro.cran.service import CranService, ServiceReport
+from repro.cran.telemetry import LatencySummary, TelemetryRecorder
+from repro.cran.traffic import PoissonTrafficGenerator
+from repro.cran.workers import OVERLOAD_POLICIES, WorkerPool
+
+__all__ = [
+    "DecodeJob",
+    "JobResult",
+    "DecodeBatch",
+    "EDFBatchScheduler",
+    "FLUSH_FULL",
+    "FLUSH_TIMEOUT",
+    "FLUSH_DRAIN",
+    "WorkerPool",
+    "OVERLOAD_POLICIES",
+    "PoissonTrafficGenerator",
+    "TelemetryRecorder",
+    "LatencySummary",
+    "CranService",
+    "ServiceReport",
+]

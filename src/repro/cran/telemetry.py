@@ -1,0 +1,199 @@
+"""Serving telemetry: throughput, latency percentiles, batch fill, deadlines.
+
+Production serving layers live or die by their observability; this module
+keeps the counters every other piece of the C-RAN subsystem reports into.
+All series are kept on the service's virtual clock (µs), matching the
+annealer's time accounting, and latency tracking can be windowed so a
+long-running service reports *rolling* percentiles rather than
+since-the-beginning averages.
+
+The recorder is deliberately passive — pure appends, no locks of its own —
+so snapshots are cheap and deterministic.  Callers serialise:
+:class:`~repro.cran.workers.WorkerPool` takes its result lock for *all*
+recording, including queue-depth samples forwarded through
+:meth:`~repro.cran.workers.WorkerPool.record_queue_depth`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cran.jobs import DecodeJob, JobResult
+from repro.utils.validation import check_integer_in_range
+
+#: Percentiles reported by default in latency summaries.
+DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile summary of a latency series (µs)."""
+
+    count: int
+    mean_us: float
+    percentiles_us: Dict[float, float]
+
+    def __getitem__(self, q: float) -> float:
+        return self.percentiles_us[q]
+
+
+class TelemetryRecorder:
+    """Accumulates the serving statistics of one C-RAN service run.
+
+    Parameters
+    ----------
+    window:
+        Number of most recent samples the *rolling* series (latency and
+        queue-delay percentiles, queue-depth statistics) are computed over;
+        ``None`` keeps everything (fine for bounded simulations, unbounded
+        services should set a window).  The scalar counters (jobs, misses,
+        batch fill) always cover the whole run.
+    """
+
+    def __init__(self, window: Optional[int] = None):
+        if window is not None:
+            window = check_integer_in_range("window", window, minimum=1)
+        self.window = window
+        self._latencies_us: Deque[float] = deque(maxlen=window)
+        self._queue_delays_us: Deque[float] = deque(maxlen=window)
+        self._batch_fill: Counter = Counter()
+        self._flush_reasons: Counter = Counter()
+        self._queue_depth_samples: Deque[Tuple[float, int]] = deque(
+            maxlen=window)
+        self._first_arrival_us: Optional[float] = None
+        self._last_finish_us = 0.0
+        self.jobs_completed = 0
+        self.jobs_shed = 0
+        self.deadline_misses = 0
+        self.batches_decoded = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_batch(self, results: Sequence[JobResult]) -> None:
+        """Record one decoded batch's worth of job results."""
+        if not results:
+            return
+        self.batches_decoded += 1
+        self._batch_fill[len(results)] += 1
+        self._flush_reasons[results[0].flush_reason] += 1
+        for result in results:
+            self.jobs_completed += 1
+            self._latencies_us.append(result.latency_us)
+            self._queue_delays_us.append(result.queue_delay_us)
+            if not result.deadline_met:
+                self.deadline_misses += 1
+            arrival = result.job.arrival_time_us
+            if (self._first_arrival_us is None
+                    or arrival < self._first_arrival_us):
+                self._first_arrival_us = arrival
+            self._last_finish_us = max(self._last_finish_us,
+                                       result.finish_time_us)
+
+    def record_shed(self, jobs: Iterable[DecodeJob]) -> None:
+        """Record jobs dropped by the overload policy."""
+        self.jobs_shed += sum(1 for _ in jobs)
+
+    def record_queue_depth(self, now_us: float, depth: int) -> None:
+        """Sample the scheduler's pending-job count at *now_us*."""
+        self._queue_depth_samples.append((float(now_us), int(depth)))
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def latency_summary(self, percentiles: Sequence[float]
+                        = DEFAULT_PERCENTILES) -> LatencySummary:
+        """Rolling latency percentiles over the recorded window (µs)."""
+        series = np.asarray(self._latencies_us, dtype=float)
+        if series.size == 0:
+            empty = {float(q): float("nan") for q in percentiles}
+            return LatencySummary(count=0, mean_us=float("nan"),
+                                  percentiles_us=empty)
+        values = np.percentile(series, percentiles)
+        return LatencySummary(
+            count=int(series.size),
+            mean_us=float(series.mean()),
+            percentiles_us={float(q): float(v)
+                            for q, v in zip(percentiles, values)},
+        )
+
+    @property
+    def batch_fill_histogram(self) -> Dict[int, int]:
+        """``{batch size: count}`` over all decoded batches."""
+        return dict(sorted(self._batch_fill.items()))
+
+    @property
+    def flush_reason_counts(self) -> Dict[str, int]:
+        """``{flush reason: batch count}`` (full / timeout / drain)."""
+        return dict(sorted(self._flush_reasons.items()))
+
+    def mean_batch_fill(self) -> float:
+        """Average jobs per decoded batch."""
+        if not self.batches_decoded:
+            return 0.0
+        return self.jobs_completed / self.batches_decoded
+
+    def deadline_miss_rate(self) -> float:
+        """Fraction of completed jobs that missed their deadline."""
+        if not self.jobs_completed:
+            return 0.0
+        return self.deadline_misses / self.jobs_completed
+
+    def shed_rate(self) -> float:
+        """Fraction of offered jobs dropped by the overload policy."""
+        offered = self.jobs_completed + self.jobs_shed
+        if not offered:
+            return 0.0
+        return self.jobs_shed / offered
+
+    def max_queue_depth(self) -> int:
+        """Largest sampled scheduler backlog (within the rolling window)."""
+        if not self._queue_depth_samples:
+            return 0
+        return max(depth for _, depth in self._queue_depth_samples)
+
+    def mean_queue_depth(self) -> float:
+        """Mean sampled scheduler backlog (within the rolling window)."""
+        if not self._queue_depth_samples:
+            return 0.0
+        return float(np.mean([depth
+                              for _, depth in self._queue_depth_samples]))
+
+    def throughput_jobs_per_s(self) -> float:
+        """Completed jobs per *virtual* second, first arrival to last finish."""
+        if not self.jobs_completed or self._first_arrival_us is None:
+            return 0.0
+        span_us = self._last_finish_us - self._first_arrival_us
+        if span_us <= 0:
+            return 0.0
+        return self.jobs_completed / (span_us * 1e-6)
+
+    def snapshot(self) -> dict:
+        """One plain-dict view of every rolling statistic (for reports/JSON)."""
+        latency = self.latency_summary()
+        queue_delay = np.asarray(self._queue_delays_us, dtype=float)
+        return {
+            "jobs_completed": self.jobs_completed,
+            "jobs_shed": self.jobs_shed,
+            "shed_rate": self.shed_rate(),
+            "batches_decoded": self.batches_decoded,
+            "mean_batch_fill": self.mean_batch_fill(),
+            "batch_fill_histogram": self.batch_fill_histogram,
+            "flush_reasons": self.flush_reason_counts,
+            "deadline_misses": self.deadline_misses,
+            "deadline_miss_rate": self.deadline_miss_rate(),
+            "throughput_jobs_per_s": self.throughput_jobs_per_s(),
+            "latency_us": {
+                "count": latency.count,
+                "mean": latency.mean_us,
+                **{f"p{q:g}": v for q, v in latency.percentiles_us.items()},
+            },
+            "queue_delay_us_mean": (float(queue_delay.mean())
+                                    if queue_delay.size else float("nan")),
+            "queue_depth_max": self.max_queue_depth(),
+            "queue_depth_mean": self.mean_queue_depth(),
+        }

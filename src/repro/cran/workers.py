@@ -1,0 +1,314 @@
+"""Worker pool draining scheduler flushes through QuAMax decoders.
+
+The pool models the paper's centralized processing pool (Section 7): batches
+flushed by the :class:`~repro.cran.scheduler.EDFBatchScheduler` are decoded
+through :meth:`~repro.decoder.quamax.QuAMaxDecoder.detect_batch`, which packs
+each batch into block-diagonal QA jobs.  Two execution modes share one
+accounting model:
+
+* ``num_workers=0`` (inline) decodes synchronously in the submitting thread —
+  fully deterministic, the mode simulations and tests use;
+* ``num_workers>=1`` drains a bounded queue from real threads, so wall-clock
+  throughput benefits from NumPy releasing the GIL inside the anneals.
+
+Backpressure is explicit: the submission queue is bounded, and on overload the
+pool either **blocks** the producer (default — the scheduler naturally holds
+jobs back) or **sheds** the batch (its jobs are counted and returned as
+dropped, the right policy when deadlines make late decodes worthless).
+
+Completion times are tracked on a virtual clock: each batch occupies the
+earliest-free virtual QA machine from its flush time, for a service time of
+one shared per-job overhead (:class:`~repro.annealer.machine.OverheadModel`)
+plus the pack's amortised compute time.  Batches are credited to virtual
+machines strictly in *submission (flush) order* — out-of-order thread
+completions are buffered until their turn — so the latency and deadline
+telemetry of a given offered load is deterministic regardless of worker
+count or OS scheduling.  Batching therefore shows up in the latency
+telemetry exactly where the paper puts it — the programming / preprocessing
+overhead is paid once per *batch* instead of once per *job*.
+
+Decode correctness is independent of all of this: every job consumes its own
+private random stream, so results are bit-for-bit those of serial decoding
+no matter how jobs were batched, queued or interleaved.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cran.jobs import JobResult
+from repro.cran.scheduler import DecodeBatch
+from repro.cran.telemetry import TelemetryRecorder
+from repro.decoder.quamax import QuAMaxDecoder
+from repro.exceptions import SchedulingError
+from repro.utils.validation import check_integer_in_range
+
+#: Overload policies of the bounded submission queue.
+POLICY_BLOCK = "block"
+POLICY_SHED = "shed"
+OVERLOAD_POLICIES = (POLICY_BLOCK, POLICY_SHED)
+
+
+class WorkerPool:
+    """Bounded-queue pool of QuAMax decode workers with virtual-time accounting.
+
+    Parameters
+    ----------
+    decoder:
+        Decoder used by the inline path and shared by threaded workers when
+        no *decoder_factory* is given; a default :class:`QuAMaxDecoder` is
+        created when omitted.
+    num_workers:
+        ``0`` decodes inline at submission (deterministic); ``>= 1`` starts
+        that many draining threads.
+    queue_capacity:
+        Bound of the submission queue (threaded mode only).
+    overload_policy:
+        ``"block"`` stalls :meth:`submit` until space frees up; ``"shed"``
+        drops the offered batch and records its jobs as shed.
+    telemetry:
+        Recorder the pool reports completed batches and shed jobs into; a
+        private one is created when omitted.
+    decoder_factory:
+        Optional zero-argument callable building one decoder per worker
+        thread (e.g. to give each worker its own annealer instance).
+    autostart:
+        Start worker threads immediately (threaded mode).  Tests can pass
+        ``False`` to fill the queue deterministically before draining; with
+        no worker running, a submission past capacity sheds (shed policy) or
+        raises (block policy — it would otherwise deadlock the producer).
+    """
+
+    def __init__(self, decoder: Optional[QuAMaxDecoder] = None, *,
+                 num_workers: int = 0,
+                 queue_capacity: int = 16,
+                 overload_policy: str = POLICY_BLOCK,
+                 telemetry: Optional[TelemetryRecorder] = None,
+                 decoder_factory: Optional[Callable[[], QuAMaxDecoder]] = None,
+                 autostart: bool = True):
+        if overload_policy not in OVERLOAD_POLICIES:
+            raise SchedulingError(
+                f"overload_policy must be one of {OVERLOAD_POLICIES}, got "
+                f"{overload_policy!r}")
+        self.num_workers = check_integer_in_range("num_workers", num_workers,
+                                                  minimum=0)
+        self.queue_capacity = check_integer_in_range(
+            "queue_capacity", queue_capacity, minimum=1)
+        self.overload_policy = overload_policy
+        self.decoder = decoder or QuAMaxDecoder()
+        self._decoder_factory = decoder_factory
+        self.telemetry = telemetry if telemetry is not None \
+            else TelemetryRecorder()
+
+        self._queue: "queue.Queue[Optional[Tuple[int, DecodeBatch]]]" = \
+            queue.Queue(maxsize=self.queue_capacity)
+        self._lock = threading.Lock()
+        self._results: List[JobResult] = []
+        self._shed_jobs: List = []
+        self._errors: List[BaseException] = []
+        # One virtual QA machine per worker (at least one for inline mode);
+        # entry k is the time machine k becomes free.  Batches are credited
+        # in submission order: decoded-but-out-of-turn batches wait in
+        # ``_decoded`` (``None`` marks a shed submission slot to skip).
+        self._virtual_free = [0.0] * max(1, self.num_workers)
+        self._next_submit = 0
+        self._next_credit = 0
+        self._decoded: Dict[int, Optional[Tuple[DecodeBatch, list, float]]] = {}
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._closed = False
+        if self.num_workers and autostart:
+            self.start()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Start the worker threads (no-op when inline or already started)."""
+        if self._started or not self.num_workers:
+            self._started = True
+            return
+        self._started = True
+        for index in range(self.num_workers):
+            decoder = (self._decoder_factory()
+                       if self._decoder_factory is not None else self.decoder)
+            thread = threading.Thread(target=self._worker_loop,
+                                      args=(decoder,),
+                                      name=f"cran-worker-{index}",
+                                      daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def close(self) -> None:
+        """Stop accepting batches, drain the queue and join the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.num_workers:
+            self.start()
+            for _ in self._threads:
+                self._queue.put(None)
+            for thread in self._threads:
+                thread.join()
+        if self._errors:
+            raise self._errors[0]
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, batch: DecodeBatch) -> bool:
+        """Offer one flushed batch to the pool.
+
+        Returns ``True`` when the batch was accepted, ``False`` when the
+        overload policy shed it.  Inline pools decode before returning.
+        """
+        if self._closed:
+            raise SchedulingError("cannot submit to a closed WorkerPool")
+        with self._lock:
+            index = self._next_submit
+            self._next_submit += 1
+        if not self.num_workers:
+            try:
+                self._decode(self.decoder, batch, index)
+            except BaseException:
+                # Free the submission slot so later batches still credit if
+                # the caller treats the failure as transient and keeps going.
+                with self._lock:
+                    self._decoded[index] = None
+                    self._credit_ready_locked()
+                    self._shed_jobs.extend(batch.jobs)
+                    self.telemetry.record_shed(batch.jobs)
+                raise
+            return True
+        # A blocking put with no running consumer would deadlock the
+        # producer; surface the misuse instead.
+        block = self.overload_policy == POLICY_BLOCK and self._started
+        try:
+            self._queue.put((index, batch), block=block)
+        except queue.Full:
+            if self.overload_policy == POLICY_BLOCK:
+                with self._lock:
+                    self._decoded[index] = None
+                    self._credit_ready_locked()
+                raise SchedulingError(
+                    "submission queue is full but no worker is running; "
+                    "call start() before blocking submissions")
+            with self._lock:
+                self._decoded[index] = None
+                self._credit_ready_locked()
+                self._shed_jobs.extend(batch.jobs)
+                self.telemetry.record_shed(batch.jobs)
+            return False
+        return True
+
+    def record_queue_depth(self, now_us: float, depth: int) -> None:
+        """Sample the scheduler backlog into this pool's telemetry.
+
+        Producers must record through here rather than on the recorder
+        directly: the pool's lock serialises the sample against the worker
+        threads' batch/shed recording (the recorder itself is lock-free).
+        """
+        with self._lock:
+            self.telemetry.record_queue_depth(now_us, depth)
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def results(self) -> List[JobResult]:
+        """Completed job results so far, ordered by job id."""
+        with self._lock:
+            return sorted(self._results, key=lambda r: r.job.job_id)
+
+    @property
+    def shed_jobs(self) -> List:
+        """Jobs dropped by the shed policy, in submission order."""
+        with self._lock:
+            return list(self._shed_jobs)
+
+    # ------------------------------------------------------------------ #
+    # Decoding
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self, decoder: QuAMaxDecoder) -> None:
+        failed = False
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            index, batch = item
+            if failed:
+                # Keep draining so blocked producers never deadlock on a
+                # dead worker; the undecoded jobs are accounted as shed and
+                # the original error is raised by close().
+                with self._lock:
+                    self._decoded[index] = None
+                    self._credit_ready_locked()
+                    self._shed_jobs.extend(batch.jobs)
+                    self.telemetry.record_shed(batch.jobs)
+                continue
+            try:
+                self._decode(decoder, batch, index)
+            except BaseException as error:  # surfaced by close()
+                failed = True
+                with self._lock:
+                    self._errors.append(error)
+                    self._decoded[index] = None
+                    self._credit_ready_locked()
+                    self._shed_jobs.extend(batch.jobs)
+                    self.telemetry.record_shed(batch.jobs)
+
+    def _decode(self, decoder: QuAMaxDecoder, batch: DecodeBatch,
+                index: int) -> None:
+        """Decode one batch, then credit it in submission order."""
+        outcomes = decoder.detect_batch(
+            [job.channel_use for job in batch.jobs],
+            random_states=[job.rng() for job in batch.jobs])
+        num_anneals = outcomes[0].run.num_anneals
+        # One shared job overhead per pack, plus the amortised compute of
+        # every block: this is precisely where batching buys latency.
+        service_us = (decoder.annealer.overheads.total_us(num_anneals)
+                      + sum(outcome.compute_time_us for outcome in outcomes))
+        with self._lock:
+            self._decoded[index] = (batch, outcomes, service_us)
+            self._credit_ready_locked()
+
+    def _credit_ready_locked(self) -> None:
+        """Credit every decoded batch whose submission turn has come.
+
+        Called with the lock held.  Crediting strictly in submission order
+        keeps the virtual-machine assignment — and with it every latency and
+        deadline statistic — deterministic under threaded execution.
+        """
+        while self._next_credit in self._decoded:
+            entry = self._decoded.pop(self._next_credit)
+            self._next_credit += 1
+            if entry is None:  # shed or failed slot: nothing to credit
+                continue
+            batch, outcomes, service_us = entry
+            machine = min(range(len(self._virtual_free)),
+                          key=self._virtual_free.__getitem__)
+            start_us = max(batch.flush_time_us, self._virtual_free[machine])
+            finish_us = start_us + service_us
+            self._virtual_free[machine] = finish_us
+            results = [
+                JobResult(job=job, result=outcome, batch_size=batch.size,
+                          flush_reason=batch.reason,
+                          flush_time_us=batch.flush_time_us,
+                          start_time_us=start_us, finish_time_us=finish_us)
+                for job, outcome in zip(batch.jobs, outcomes)
+            ]
+            self._results.extend(results)
+            self.telemetry.record_batch(results)
+
+    def __repr__(self) -> str:
+        mode = ("inline" if not self.num_workers
+                else f"{self.num_workers} threads")
+        return (f"WorkerPool({mode}, capacity={self.queue_capacity}, "
+                f"policy={self.overload_policy!r})")

@@ -29,7 +29,7 @@ bit-identical to the serial decode.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Literal, Optional, Sequence, Union
 
 from repro.decoder.quamax import QuAMaxDecoder, QuAMaxDetectionResult
 from repro.exceptions import DetectionError
@@ -204,11 +204,32 @@ class OFDMDecodingPipeline:
                 self._subcarrier_result(subcarrier, channel_use, outcome))
         return report
 
+    @staticmethod
+    def _auto_chunk_size(channel_uses: Sequence[ChannelUse], start: int,
+                         remaining_bits: int) -> int:
+        """Number of upcoming channel uses expected to complete the frame.
+
+        Walks the undecoded channel uses, accumulating their payload sizes
+        until *remaining_bits* are covered.  Because the estimate is recomputed
+        from the frame's realised fill state before every submission, it
+        adapts exactly like a running BER/goodput estimate: whenever the
+        accounting credits fewer bits than a chunk carried (e.g. a frame
+        variant that discards errored channel uses), the next chunk
+        automatically grows to cover the shortfall.
+        """
+        covered = 0
+        for count, channel_use in enumerate(channel_uses[start:], start=1):
+            covered += channel_use.num_bits
+            if covered >= remaining_bits:
+                return count
+        return len(channel_uses) - start
+
     def decode_frame(self, channel_uses: Sequence[ChannelUse],
                      frame_size_bytes: int,
                      random_state: RandomState = None,
                      batched: bool = False,
-                     chunk_size: Optional[int] = None) -> FrameResult:
+                     chunk_size: Union[int, Literal["auto"], None] = None
+                     ) -> FrameResult:
         """Decode channel uses into a frame and return its error accounting.
 
         The serial path decodes one channel use at a time and stops as soon
@@ -216,20 +237,35 @@ class OFDMDecodingPipeline:
         decoded through the packed QA path in chunks of *chunk_size* (the
         whole frame at once when omitted); the early exit is honoured
         *between* chunks, so a small chunk size recovers the serial path's
-        work savings while each chunk still amortises its QA setup.  Every
-        subcarrier keeps its own child random stream derived from
+        work savings while each chunk still amortises its QA setup.
+
+        ``chunk_size="auto"`` sizes every chunk from the running decode
+        estimate instead of a fixed number: before each submission the
+        pipeline projects how many of the upcoming channel uses are needed to
+        fill the frame's remaining bits, given the payload actually credited
+        so far.  The first chunk therefore lands exactly on the serial early
+        exit point (``num_decoded`` matches the serial path, closing the
+        fixed-chunk efficiency gap), while still decoding it as a single
+        packed QA submission.
+
+        Every subcarrier keeps its own child random stream derived from
         *random_state* — derived once for the whole frame, independent of
-        chunking — so both paths produce bit-identical frames and identical
+        chunking — so all paths produce bit-identical frames and identical
         :class:`FrameResult` accounting for a fixed seed; chunking only
         changes ``num_decoded``, the work performed past the exit point.
         """
         channel_uses = list(channel_uses)
+        auto_chunks = False
         if chunk_size is not None:
             if not batched:
                 raise DetectionError(
                     "chunk_size only applies to the batched decode path")
-            chunk_size = check_integer_in_range("chunk_size", chunk_size,
-                                                minimum=1)
+            if chunk_size == "auto":
+                auto_chunks = True
+                chunk_size = None
+            else:
+                chunk_size = check_integer_in_range("chunk_size", chunk_size,
+                                                    minimum=1)
         for channel_use in channel_uses:
             if channel_use.transmitted_bits is None:
                 raise DetectionError(
@@ -252,8 +288,15 @@ class OFDMDecodingPipeline:
             if not channel_uses:
                 raise DetectionError(
                     "batched frame decoding needs at least one channel use")
-            step = chunk_size if chunk_size is not None else len(channel_uses)
-            for start in range(0, len(channel_uses), step):
+            start = 0
+            while start < len(channel_uses):
+                if auto_chunks:
+                    step = max(1, self._auto_chunk_size(
+                        channel_uses, start,
+                        frame.size_bits - frame.bits_accumulated))
+                else:
+                    step = (chunk_size if chunk_size is not None
+                            else len(channel_uses))
                 chunk = channel_uses[start:start + step]
                 outcomes = self.decoder.detect_batch(
                     chunk, random_states=rngs[start:start + len(chunk)])
@@ -265,6 +308,7 @@ class OFDMDecodingPipeline:
                     accumulate(start + offset, channel_use, outcome)
                 if frame.is_complete:
                     break
+                start += step
             return FrameResult(frame=frame, subcarrier_results=accumulated,
                                num_decoded=num_decoded)
 

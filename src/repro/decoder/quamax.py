@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.annealer.engine import KERNELS
 from repro.annealer.machine import (
     AnnealerParameters,
     AnnealResult,
@@ -78,15 +79,25 @@ class QuAMaxDecoder(Detector):
         count).
     random_state:
         Default randomness source for runs that do not pass their own.
+    kernel:
+        Metropolis sweep kernel forwarded to the annealer's sampler on every
+        run (``"auto"``, ``"dense"`` or ``"colour"``).  Services can pin a
+        kernel here without reaching into engine internals; the default
+        ``"auto"`` keeps the engine's dispatch heuristic.
     """
 
     name = "quamax"
 
     def __init__(self, annealer: Optional[QuantumAnnealerSimulator] = None,
                  parameters: Optional[AnnealerParameters] = None,
-                 random_state: RandomState = None):
+                 random_state: RandomState = None,
+                 kernel: str = "auto"):
+        if kernel not in KERNELS:
+            raise DetectionError(
+                f"kernel must be one of {KERNELS}, got {kernel!r}")
         self.annealer = annealer or QuantumAnnealerSimulator()
         self.parameters = parameters or AnnealerParameters()
+        self.kernel = kernel
         self._rng = ensure_rng(random_state)
         self._reducer = MLToIsingReducer()
 
@@ -104,7 +115,8 @@ class QuAMaxDecoder(Detector):
         rng = ensure_rng(random_state) if random_state is not None else self._rng
 
         reduced = self._reducer.reduce(channel_use)
-        run = self.annealer.run(reduced.ising, parameters, random_state=rng)
+        run = self.annealer.run(reduced.ising, parameters, random_state=rng,
+                                kernel=self.kernel)
         return self._assemble_result(reduced, run, parameters)
 
     def detect_batch(self, channel_uses: Sequence[ChannelUse],
@@ -161,7 +173,8 @@ class QuAMaxDecoder(Detector):
         for indices in groups.values():
             runs = self.annealer.run_batch(
                 [reduced[index].ising for index in indices], parameters,
-                random_states=[rngs[index] for index in indices])
+                random_states=[rngs[index] for index in indices],
+                kernel=self.kernel)
             for index, run in zip(indices, runs):
                 results[index] = self._assemble_result(reduced[index], run,
                                                        parameters)
@@ -195,4 +208,5 @@ class QuAMaxDecoder(Detector):
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:
         return (f"QuAMaxDecoder(annealer={self.annealer!r}, "
-                f"num_anneals={self.parameters.num_anneals})")
+                f"num_anneals={self.parameters.num_anneals}, "
+                f"kernel={self.kernel!r})")

@@ -46,3 +46,8 @@ class MetricsError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""
+
+
+class SchedulingError(ReproError):
+    """The C-RAN serving layer (scheduler, worker pool, traffic generator)
+    was misconfigured or received an invalid job."""

@@ -57,6 +57,37 @@ class TestChannelTrace:
         np.testing.assert_array_equal(loaded.channels, small_trace.channels)
         assert loaded.carrier_frequency_hz == small_trace.carrier_frequency_hz
 
+    def test_save_load_preserves_dtype_shape_and_metadata(self, tmp_path):
+        trace = ChannelTrace(
+            channels=np.arange(24, dtype=np.float32).reshape(1, 2, 3, 4),
+            carrier_frequency_hz=5.8e9, frame_interval_s=2e-3)
+        path = tmp_path / "meta.npz"
+        trace.save(path)
+        loaded = ChannelTrace.load(path)
+        # The constructor normalises to complex128; the reloaded trace must
+        # land on the same canonical dtype and the exact geometry.
+        assert loaded.channels.dtype == np.complex128
+        assert loaded.channels.shape == (1, 2, 3, 4)
+        assert loaded.channels.shape == trace.channels.shape
+        assert loaded.carrier_frequency_hz == 5.8e9
+        assert loaded.frame_interval_s == 2e-3
+        assert isinstance(loaded.carrier_frequency_hz, float)
+        assert isinstance(loaded.frame_interval_s, float)
+
+    def test_save_load_preserves_seeded_channel_use_draws(self, small_trace,
+                                                          tmp_path):
+        path = tmp_path / "draws.npz"
+        small_trace.save(path)
+        loaded = ChannelTrace.load(path)
+        # Deterministic selections must survive the round trip exactly...
+        np.testing.assert_array_equal(
+            loaded.channel_use(1, 3, antenna_subset=[2, 7, 11, 14]),
+            small_trace.channel_use(1, 3, antenna_subset=[2, 7, 11, 14]))
+        # ...and so must seeded random draws (same shapes => same stream).
+        np.testing.assert_array_equal(
+            loaded.random_square_channel(random_state=123),
+            small_trace.random_square_channel(random_state=123))
+
     def test_wrong_rank_rejected(self):
         with pytest.raises(ChannelError):
             ChannelTrace(channels=np.zeros((2, 3, 4)))

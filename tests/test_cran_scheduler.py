@@ -1,0 +1,297 @@
+"""Tests for the C-RAN serving layer's scheduler and its two core contracts.
+
+The acceptance-critical properties live here:
+
+(a) batched serving is *bit-identical* per job to serial ``detect_with_run``
+    decoding under a fixed seed — batching is purely a throughput/latency
+    policy, never a numerics change;
+(b) the full-scale ``bench_cran`` offered load (batches of 16) serves at
+    least 3x the jobs/s of a batch-size-1 scheduler.
+"""
+
+import math
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.annealer.chimera import ChimeraGraph
+from repro.annealer.machine import AnnealerParameters, QuantumAnnealerSimulator
+from repro.channel.trace import ArgosLikeTraceGenerator
+from repro.cran.jobs import DecodeJob
+from repro.cran.scheduler import (
+    FLUSH_DRAIN,
+    FLUSH_FULL,
+    FLUSH_TIMEOUT,
+    EDFBatchScheduler,
+)
+from repro.cran.service import CranService
+from repro.cran.traffic import PoissonTrafficGenerator
+from repro.decoder.quamax import QuAMaxDecoder
+from repro.exceptions import SchedulingError
+from repro.mimo.system import MimoUplink
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "perf"
+
+
+def load_bench_cran():
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        import bench_cran
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+    return bench_cran
+
+
+@pytest.fixture(scope="module")
+def channel_uses():
+    """A pool of small channel uses for scheduler-level tests."""
+    bpsk = MimoUplink(num_users=2, constellation="BPSK")
+    qpsk = MimoUplink(num_users=2, constellation="QPSK")
+    rng = np.random.default_rng(0)
+    return {
+        "BPSK": [bpsk.transmit(random_state=rng) for _ in range(8)],
+        "QPSK": [qpsk.transmit(random_state=rng) for _ in range(8)],
+    }
+
+
+def make_job(channel_uses, job_id, arrival, deadline=math.inf,
+             modulation="BPSK", user_id=0):
+    return DecodeJob(job_id=job_id, user_id=user_id, frame=0,
+                     subcarrier=job_id,
+                     channel_use=channel_uses[modulation][job_id % 8],
+                     arrival_time_us=arrival, deadline_us=deadline,
+                     seed=job_id)
+
+
+class TestEDFBatchScheduler:
+    def test_flushes_when_group_fills(self, channel_uses):
+        scheduler = EDFBatchScheduler(max_batch=3, max_wait_us=math.inf)
+        assert scheduler.submit(make_job(channel_uses, 0, 0.0)) == []
+        assert scheduler.submit(make_job(channel_uses, 1, 1.0)) == []
+        batches = scheduler.submit(make_job(channel_uses, 2, 2.0))
+        assert len(batches) == 1
+        assert batches[0].reason == FLUSH_FULL
+        assert batches[0].size == 3
+        assert batches[0].flush_time_us == 2.0
+        assert scheduler.queue_depth == 0
+
+    def test_structure_keys_batch_separately(self, channel_uses):
+        scheduler = EDFBatchScheduler(max_batch=2, max_wait_us=math.inf)
+        scheduler.submit(make_job(channel_uses, 0, 0.0, modulation="BPSK"))
+        scheduler.submit(make_job(channel_uses, 1, 1.0, modulation="QPSK"))
+        assert scheduler.num_groups == 2
+        batches = scheduler.submit(make_job(channel_uses, 2, 2.0,
+                                            modulation="QPSK"))
+        assert len(batches) == 1
+        assert batches[0].structure_key[2] == "QPSK"
+        assert scheduler.queue_depth == 1  # the BPSK job still pends
+
+    def test_timeout_flush_stamped_at_exact_due_time(self, channel_uses):
+        scheduler = EDFBatchScheduler(max_batch=8, max_wait_us=100.0)
+        scheduler.submit(make_job(channel_uses, 0, 10.0))
+        assert scheduler.advance(100.0) == []
+        # Advancing far past the due time still stamps the exact due time,
+        # so coarse event loops see the same schedule as fine-grained ones.
+        batches = scheduler.advance(500.0)
+        assert len(batches) == 1
+        assert batches[0].reason == FLUSH_TIMEOUT
+        assert batches[0].flush_time_us == 110.0
+
+    def test_submission_triggers_due_timeouts_first(self, channel_uses):
+        scheduler = EDFBatchScheduler(max_batch=8, max_wait_us=100.0)
+        scheduler.submit(make_job(channel_uses, 0, 0.0, modulation="BPSK"))
+        batches = scheduler.submit(make_job(channel_uses, 1, 300.0,
+                                            modulation="QPSK"))
+        assert len(batches) == 1
+        assert batches[0].jobs[0].job_id == 0
+        assert batches[0].flush_time_us == 100.0
+
+    def test_arrival_at_exact_due_time_rides_the_flush(self, channel_uses):
+        scheduler = EDFBatchScheduler(max_batch=8, max_wait_us=100.0)
+        scheduler.submit(make_job(channel_uses, 0, 0.0))
+        # Same structure, arriving at the group's exact due time: one size-2
+        # batch at t=100, not a size-1 flush plus a stranded fresh group.
+        batches = scheduler.submit(make_job(channel_uses, 1, 100.0))
+        assert len(batches) == 1
+        assert batches[0].size == 2
+        assert batches[0].flush_time_us == 100.0
+        assert batches[0].reason == FLUSH_TIMEOUT
+        assert scheduler.queue_depth == 0
+
+    def test_arrival_after_due_time_excluded_from_stale_flush(self,
+                                                              channel_uses):
+        scheduler = EDFBatchScheduler(max_batch=8, max_wait_us=100.0)
+        scheduler.submit(make_job(channel_uses, 0, 0.0))
+        # The group's stamp (t=100) precedes this arrival (t=150): the new
+        # job must not ride in a batch flushed before it existed.
+        batches = scheduler.submit(make_job(channel_uses, 1, 150.0))
+        assert len(batches) == 1
+        assert batches[0].size == 1
+        assert batches[0].flush_time_us == 100.0
+        assert scheduler.queue_depth == 1
+
+    def test_jobs_inside_batch_are_edf_ordered(self, channel_uses):
+        scheduler = EDFBatchScheduler(max_batch=3, max_wait_us=math.inf)
+        scheduler.submit(make_job(channel_uses, 0, 0.0, deadline=900.0))
+        scheduler.submit(make_job(channel_uses, 1, 1.0, deadline=300.0))
+        batches = scheduler.submit(make_job(channel_uses, 2, 2.0,
+                                            deadline=600.0))
+        assert [job.job_id for job in batches[0].jobs] == [1, 2, 0]
+
+    def test_simultaneous_timeouts_emit_most_urgent_first(self, channel_uses):
+        scheduler = EDFBatchScheduler(max_batch=8, max_wait_us=50.0)
+        scheduler.submit(make_job(channel_uses, 0, 0.0, deadline=5_000.0,
+                                  modulation="BPSK"))
+        scheduler.submit(make_job(channel_uses, 1, 0.0, deadline=1_000.0,
+                                  modulation="QPSK"))
+        batches = scheduler.advance(200.0)
+        assert len(batches) == 2
+        assert batches[0].structure_key[2] == "QPSK"
+        assert batches[1].structure_key[2] == "BPSK"
+
+    def test_drain_flushes_everything_urgent_first(self, channel_uses):
+        scheduler = EDFBatchScheduler(max_batch=8, max_wait_us=math.inf)
+        scheduler.submit(make_job(channel_uses, 0, 0.0, deadline=5_000.0,
+                                  modulation="BPSK"))
+        scheduler.submit(make_job(channel_uses, 1, 1.0, deadline=1_000.0,
+                                  modulation="QPSK"))
+        batches = scheduler.drain(now_us=10.0)
+        assert [batch.reason for batch in batches] == [FLUSH_DRAIN] * 2
+        assert batches[0].structure_key[2] == "QPSK"
+        assert scheduler.queue_depth == 0
+
+    def test_next_due_us_tracks_oldest_pending(self, channel_uses):
+        scheduler = EDFBatchScheduler(max_batch=8, max_wait_us=100.0)
+        assert scheduler.next_due_us() == math.inf
+        scheduler.submit(make_job(channel_uses, 0, 40.0))
+        assert scheduler.next_due_us() == 140.0
+
+    def test_time_must_be_monotonic(self, channel_uses):
+        scheduler = EDFBatchScheduler()
+        scheduler.advance(100.0)
+        with pytest.raises(SchedulingError):
+            scheduler.advance(50.0)
+        with pytest.raises(SchedulingError):
+            scheduler.submit(make_job(channel_uses, 0, 10.0))
+
+    def test_counters(self, channel_uses):
+        scheduler = EDFBatchScheduler(max_batch=2, max_wait_us=math.inf)
+        scheduler.submit(make_job(channel_uses, 0, 0.0))
+        scheduler.submit(make_job(channel_uses, 1, 1.0))
+        scheduler.submit(make_job(channel_uses, 2, 2.0))
+        assert scheduler.jobs_submitted == 3
+        assert scheduler.jobs_flushed == 2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(Exception):
+            EDFBatchScheduler(max_batch=0)
+        with pytest.raises(Exception):
+            EDFBatchScheduler(max_wait_us=-1.0)
+
+
+class TestBatchedServingBitIdentical:
+    """Acceptance (a): scheduler output == serial decoding, job by job."""
+
+    def test_mixed_modulation_service_matches_serial(self):
+        trace = ArgosLikeTraceGenerator(
+            num_bs_antennas=12, num_users=3,
+            num_subcarriers=8).generate(num_frames=2, random_state=0)
+        generator = PoissonTrafficGenerator(
+            trace, modulations=("BPSK", "QPSK"),
+            mean_interarrival_us=500.0, burst_subcarriers=3,
+            user_snrs_db=(18.0, 22.0, 26.0), deadline_us=1e9)
+        jobs = generator.generate(5, random_state=2019)
+
+        parameters = AnnealerParameters(num_anneals=15)
+        service = CranService(
+            QuAMaxDecoder(QuantumAnnealerSimulator(ChimeraGraph.ideal(4, 4)),
+                          parameters),
+            max_batch=4, max_wait_us=2_000.0)
+        report = service.run(jobs)
+        assert report.jobs_completed == len(jobs)
+        # Batches actually formed (this must not silently serialise).
+        assert report.telemetry["mean_batch_fill"] > 1.0
+
+        # A *fresh* machine decodes each job serially from the job's own
+        # stream; the service results must match bit for bit.
+        serial = QuAMaxDecoder(
+            QuantumAnnealerSimulator(ChimeraGraph.ideal(4, 4)), parameters)
+        for result in report.results:
+            reference = serial.detect_with_run(result.job.channel_use,
+                                               random_state=result.job.rng())
+            np.testing.assert_array_equal(reference.detection.bits,
+                                          result.result.detection.bits)
+            np.testing.assert_array_equal(
+                reference.run.solutions.samples,
+                result.result.run.solutions.samples)
+            np.testing.assert_array_equal(
+                reference.run.solutions.energies,
+                result.result.run.solutions.energies)
+
+    def test_batching_policy_does_not_change_results(self):
+        trace = ArgosLikeTraceGenerator(
+            num_bs_antennas=8, num_users=2,
+            num_subcarriers=6).generate(num_frames=1, random_state=1)
+        generator = PoissonTrafficGenerator(
+            trace, modulations="BPSK", mean_interarrival_us=100.0,
+            burst_subcarriers=2, deadline_us=1e9)
+        jobs = generator.generate(4, random_state=7)
+        decoder = QuAMaxDecoder(
+            QuantumAnnealerSimulator(ChimeraGraph.ideal(4, 4)),
+            AnnealerParameters(num_anneals=10))
+        one = CranService(decoder, max_batch=1, max_wait_us=math.inf).run(jobs)
+        big = CranService(decoder, max_batch=8, max_wait_us=math.inf).run(jobs)
+        for a, b in zip(one.results, big.results):
+            assert a.job.job_id == b.job.job_id
+            np.testing.assert_array_equal(a.result.detection.bits,
+                                          b.result.detection.bits)
+
+
+class TestServingThroughput:
+    """Acceptance (b): full-scale bench shows >= 3x jobs/s from batching."""
+
+    @pytest.mark.cran_perf
+    def test_full_scale_bench_meets_3x(self):
+        bench_cran = load_bench_cran()
+        entry = bench_cran.bench_serving_speedup(bench_cran.SCALES["full"])
+        if entry["speedup"] < 3.0:
+            # One retry: the ~3.5x margin over the 3.0 bar is real but a
+            # noisy CI neighbour can eat it; a genuine regression fails both
+            # runs.
+            entry = bench_cran.bench_serving_speedup(bench_cran.SCALES["full"])
+        assert entry["detections_identical"]
+        assert entry["mean_batch_fill"] == entry["params"]["max_batch"] == 16
+        assert entry["speedup"] >= 3.0, (
+            f"batched serving only {entry['speedup']:.2f}x over the "
+            f"batch-size-1 scheduler")
+        # Sharing one QA-job overhead across the pack must also show up in
+        # the modelled latency, not just the wall clock.
+        assert (entry["p99_latency_us_after"]
+                < entry["p99_latency_us_before"])
+
+    def test_committed_bench_record_carries_cran_entries(self):
+        import json
+        record = json.loads(
+            (BENCH_DIR / "BENCH_core.json").read_text(encoding="utf-8"))
+        serving = record["benchmarks"]["cran_serving"]
+        assert serving["params"]["max_batch"] == 16
+        assert serving["speedup"] >= 3.0
+        assert serving["detections_identical"]
+        sweep = record["benchmarks"]["cran_load_sweep"]
+        assert len(sweep["points"]) >= 3
+        assert all("p99_latency_us" in point for point in sweep["points"])
+
+    def test_merge_refuses_cross_scale_overwrite(self, tmp_path):
+        import json
+        bench_cran = load_bench_cran()
+        output = tmp_path / "BENCH.json"
+        output.write_text(json.dumps({"scale": "full", "benchmarks": {}}))
+        # Quick-scale entries must not silently clobber a full-scale record.
+        with pytest.raises(SystemExit):
+            bench_cran.merge_report({"cran_serving": {}}, "quick", output)
+        merged = bench_cran.merge_report({"cran_serving": {"speedup": 1.0}},
+                                         "quick", output, force=True)
+        assert merged["benchmarks"]["cran_serving"] == {"speedup": 1.0}
+        assert merged["cran_scale"] == "quick"

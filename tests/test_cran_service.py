@@ -1,0 +1,298 @@
+"""Tests for the worker pool, telemetry and the end-to-end CranService."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.annealer.chimera import ChimeraGraph
+from repro.annealer.machine import AnnealerParameters, QuantumAnnealerSimulator
+from repro.channel.trace import ArgosLikeTraceGenerator
+from repro.cran.jobs import DecodeJob
+from repro.cran.scheduler import DecodeBatch
+from repro.cran.service import CranService
+from repro.cran.telemetry import TelemetryRecorder
+from repro.cran.traffic import PoissonTrafficGenerator
+from repro.cran.workers import WorkerPool
+from repro.decoder.quamax import QuAMaxDecoder
+from repro.exceptions import SchedulingError
+from repro.mimo.system import MimoUplink
+
+
+@pytest.fixture(scope="module")
+def decoder():
+    return QuAMaxDecoder(QuantumAnnealerSimulator(ChimeraGraph.ideal(4, 4)),
+                         AnnealerParameters(num_anneals=10))
+
+
+@pytest.fixture(scope="module")
+def job_pool():
+    link = MimoUplink(num_users=2, constellation="BPSK")
+    rng = np.random.default_rng(0)
+    return [
+        DecodeJob(job_id=i, user_id=0, frame=0, subcarrier=i,
+                  channel_use=link.transmit(random_state=rng),
+                  arrival_time_us=10.0 * i, deadline_us=10.0 * i + 1e6,
+                  seed=100 + i)
+        for i in range(8)
+    ]
+
+
+def make_batch(jobs, flush_time_us, reason="full"):
+    return DecodeBatch(jobs=tuple(jobs),
+                       structure_key=jobs[0].structure_key,
+                       flush_time_us=flush_time_us, reason=reason)
+
+
+class TestWorkerPool:
+    def test_inline_decode_and_accounting(self, decoder, job_pool):
+        pool = WorkerPool(decoder)
+        batch = make_batch(job_pool[:3], flush_time_us=50.0)
+        assert pool.submit(batch)
+        results = pool.results()
+        assert [r.job.job_id for r in results] == [0, 1, 2]
+        first = results[0]
+        # One shared QA-job overhead plus the pack's amortised compute.
+        expected_service = (
+            decoder.annealer.overheads.total_us(10)
+            + sum(r.result.compute_time_us for r in results))
+        assert first.start_time_us == 50.0
+        assert first.finish_time_us == pytest.approx(50.0 + expected_service)
+        # All jobs of a pack complete together.
+        assert len({r.finish_time_us for r in results}) == 1
+        assert all(r.batch_size == 3 for r in results)
+        assert all(r.deadline_met for r in results)
+
+    def test_virtual_machine_queues_consecutive_batches(self, decoder,
+                                                        job_pool):
+        pool = WorkerPool(decoder)
+        pool.submit(make_batch(job_pool[:2], flush_time_us=0.0))
+        pool.submit(make_batch(job_pool[2:4], flush_time_us=1.0))
+        results = pool.results()
+        first_finish = results[0].finish_time_us
+        second = [r for r in results if r.job.job_id == 2][0]
+        # The single virtual QA machine was busy: batch 2 starts when it
+        # frees, not at its flush time.
+        assert second.start_time_us == pytest.approx(first_finish)
+
+    def test_multiple_virtual_machines_run_in_parallel(self, decoder,
+                                                       job_pool):
+        pool = WorkerPool(decoder, num_workers=2, autostart=False)
+        pool.submit(make_batch(job_pool[:2], flush_time_us=0.0))
+        pool.submit(make_batch(job_pool[2:4], flush_time_us=1.0))
+        pool.start()
+        pool.close()
+        second = [r for r in pool.results() if r.job.job_id == 2][0]
+        assert second.start_time_us == pytest.approx(1.0)
+
+    def test_threaded_results_match_inline(self, decoder, job_pool):
+        batches = [make_batch(job_pool[i:i + 2], flush_time_us=float(i))
+                   for i in (0, 2, 4, 6)]
+        inline = WorkerPool(decoder)
+        for batch in batches:
+            inline.submit(batch)
+        threaded = WorkerPool(decoder, num_workers=1)
+        for batch in batches:
+            threaded.submit(batch)
+        threaded.close()
+        # Flush-order crediting makes the virtual timeline — not just the
+        # decoded bits — identical between inline and threaded execution.
+        for a, b in zip(inline.results(), threaded.results()):
+            np.testing.assert_array_equal(a.result.detection.bits,
+                                          b.result.detection.bits)
+            assert a.start_time_us == b.start_time_us
+            assert a.finish_time_us == b.finish_time_us
+
+    def test_threaded_accounting_deterministic_across_runs(self, decoder,
+                                                           job_pool):
+        def run_once():
+            pool = WorkerPool(decoder, num_workers=2)
+            for i in (0, 2, 4, 6):
+                pool.submit(make_batch(job_pool[i:i + 2],
+                                       flush_time_us=float(i)))
+            pool.close()
+            return [(r.job.job_id, r.start_time_us, r.finish_time_us)
+                    for r in pool.results()]
+
+        assert run_once() == run_once()
+
+    def test_blocking_submit_without_workers_raises(self, decoder, job_pool):
+        pool = WorkerPool(decoder, num_workers=1, queue_capacity=1,
+                          overload_policy="block", autostart=False)
+        assert pool.submit(make_batch(job_pool[:2], flush_time_us=0.0))
+        with pytest.raises(SchedulingError, match="start"):
+            pool.submit(make_batch(job_pool[2:4], flush_time_us=1.0))
+        pool.start()
+        pool.close()
+        assert [r.job.job_id for r in pool.results()] == [0, 1]
+
+    def test_shed_policy_drops_overflow(self, decoder, job_pool):
+        pool = WorkerPool(decoder, num_workers=1, queue_capacity=1,
+                          overload_policy="shed", autostart=False)
+        assert pool.submit(make_batch(job_pool[:2], flush_time_us=0.0))
+        assert not pool.submit(make_batch(job_pool[2:4], flush_time_us=1.0))
+        assert not pool.submit(make_batch(job_pool[4:6], flush_time_us=2.0))
+        pool.start()
+        pool.close()
+        assert [r.job.job_id for r in pool.results()] == [0, 1]
+        assert [job.job_id for job in pool.shed_jobs] == [2, 3, 4, 5]
+        assert pool.telemetry.jobs_shed == 4
+        assert pool.telemetry.shed_rate() == pytest.approx(4 / 6)
+
+    def test_submit_after_close_rejected(self, decoder, job_pool):
+        pool = WorkerPool(decoder)
+        pool.close()
+        with pytest.raises(SchedulingError):
+            pool.submit(make_batch(job_pool[:1], flush_time_us=0.0))
+
+    def test_invalid_policy_rejected(self, decoder):
+        with pytest.raises(SchedulingError):
+            WorkerPool(decoder, overload_policy="panic")
+
+    def test_inline_failure_frees_crediting_slot(self, decoder, job_pool):
+        class FlakyDecoder:
+            def __init__(self, inner):
+                self.inner = inner
+                self.calls = 0
+                self.annealer = inner.annealer
+
+            def detect_batch(self, channel_uses, **kwargs):
+                self.calls += 1
+                if self.calls == 1:
+                    raise RuntimeError("transient")
+                return self.inner.detect_batch(channel_uses, **kwargs)
+
+        pool = WorkerPool(FlakyDecoder(decoder))
+        with pytest.raises(RuntimeError):
+            pool.submit(make_batch(job_pool[:2], flush_time_us=0.0))
+        # A caller treating the failure as transient keeps serving: later
+        # batches must still decode AND be credited to results/telemetry.
+        assert pool.submit(make_batch(job_pool[2:4], flush_time_us=1.0))
+        assert [r.job.job_id for r in pool.results()] == [2, 3]
+        assert pool.telemetry.jobs_completed == 2
+        assert [job.job_id for job in pool.shed_jobs] == [0, 1]
+
+    def test_dead_worker_never_deadlocks_blocking_producer(self, job_pool):
+        class BoomDecoder:
+            def detect_batch(self, channel_uses, **kwargs):
+                raise RuntimeError("decoder exploded")
+
+        pool = WorkerPool(BoomDecoder(), num_workers=1, queue_capacity=1,
+                          overload_policy="block")
+        # Far more batches than the queue holds: if the dead worker stopped
+        # draining, the third submit would block forever.
+        for start in (0, 2, 4, 6):
+            assert pool.submit(make_batch(job_pool[start:start + 2],
+                                          flush_time_us=float(start)))
+        with pytest.raises(RuntimeError, match="decoder exploded"):
+            pool.close()
+        # Every job of every post-failure batch is accounted as shed.
+        assert pool.results() == []
+        assert len(pool.shed_jobs) == 8
+        assert pool.telemetry.jobs_shed == 8
+
+
+class TestTelemetryRecorder:
+    def test_batch_fill_and_latency(self, decoder, job_pool):
+        telemetry = TelemetryRecorder()
+        pool = WorkerPool(decoder, telemetry=telemetry)
+        pool.submit(make_batch(job_pool[:3], flush_time_us=100.0))
+        pool.submit(make_batch(job_pool[3:4], flush_time_us=200.0))
+        assert telemetry.jobs_completed == 4
+        assert telemetry.batches_decoded == 2
+        assert telemetry.batch_fill_histogram == {1: 1, 3: 1}
+        assert telemetry.mean_batch_fill() == pytest.approx(2.0)
+        summary = telemetry.latency_summary()
+        assert summary.count == 4
+        assert summary[50.0] <= summary[99.0]
+        snapshot = telemetry.snapshot()
+        assert snapshot["jobs_completed"] == 4
+        assert snapshot["latency_us"]["p99"] >= snapshot["latency_us"]["p50"]
+        assert snapshot["flush_reasons"] == {"full": 2}
+
+    def test_rolling_window_bounds_percentiles(self, decoder, job_pool):
+        telemetry = TelemetryRecorder(window=2)
+        pool = WorkerPool(decoder, telemetry=telemetry)
+        pool.submit(make_batch(job_pool[:3], flush_time_us=0.0))
+        assert telemetry.jobs_completed == 3
+        assert telemetry.latency_summary().count == 2
+
+    def test_deadline_misses_counted(self, decoder):
+        link = MimoUplink(num_users=2, constellation="BPSK")
+        # Deadline far tighter than one QA job's overhead: must be missed.
+        job = DecodeJob(job_id=0, user_id=0, frame=0, subcarrier=0,
+                        channel_use=link.transmit(random_state=1),
+                        arrival_time_us=0.0, deadline_us=10.0, seed=1)
+        telemetry = TelemetryRecorder()
+        pool = WorkerPool(decoder, telemetry=telemetry)
+        pool.submit(make_batch([job], flush_time_us=0.0))
+        assert telemetry.deadline_misses == 1
+        assert telemetry.deadline_miss_rate() == 1.0
+
+    def test_queue_depth_samples(self):
+        telemetry = TelemetryRecorder()
+        telemetry.record_queue_depth(0.0, 3)
+        telemetry.record_queue_depth(1.0, 7)
+        assert telemetry.max_queue_depth() == 7
+        assert telemetry.mean_queue_depth() == pytest.approx(5.0)
+
+    def test_queue_depth_samples_respect_window(self):
+        telemetry = TelemetryRecorder(window=2)
+        for step in range(5):
+            telemetry.record_queue_depth(float(step), step)
+        # Rolling: only the last two samples survive.
+        assert telemetry.max_queue_depth() == 4
+        assert telemetry.mean_queue_depth() == pytest.approx(3.5)
+
+    def test_empty_recorder_snapshot(self):
+        snapshot = TelemetryRecorder().snapshot()
+        assert snapshot["jobs_completed"] == 0
+        assert snapshot["throughput_jobs_per_s"] == 0.0
+        assert math.isnan(snapshot["latency_us"]["mean"])
+
+
+class TestCranService:
+    @pytest.fixture(scope="class")
+    def traffic(self):
+        trace = ArgosLikeTraceGenerator(
+            num_bs_antennas=8, num_users=2,
+            num_subcarriers=6).generate(num_frames=1, random_state=0)
+        generator = PoissonTrafficGenerator(
+            trace, modulations=("BPSK", "QPSK"),
+            mean_interarrival_us=1_000.0, burst_subcarriers=2,
+            deadline_us=500_000.0)
+        return generator.generate(6, random_state=5)
+
+    def test_serves_every_job(self, decoder, traffic):
+        report = CranService(decoder, max_batch=4,
+                             max_wait_us=5_000.0).run(traffic)
+        assert report.jobs_completed == len(traffic)
+        assert not report.shed_jobs
+        assert [r.job.job_id for r in report.results] == sorted(
+            job.job_id for job in traffic)
+        assert report.wall_time_s > 0
+        assert report.wall_jobs_per_s > 0
+        assert report.telemetry["jobs_completed"] == len(traffic)
+        assert report.telemetry["batches_decoded"] >= 1
+        assert 0.0 <= report.bit_error_rate() <= 1.0
+
+    def test_deterministic_replay(self, decoder, traffic):
+        service = CranService(decoder, max_batch=4, max_wait_us=5_000.0)
+        first = service.run(traffic)
+        second = service.run(traffic)
+        for a, b in zip(first.results, second.results):
+            np.testing.assert_array_equal(a.result.detection.bits,
+                                          b.result.detection.bits)
+            assert a.finish_time_us == b.finish_time_us
+        assert (first.telemetry["latency_us"]["p99"]
+                == second.telemetry["latency_us"]["p99"])
+
+    def test_threaded_service_matches_inline_bits(self, decoder, traffic):
+        inline = CranService(decoder, max_batch=4,
+                             max_wait_us=5_000.0).run(traffic)
+        threaded = CranService(decoder, max_batch=4, max_wait_us=5_000.0,
+                               num_workers=2).run(traffic)
+        assert threaded.jobs_completed == inline.jobs_completed
+        for a, b in zip(inline.results, threaded.results):
+            np.testing.assert_array_equal(a.result.detection.bits,
+                                          b.result.detection.bits)

@@ -158,12 +158,73 @@ class TestChunkedFrameDecode:
         with pytest.raises(DetectionError):
             pipeline.decode_frame(channel_uses, frame_size_bytes=1,
                                   random_state=0, chunk_size=2)
+        with pytest.raises(DetectionError):
+            pipeline.decode_frame(channel_uses, frame_size_bytes=1,
+                                  random_state=0, chunk_size="auto")
 
     def test_invalid_chunk_size_rejected(self, pipeline):
         channel_uses = make_channel_uses(2, seed=11)
         with pytest.raises(ConfigurationError):
             pipeline.decode_frame(channel_uses, frame_size_bytes=1,
                                   random_state=0, batched=True, chunk_size=0)
+
+
+class TestAutoChunkedFrameDecode:
+    """chunk_size="auto": adaptive sizing from the running decode estimate."""
+
+    def test_auto_lands_on_serial_exit_in_one_submission(self, pipeline):
+        # 3 users x 2 bits = 6 bits per use; a 3-byte frame needs exactly 4
+        # uses, and the running estimate knows that before the first chunk.
+        channel_uses = make_channel_uses(10, seed=9)
+        counter = CountingDecoder(pipeline.decoder)
+        counting = OFDMDecodingPipeline(counter)
+        result = counting.decode_frame(channel_uses, frame_size_bytes=3,
+                                       random_state=12, batched=True,
+                                       chunk_size="auto")
+        assert result.is_complete
+        assert counter.batch_calls == 1
+        assert counter.uses_decoded == 4
+        assert result.num_decoded == 4
+
+    def test_auto_matches_serial_work_exactly(self, pipeline):
+        channel_uses = make_channel_uses(10, seed=10)
+        serial = pipeline.decode_frame(channel_uses, frame_size_bytes=3,
+                                       random_state=13)
+        auto = pipeline.decode_frame(channel_uses, frame_size_bytes=3,
+                                     random_state=13, batched=True,
+                                     chunk_size="auto")
+        # Fixed-size chunking may overshoot by up to a chunk; auto must not
+        # overshoot at all (this is the fixed-chunk efficiency gap closing).
+        assert auto.num_decoded == serial.num_decoded
+        assert auto.bits_accumulated == serial.bits_accumulated
+        assert auto.bit_errors() == serial.bit_errors()
+        assert auto.total_compute_time_us == serial.total_compute_time_us
+        for a, b in zip(serial.subcarrier_results, auto.subcarrier_results):
+            assert a.subcarrier == b.subcarrier
+            np.testing.assert_array_equal(a.result.detection.bits,
+                                          b.result.detection.bits)
+
+    def test_auto_estimate_walks_actual_payload_sizes(self, pipeline):
+        # A frame larger than the remaining channel uses: the estimate caps
+        # at the available uses and decodes them all in one submission.
+        channel_uses = make_channel_uses(3, seed=12)
+        counter = CountingDecoder(pipeline.decoder)
+        counting = OFDMDecodingPipeline(counter)
+        result = counting.decode_frame(channel_uses, frame_size_bytes=50,
+                                       random_state=14, batched=True,
+                                       chunk_size="auto")
+        assert not result.is_complete
+        assert counter.batch_calls == 1
+        assert result.num_decoded == 3
+
+    def test_auto_chunk_size_helper(self):
+        channel_uses = make_channel_uses(5, seed=13)  # 6 bits per use
+        estimate = OFDMDecodingPipeline._auto_chunk_size
+        assert estimate(channel_uses, 0, 24) == 4
+        assert estimate(channel_uses, 0, 25) == 5
+        assert estimate(channel_uses, 3, 6) == 1
+        assert estimate(channel_uses, 0, 999) == 5  # capped at what is left
+        assert estimate(channel_uses, 4, 1) == 1
 
 
 class TestDecodeFrame:

@@ -31,7 +31,7 @@ class TestExamplesPresence:
 
     @pytest.mark.parametrize("name", [
         "quickstart", "large_mimo_uplink", "annealer_parameter_tuning",
-        "trace_driven_cran",
+        "trace_driven_cran", "cran_serving",
     ])
     def test_examples_have_docstring_and_main(self, name):
         module = load_example(name)
@@ -67,6 +67,24 @@ class TestParameterTuningHelpers:
                                 pause_time_us=1.0, num_instances=1,
                                 num_anneals=40, seed=5)
         assert tts > 0
+
+
+class TestCranServingHelpers:
+    def test_build_workload_and_describe(self, capsys):
+        module = load_example("cran_serving")
+        jobs = module.build_workload(num_bursts=2, seed=0)
+        assert len(jobs) == 8
+        from repro import CranService, QuAMaxDecoder, QuantumAnnealerSimulator
+        from repro.annealer.chimera import ChimeraGraph
+        from repro.annealer.machine import AnnealerParameters
+        decoder = QuAMaxDecoder(QuantumAnnealerSimulator(ChimeraGraph.ideal(4, 4)),
+                                AnnealerParameters(num_anneals=5))
+        report = CranService(decoder, max_batch=4,
+                             max_wait_us=10_000.0).run(jobs)
+        module.describe("demo", report)
+        output = capsys.readouterr().out
+        assert "jobs/s" in output
+        assert "batch fill" in output
 
 
 class TestTraceDrivenHelpers:

@@ -98,6 +98,23 @@ class TestGoldenDigests:
                 == array_digest(frame_payload(serial)))
         golden("decode_frame_chunked", frame_payload(chunked))
 
+    def test_decode_frame_auto_chunked(self, pipeline, channel_uses, golden,
+                                       array_digest):
+        # The adaptive mode must sit on the very same seeded stream as the
+        # serial early-exit decode (same child-stream derivation, no draws
+        # added or dropped by the estimator), and that stream is frozen.
+        serial = pipeline.decode_frame(channel_uses,
+                                       frame_size_bytes=FRAME_BYTES,
+                                       random_state=SEED)
+        auto = pipeline.decode_frame(channel_uses,
+                                     frame_size_bytes=FRAME_BYTES,
+                                     random_state=SEED,
+                                     batched=True, chunk_size="auto")
+        assert auto.num_decoded == serial.num_decoded
+        assert (array_digest(frame_payload(auto))
+                == array_digest(frame_payload(serial)))
+        golden("decode_frame_auto_chunked", frame_payload(auto))
+
     def test_dense_kernel_sampler_stream(self, golden):
         # Guards the engine-level stream the decode paths sit on: a dense
         # logical problem sampled through the auto-dispatched dense kernel.
