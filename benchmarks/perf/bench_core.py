@@ -11,6 +11,17 @@ its own perf trajectory:
   problem: the colour-class kernel, degenerated to singleton classes, versus
   the dense sequential-sweep kernel with incrementally maintained local
   fields (``kernel="dense"``, what ``kernel="auto"`` dispatches to here);
+  both sides pinned to the numpy backend so the pair isolates the *kernel*
+  choice;
+* ``compiled_backend`` — the same dense sequential sweep: the numpy
+  reference loop versus the best available compiled backend
+  (``backend="auto"`` → numba or the C extension), the "escape the
+  interpreter" pair; skipped gracefully (recorded with
+  ``compiled_available: false``) when neither numba nor a C compiler is
+  present;
+* ``cluster_fields`` — the dense kernel with chain clusters: recomputing the
+  local-field matrix after every cluster sweep versus the incremental
+  cluster-flip field updates;
 * ``annealer_engine`` — one ICE-batch cycle of the machine model: rebuilding
   the :class:`IsingSampler` (colour classes + CSR slicing) per batch versus
   rebinding the cached structure with :meth:`IsingSampler.refresh_values`;
@@ -48,14 +59,30 @@ SCALES = {
                   engine_users=3, engine_batches=8, engine_anneals=25,
                   decode_users=3, decode_subcarriers=8, decode_anneals=50,
                   chunk_subcarriers=12, chunk_frame_bytes=3, chunk_size=2,
-                  chunk_anneals=50),
+                  chunk_anneals=50,
+                  cluster_variables=96, cluster_chain=16,
+                  cluster_replicas=32, cluster_sweeps=50),
     "full": dict(sa_variables=24, sa_reads=100, sa_sweeps=200,
                  dense_variables=24, dense_replicas=100, dense_sweeps=200,
                  engine_users=4, engine_batches=12, engine_anneals=25,
                  decode_users=3, decode_subcarriers=16, decode_anneals=100,
                  chunk_subcarriers=16, chunk_frame_bytes=3, chunk_size=2,
-                 chunk_anneals=100),
+                 chunk_anneals=100,
+                 cluster_variables=128, cluster_chain=16,
+                 cluster_replicas=96, cluster_sweeps=150),
 }
+
+
+def _dense_ising(num_variables: int, seed: int):
+    from repro.ising.model import IsingModel
+
+    rng = np.random.default_rng(seed)
+    couplings = {(i, j): float(rng.normal())
+                 for i in range(num_variables)
+                 for j in range(i + 1, num_variables)}
+    return IsingModel(num_variables=num_variables,
+                      linear=rng.normal(size=num_variables),
+                      couplings=couplings)
 
 
 def _timed(function, *args, **kwargs):
@@ -94,21 +121,18 @@ def bench_sa_solver(num_variables: int, num_reads: int, num_sweeps: int,
 
 def bench_dense_kernel(num_variables: int, num_replicas: int,
                        num_sweeps: int, seed: int = 0) -> dict:
-    """Colour-class kernel vs. dense sequential-sweep kernel, dense problem."""
+    """Colour-class kernel vs. dense sequential-sweep kernel, dense problem.
+
+    Both sides run the numpy backend: this pair isolates the *kernel*
+    choice; ``compiled_backend`` below isolates the *backend* choice.
+    """
     from repro.annealer.engine import IsingSampler
-    from repro.ising.model import IsingModel
     from repro.ising.solver import geometric_temperature_schedule
 
-    rng = np.random.default_rng(seed)
-    couplings = {(i, j): float(rng.normal())
-                 for i in range(num_variables)
-                 for j in range(i + 1, num_variables)}
-    ising = IsingModel(num_variables=num_variables,
-                       linear=rng.normal(size=num_variables),
-                       couplings=couplings)
+    ising = _dense_ising(num_variables, seed)
     temperatures = geometric_temperature_schedule(num_sweeps, 5.0, 0.05)
-    colour = IsingSampler(ising, kernel="colour")
-    dense = IsingSampler(ising, kernel="dense")
+    colour = IsingSampler(ising, kernel="colour", backend="numpy")
+    dense = IsingSampler(ising, kernel="dense", backend="numpy")
     # Warm both kernels so one-time NumPy/scipy dispatch setup is excluded.
     colour.anneal(temperatures[:2], 2, random_state=seed)
     dense.anneal(temperatures[:2], 2, random_state=seed)
@@ -124,6 +148,113 @@ def bench_dense_kernel(num_variables: int, num_replicas: int,
         "speedup": before_s / after_s,
         "auto_dispatches_dense": IsingSampler(ising).selected_kernel == "dense",
         "samples_identical": bool(np.array_equal(colour_spins, dense_spins)),
+    }
+
+
+def bench_compiled_backend(num_variables: int, num_replicas: int,
+                           num_sweeps: int, seed: int = 0) -> dict:
+    """Numpy dense sequential sweep vs. the best compiled backend.
+
+    The acceptance pair of the backend layer: the same dense logical anneal
+    (identical seeded samples) with the inner loop in the interpreter versus
+    JIT/C.  Records which compiled backend ran and which were available, so
+    a record produced on a machine without numba is explicit about it.
+    """
+    from repro.annealer import backends
+    from repro.annealer.engine import IsingSampler
+    from repro.ising.solver import geometric_temperature_schedule
+
+    ising = _dense_ising(num_variables, seed)
+    temperatures = geometric_temperature_schedule(num_sweeps, 5.0, 0.05)
+    resolved = backends.resolve_backend("auto")
+    entry = {
+        "params": {"num_variables": num_variables,
+                   "num_replicas": num_replicas, "num_sweeps": num_sweeps},
+        "numba_available": backends.numba_available(),
+        "cext_available": backends.cext_available(),
+        "compiled_backend": resolved if resolved != "numpy" else None,
+        "compiled_available": resolved != "numpy",
+    }
+    python_sampler = IsingSampler(ising, kernel="dense", backend="numpy")
+    # Warm numpy dispatch setup out of the timed region.
+    python_sampler.anneal(temperatures[:2], 2, random_state=seed)
+    before_s, python_spins = _timed(python_sampler.anneal, temperatures,
+                                    num_replicas, seed + 1)
+    entry["before_s"] = before_s
+    if resolved == "numpy":
+        entry["after_s"] = None
+        entry["speedup"] = None
+        entry["samples_identical"] = None
+        return entry
+    compiled_sampler = IsingSampler(ising, kernel="dense", backend=resolved)
+    # Construction already warmed the JIT/compile cache; one tiny anneal
+    # also warms the per-call glue.
+    compiled_sampler.anneal(temperatures[:2], 2, random_state=seed)
+    after_s, compiled_spins = _timed(compiled_sampler.anneal, temperatures,
+                                     num_replicas, seed + 1)
+    entry["after_s"] = after_s
+    entry["speedup"] = before_s / after_s
+    entry["samples_identical"] = bool(np.array_equal(python_spins,
+                                                     compiled_spins))
+    return entry
+
+
+def bench_cluster_fields(num_variables: int, chain_length: int,
+                         num_replicas: int, num_sweeps: int,
+                         seed: int = 0) -> dict:
+    """Per-sweep dense field recompute vs. incremental cluster-flip updates.
+
+    The dense kernel run with chain clusters used to recompute the whole
+    ``(R x P) @ (P x P)`` local-field matrix after every cluster sweep; the
+    incremental path adds each accepted cluster's
+    ``(accepted x |C|) @ (|C| x P)`` contribution instead.  The workload is
+    embedded-shaped — ferromagnetic *path* chains plus sparse cross
+    couplings, the regime the ROADMAP item targets — and both sides run the
+    numpy backend so the pair isolates the field-maintenance change.
+    Streams are identical either way.  The residual gap to the ideal is the
+    cluster sweep's own per-cluster Python/sparse overhead, which the
+    incremental path does not touch.
+    """
+    from repro.annealer.engine import IsingSampler
+    from repro.ising.model import IsingModel
+    from repro.ising.solver import geometric_temperature_schedule
+
+    rng = np.random.default_rng(seed)
+    couplings = {}
+    clusters = []
+    for start in range(0, num_variables, chain_length):
+        members = np.arange(start, start + chain_length, dtype=np.intp)
+        clusters.append(members)
+        for a, b in zip(members[:-1], members[1:]):
+            couplings[(int(a), int(b))] = -2.0
+    for i in range(num_variables):
+        for j in range(i + 1, num_variables):
+            if (i, j) not in couplings and rng.random() < 0.05:
+                couplings[(i, j)] = float(rng.normal())
+    ising = IsingModel(num_variables=num_variables,
+                       linear=rng.normal(size=num_variables),
+                       couplings=couplings)
+    temperatures = geometric_temperature_schedule(num_sweeps, 5.0, 0.05)
+    recompute = IsingSampler(ising, clusters=clusters, kernel="dense",
+                             backend="numpy")
+    recompute.incremental_cluster_fields = False
+    incremental = IsingSampler(ising, clusters=clusters, kernel="dense",
+                               backend="numpy")
+    recompute.anneal(temperatures[:2], 2, random_state=seed)
+    incremental.anneal(temperatures[:2], 2, random_state=seed)
+    before_s, before_spins = _timed(recompute.anneal, temperatures,
+                                    num_replicas, seed + 1)
+    after_s, after_spins = _timed(incremental.anneal, temperatures,
+                                  num_replicas, seed + 1)
+    return {
+        "params": {"num_variables": num_variables,
+                   "chain_length": chain_length,
+                   "num_replicas": num_replicas, "num_sweeps": num_sweeps,
+                   "num_clusters": len(clusters)},
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+        "samples_identical": bool(np.array_equal(before_spins, after_spins)),
     }
 
 
@@ -284,6 +415,12 @@ def run_suite(scale: str = "quick") -> dict:
             "dense_kernel": bench_dense_kernel(
                 knobs["dense_variables"], knobs["dense_replicas"],
                 knobs["dense_sweeps"]),
+            "compiled_backend": bench_compiled_backend(
+                knobs["dense_variables"], knobs["dense_replicas"],
+                knobs["dense_sweeps"]),
+            "cluster_fields": bench_cluster_fields(
+                knobs["cluster_variables"], knobs["cluster_chain"],
+                knobs["cluster_replicas"], knobs["cluster_sweeps"]),
             "annealer_engine": bench_annealer_engine(
                 knobs["engine_users"], knobs["engine_batches"],
                 knobs["engine_anneals"]),
@@ -308,6 +445,10 @@ def main() -> None:
     args.output.write_text(json.dumps(report, indent=2) + "\n",
                            encoding="utf-8")
     for name, entry in report["benchmarks"].items():
+        if entry.get("after_s") is None:
+            print(f"{name:16s}  before {entry['before_s']:8.3f}s  "
+                  f"after      n/a   (no compiled backend available)")
+            continue
         print(f"{name:16s}  before {entry['before_s']:8.3f}s  "
               f"after {entry['after_s']:8.3f}s  "
               f"speedup {entry['speedup']:6.1f}x")

@@ -13,6 +13,14 @@ Two measurements over a synthetic Argos-like trace workload:
 * ``cran_load_sweep`` — the same service at three offered loads (under,
   near, over the pool's service rate), recording virtual throughput, p50/p99
   latency, batch fill and deadline misses at each point.
+* ``cran_process_scaling`` — the saturating load replayed through
+  ``mode="process"`` worker pools of 1, 2 and 4 processes (plus the inline
+  reference), recording the wall-clock jobs/s curve and the machine's core
+  count (the curve can only scale to the cores actually present).
+* ``cran_adaptive_wait`` — a low offered load with tight deadlines served
+  with the fixed ``max_wait_us`` timeout versus the deadline-driven adaptive
+  wait (``adaptive_wait=True``): identical detections, lower p99 latency and
+  fewer deadline misses.
 
 Results are *merged* into ``BENCH_core.json`` (next to this file by default)
 alongside the core benchmarks, preserving whatever entries are already there.
@@ -41,12 +49,18 @@ SCALES = {
                   num_frames=2, num_bursts=6, burst_subcarriers=4,
                   max_batch=8, num_anneals=25, max_wait_us=50_000.0,
                   sweep_interarrival_us=(2_000.0, 20_000.0, 60_000.0),
-                  sweep_bursts=4, deadline_us=120_000.0),
+                  sweep_bursts=4, deadline_us=120_000.0,
+                  process_workers=(1, 2), process_bursts=4,
+                  adaptive_interarrival_us=40_000.0, adaptive_bursts=6,
+                  adaptive_deadline_us=60_000.0),
     "full": dict(num_users=3, num_bs_antennas=12, num_subcarriers=16,
                  num_frames=2, num_bursts=16, burst_subcarriers=4,
                  max_batch=16, num_anneals=50, max_wait_us=200_000.0,
                  sweep_interarrival_us=(2_000.0, 20_000.0, 60_000.0),
-                 sweep_bursts=8, deadline_us=120_000.0),
+                 sweep_bursts=8, deadline_us=120_000.0,
+                 process_workers=(1, 2, 4), process_bursts=12,
+                 adaptive_interarrival_us=100_000.0, adaptive_bursts=12,
+                 adaptive_deadline_us=150_000.0),
 }
 
 
@@ -172,12 +186,102 @@ def bench_offered_load_sweep(knobs: dict, seed: int = 0) -> dict:
     }
 
 
+def bench_process_scaling(knobs: dict, seed: int = 0) -> dict:
+    """Wall-clock jobs/s of the process pool at 1..N workers, saturating load."""
+    import os
+
+    import numpy as np
+
+    from repro.cran.service import CranService
+
+    trace = _make_trace(knobs, seed)
+    decoder = _make_decoder(knobs["num_anneals"])
+    jobs = _make_jobs(knobs, trace, mean_interarrival_us=10.0,
+                      num_bursts=knobs["process_bursts"], seed=seed)
+    # Warm the embedding cache (the pickled decoder ships it to every
+    # worker) so all points time pure serving work.
+    inline_service = CranService(decoder, max_batch=knobs["max_batch"],
+                                 max_wait_us=knobs["max_wait_us"])
+    inline_service.run(jobs[:1])
+    inline_s, inline_report = _timed(inline_service.run, jobs)
+    points = []
+    identical = True
+    for workers in knobs["process_workers"]:
+        service = CranService(decoder, max_batch=knobs["max_batch"],
+                              max_wait_us=knobs["max_wait_us"],
+                              num_workers=workers, mode="process")
+        wall_s, report = _timed(service.run, jobs)
+        identical = identical and all(
+            np.array_equal(a.result.detection.bits, b.result.detection.bits)
+            for a, b in zip(inline_report.results, report.results))
+        points.append({
+            "num_workers": workers,
+            "wall_s": wall_s,
+            "wall_jobs_per_s": len(jobs) / wall_s,
+            "speedup_vs_inline": inline_s / wall_s,
+        })
+    return {
+        "params": {
+            "num_jobs": len(jobs),
+            "max_batch": knobs["max_batch"],
+            "num_anneals": knobs["num_anneals"],
+            "cpu_cores": os.cpu_count(),
+        },
+        "inline_s": inline_s,
+        "inline_jobs_per_s": len(jobs) / inline_s,
+        "points": points,
+        "detections_identical": identical,
+    }
+
+
+def bench_adaptive_wait(knobs: dict, seed: int = 0) -> dict:
+    """Fixed max_wait timeout vs. deadline-driven adaptive wait, low load."""
+    import numpy as np
+
+    from repro.cran.service import CranService
+
+    trace = _make_trace(knobs, seed)
+    decoder = _make_decoder(knobs["num_anneals"])
+    generator_knobs = dict(knobs, deadline_us=knobs["adaptive_deadline_us"])
+    jobs = _make_jobs(generator_knobs, trace,
+                      mean_interarrival_us=knobs["adaptive_interarrival_us"],
+                      num_bursts=knobs["adaptive_bursts"], seed=seed + 2)
+    fixed = CranService(decoder, max_batch=knobs["max_batch"],
+                        max_wait_us=knobs["max_wait_us"]).run(jobs)
+    adaptive = CranService(decoder, max_batch=knobs["max_batch"],
+                           max_wait_us=knobs["max_wait_us"],
+                           adaptive_wait=True).run(jobs)
+    identical = all(
+        np.array_equal(a.result.detection.bits, b.result.detection.bits)
+        for a, b in zip(fixed.results, adaptive.results))
+    return {
+        "params": {
+            "num_jobs": len(jobs),
+            "max_batch": knobs["max_batch"],
+            "max_wait_us": knobs["max_wait_us"],
+            "deadline_us": knobs["adaptive_deadline_us"],
+            "mean_interarrival_us": knobs["adaptive_interarrival_us"],
+            "num_anneals": knobs["num_anneals"],
+        },
+        "p50_latency_us_fixed": fixed.telemetry["latency_us"]["p50"],
+        "p50_latency_us_adaptive": adaptive.telemetry["latency_us"]["p50"],
+        "p99_latency_us_fixed": fixed.telemetry["latency_us"]["p99"],
+        "p99_latency_us_adaptive": adaptive.telemetry["latency_us"]["p99"],
+        "deadline_miss_rate_fixed": fixed.telemetry["deadline_miss_rate"],
+        "deadline_miss_rate_adaptive":
+            adaptive.telemetry["deadline_miss_rate"],
+        "detections_identical": identical,
+    }
+
+
 def run_suite(scale: str = "quick") -> dict:
-    """Run both C-RAN benchmarks at *scale* and return their entries."""
+    """Run the C-RAN benchmarks at *scale* and return their entries."""
     knobs = SCALES[scale]
     return {
         "cran_serving": bench_serving_speedup(knobs),
         "cran_load_sweep": bench_offered_load_sweep(knobs),
+        "cran_process_scaling": bench_process_scaling(knobs),
+        "cran_adaptive_wait": bench_adaptive_wait(knobs),
     }
 
 
@@ -228,6 +332,18 @@ def main() -> None:
               f"jobs/s  p99 {point['p99_latency_us']:10.0f} us  "
               f"miss {point['deadline_miss_rate']:.2f}  "
               f"fill {point['mean_batch_fill']:.1f}")
+    scaling = entries["cran_process_scaling"]
+    print(f"cran_process      inline {scaling['inline_jobs_per_s']:8.1f} "
+          f"jobs/s  (cores={scaling['params']['cpu_cores']})")
+    for point in scaling["points"]:
+        print(f"cran_process      {point['num_workers']} workers "
+              f"{point['wall_jobs_per_s']:8.1f} jobs/s  "
+              f"x{point['speedup_vs_inline']:.2f} vs inline")
+    adaptive = entries["cran_adaptive_wait"]
+    print(f"cran_adaptive     p99 fixed {adaptive['p99_latency_us_fixed']:10.0f} us"
+          f"  adaptive {adaptive['p99_latency_us_adaptive']:10.0f} us  "
+          f"miss {adaptive['deadline_miss_rate_fixed']:.2f}"
+          f" -> {adaptive['deadline_miss_rate_adaptive']:.2f}")
     print(f"wrote {args.output}")
 
 

@@ -35,8 +35,8 @@ class TestPerfSmoke:
     def test_report_written(self, quick_report, output_dir):
         recorded = json.loads((output_dir / "BENCH_core.json").read_text())
         assert set(recorded["benchmarks"]) == {
-            "sa_solver", "dense_kernel", "annealer_engine", "frame_decode",
-            "chunked_frame"}
+            "sa_solver", "dense_kernel", "compiled_backend", "cluster_fields",
+            "annealer_engine", "frame_decode", "chunked_frame"}
 
     def test_sa_solver_vectorisation_holds(self, quick_report):
         entry = quick_report["benchmarks"]["sa_solver"]
@@ -77,3 +77,21 @@ class TestPerfSmoke:
         assert entry["detections_identical"]
         # ~3-5x measured; 1.5x is the loud-failure bar.
         assert entry["speedup"] >= 1.5
+
+    def test_compiled_backend_escapes_the_interpreter(self, quick_report):
+        entry = quick_report["benchmarks"]["compiled_backend"]
+        if not entry["compiled_available"]:
+            pytest.skip("no compiled backend (numba or C compiler) here")
+        # Samples must be bit-identical; ~10x measured at quick scale, the
+        # full-scale acceptance bar is 5x — 2x is the loud-failure bar for
+        # tiny sizes on noisy runners.
+        assert entry["samples_identical"]
+        assert entry["speedup"] >= 2.0
+
+    def test_cluster_fields_incremental_not_slower(self, quick_report):
+        entry = quick_report["benchmarks"]["cluster_fields"]
+        assert entry["samples_identical"]
+        # The win is modest (~1.2x at full scale; the cluster sweep's own
+        # per-cluster overhead dominates at quick scale) — the guard is that
+        # incremental updates never clearly lose to the per-sweep recompute.
+        assert entry["speedup"] >= 0.85

@@ -17,11 +17,15 @@ that pool up in software and drives it with realistic traffic:
 The same offered load is replayed through a batch-size-1 scheduler first, so
 the printout shows exactly what structure-keyed batching buys — with decode
 results that are bit-for-bit identical between the two (batching is pure
-scheduling, never a numerics change).
+scheduling, never a numerics change).  The demo then walks the execution
+matrix on the very same load: the compiled sweep backend
+(``backend="auto"`` → numba/C when available), the multi-core process pool
+(``mode="process"``), and the deadline-driven adaptive wait
+(``adaptive_wait=True``) — every variant decoding to identical bits.
 
 Run with::
 
-    python examples/cran_serving.py [--bursts 8] [--max-batch 8]
+    python examples/cran_serving.py [--bursts 8] [--max-batch 8] [--workers 2]
 """
 
 from __future__ import annotations
@@ -68,25 +72,39 @@ def describe(tag: str, report) -> None:
           f"{'n/a' if ber is None else f'{ber:.4f}'}")
 
 
+def identical_bits(reference, report) -> bool:
+    return all(
+        (a.result.detection.bits == b.result.detection.bits).all()
+        for a, b in zip(reference.results, report.results))
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bursts", type=int, default=8)
     parser.add_argument("--max-batch", type=int, default=8)
     parser.add_argument("--max-wait-ms", type=float, default=50.0)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for the mode='process' pass")
     parser.add_argument("--seed", type=int, default=2019)
     args = parser.parse_args()
+
+    from repro.annealer import backends
 
     print("Generating Poisson multi-user workload over an Argos-like trace...")
     jobs = build_workload(args.bursts, args.seed)
     modulations = sorted({job.modulation for job in jobs})
     print(f"Offered load: {len(jobs)} jobs in {args.bursts} bursts, "
-          f"modulations {modulations}\n")
+          f"modulations {modulations}")
+    print(f"Compiled sweep backends available: "
+          f"{', '.join(backends.available_backends())} "
+          f"(auto -> {backends.resolve_backend('auto')})\n")
 
     decoder = QuAMaxDecoder(QuantumAnnealerSimulator(),
                             AnnealerParameters(num_anneals=25))
+    max_wait_us = args.max_wait_ms * 1e3
     serial = CranService(decoder, max_batch=1, max_wait_us=math.inf)
     batched = CranService(decoder, max_batch=args.max_batch,
-                          max_wait_us=args.max_wait_ms * 1e3)
+                          max_wait_us=max_wait_us)
 
     serial_report = serial.run(jobs)
     describe("batch=1", serial_report)
@@ -94,11 +112,23 @@ def main() -> None:
     describe(f"batch={args.max_batch}", batched_report)
 
     speedup = serial_report.wall_time_s / batched_report.wall_time_s
-    identical = all(
-        (a.result.detection.bits == b.result.detection.bits).all()
-        for a, b in zip(serial_report.results, batched_report.results))
     print(f"\nStructure-keyed batching: {speedup:.1f}x jobs/s, decode "
-          f"results identical: {identical}")
+          f"results identical: {identical_bits(serial_report, batched_report)}")
+
+    # The rest of the execution matrix, same load, same bits every time.
+    process_report = CranService(decoder, max_batch=args.max_batch,
+                                 max_wait_us=max_wait_us,
+                                 num_workers=args.workers,
+                                 mode="process").run(jobs)
+    describe(f"{args.workers}-proc", process_report)
+    adaptive_report = CranService(decoder, max_batch=args.max_batch,
+                                  max_wait_us=max_wait_us,
+                                  adaptive_wait=True).run(jobs)
+    describe("adaptive", adaptive_report)
+    print(f"\nProcess pool identical: "
+          f"{identical_bits(serial_report, process_report)}; "
+          f"adaptive wait identical: "
+          f"{identical_bits(serial_report, adaptive_report)}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,548 @@
+"""Compiled sweep-kernel backends for the Metropolis engine.
+
+The engine's two sweep kernels (dense sequential and colour-class, see
+:mod:`repro.annealer.engine`) are exact single-spin-flip Metropolis dynamics
+whose *hot loop* is a Python ``for`` over variables (dense) or classes
+(colour).  This module provides drop-in compiled implementations of those
+inner loops behind a ``backend=`` seam:
+
+* ``"numpy"`` — the pure NumPy/Python reference loops in ``engine.py``
+  (always available; the behavioural definition of the dynamics);
+* ``"numba"`` — ``@njit`` translations of the same loops.  Numba implements
+  :class:`numpy.random.Generator` on top of the *same* BitGenerator state,
+  so the jitted kernels consume the exact per-variable draw stream of the
+  reference loops;
+* ``"cext"`` — a small C kernel compiled on first use with the system C
+  compiler and driven through :mod:`ctypes`.  It draws from the caller's
+  generator through the BitGenerator's ``next_double`` function pointer (the
+  same extension point Numba and Cython use), so it too consumes the exact
+  reference draw stream;
+* ``"auto"`` — ``numba`` when importable, else ``cext`` when a working C
+  compiler is found, else ``numpy``.
+
+Draw-stream discipline
+----------------------
+
+All backends make identical Metropolis *decisions* from identical draws: for
+every visited variable the uphill replicas draw one uniform each, in
+ascending replica order — exactly the order in which the NumPy loops consume
+``rng.random(count)``.  The only way a compiled backend can diverge from the
+NumPy loops is a one-ulp difference between the vectorised ``np.exp`` and the
+scalar libm ``exp`` flipping an acceptance whose uniform draw lands inside
+that last-ulp window; the probability is ~1e-16 per uphill draw (~1e-10 over
+a full QA run), which is why the equivalence and golden suites — which compare
+seeded streams bit-for-bit across backends — hold in practice.  Floating
+contraction is disabled in both compiled backends (no FMA), so the arithmetic
+itself matches the NumPy loops operation for operation.
+
+Compile-cost discipline
+-----------------------
+
+Both compiled backends pay a one-time cost (JIT compilation for numba, a
+``cc -O2 -shared`` invocation for cext).  :func:`warmup` forces that cost
+eagerly and caches the result per process; the samplers call it at
+construction time, so the first *timed* anneal never includes compilation.
+The cext shared object is additionally cached on disk keyed by a hash of the
+C source, so later processes (e.g. the process-pool serving workers) only pay
+a ``dlopen``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import AnnealerError
+
+#: Valid values of the ``backend=`` knob of the samplers.
+BACKENDS = ("auto", "numpy", "numba", "cext")
+
+#: Backends that run compiled code (everything except the reference loops).
+COMPILED_BACKENDS = ("numba", "cext")
+
+# --------------------------------------------------------------------------- #
+# Availability probes (each cached; monkeypatchable for fallback tests)
+# --------------------------------------------------------------------------- #
+
+_NUMBA_STATE: Dict[str, object] = {"checked": False, "available": False}
+_CEXT_STATE: Dict[str, object] = {"checked": False, "lib": None}
+_WARMED: set = set()
+
+
+def numba_available() -> bool:
+    """Whether the numba JIT backend can be used (numba importable)."""
+    if not _NUMBA_STATE["checked"]:
+        try:
+            import numba  # noqa: F401
+            _NUMBA_STATE["available"] = True
+        except ImportError:
+            _NUMBA_STATE["available"] = False
+        _NUMBA_STATE["checked"] = True
+    return bool(_NUMBA_STATE["available"])
+
+
+def cext_available() -> bool:
+    """Whether the C-extension backend can be used (compiler + dlopen work)."""
+    return _load_cext() is not None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Concrete backends usable in this process, ``"numpy"`` always first."""
+    names = ["numpy"]
+    if numba_available():
+        names.append("numba")
+    if cext_available():
+        names.append("cext")
+    return tuple(names)
+
+
+def resolve_backend(backend: str) -> str:
+    """Map a ``backend=`` knob value to the concrete backend that will run.
+
+    ``"auto"`` prefers numba, falls back to the C extension, and lands on the
+    NumPy reference loops when no compiled backend is available — so code
+    written against ``backend="auto"`` degrades gracefully on machines
+    without numba or a C compiler.  Explicitly requesting an unavailable
+    compiled backend raises :class:`AnnealerError` (a typo or a missing
+    dependency should be loud, not silently slow).
+    """
+    if backend not in BACKENDS:
+        raise AnnealerError(
+            f"backend must be one of {BACKENDS}, got {backend!r}")
+    if backend == "auto":
+        if numba_available():
+            return "numba"
+        if cext_available():
+            return "cext"
+        return "numpy"
+    if backend == "numba" and not numba_available():
+        raise AnnealerError(
+            "backend='numba' requested but numba is not importable; install "
+            "numba or use backend='auto' for graceful fallback")
+    if backend == "cext" and not cext_available():
+        raise AnnealerError(
+            "backend='cext' requested but no working C compiler/loader was "
+            "found; use backend='auto' for graceful fallback")
+    return backend
+
+
+def warmup(backend: str) -> None:
+    """Force the backend's one-time compile cost now, once per process.
+
+    For ``numba`` this JIT-compiles both sweep kernels on toy inputs; for
+    ``cext`` it compiles (or dlopens the cached) shared object.  Samplers
+    call this at construction, so first-anneal timings never include
+    compilation.  No-op for ``numpy``/already-warm backends.
+    """
+    backend = resolve_backend(backend)
+    if backend in _WARMED or backend == "numpy":
+        return
+    spins = np.ones((2, 2))
+    fields = spins.copy()
+    matrix = np.zeros((2, 2))
+    order = np.arange(2, dtype=np.int64)
+    temperatures = np.array([1.0])
+    rng = np.random.default_rng(0)
+    dense_sweep(backend, spins, fields, matrix, order, temperatures, rng)
+    members = np.arange(2, dtype=np.int64)
+    class_starts = np.array([0, 1, 2], dtype=np.int64)
+    data = np.zeros(0)
+    indices = np.zeros(0, dtype=np.int64)
+    indptr = np.zeros(3, dtype=np.int64)
+    scratch = np.empty((2, 1))
+    colour_sweep(backend, spins, np.zeros(2), members, class_starts,
+                 data, indices, indptr, scratch, temperatures, rng)
+    # The engine's multi-block paths pass non-contiguous column slices;
+    # warm those array layouts too, or numba would JIT a second
+    # specialization inside the first timed multi-block anneal.
+    combined = np.ones((2, 4))
+    view = combined[:, 1:3]
+    fields_view = combined.copy()[:, 1:3]
+    dense_sweep(backend, view, fields_view, matrix, order, temperatures, rng)
+    colour_sweep(backend, view, np.zeros(2), members, class_starts,
+                 data, indices, indptr, scratch, temperatures, rng)
+    _WARMED.add(backend)
+
+
+# --------------------------------------------------------------------------- #
+# Kernel entry points (dispatch by backend)
+# --------------------------------------------------------------------------- #
+
+def dense_sweep(backend: str, spins: np.ndarray, fields: np.ndarray,
+                matrix: np.ndarray, order: np.ndarray,
+                temperatures: np.ndarray, rng: np.random.Generator) -> None:
+    """Run sequential-sweep Metropolis over one block with a compiled kernel.
+
+    ``spins`` and ``fields`` are ``(R, P)`` float64 views (rows may be
+    strided — e.g. one block's columns of a combined multi-block matrix) that
+    are updated in place; ``matrix`` is the dense ``(P, P)`` block coupling;
+    ``order`` the variable visit order; one full sweep of every variable is
+    performed per entry of ``temperatures``.  Draws come from *rng* in
+    exactly the reference loop's order.
+    """
+    if backend == "numba":
+        kernels = _ensure_numba_kernels()
+        kernels["dense"](spins, fields, matrix, order,
+                         np.ascontiguousarray(temperatures, dtype=np.float64),
+                         rng)
+        return
+    if backend == "cext":
+        lib = _load_cext()
+        matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+        order = np.ascontiguousarray(order, dtype=np.int64)
+        temperatures = np.ascontiguousarray(temperatures, dtype=np.float64)
+        sp, sld = _row_strided(spins)
+        fp, fld = _row_strided(fields)
+        fn, state = _rng_pointers(rng)
+        lib.dense_sweep(
+            sp, sld, fp, fld,
+            matrix.ctypes.data_as(ctypes.c_void_p),
+            order.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(order.size),
+            temperatures.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(temperatures.size),
+            ctypes.c_int64(spins.shape[0]), ctypes.c_int64(spins.shape[1]),
+            fn, state)
+        return
+    raise AnnealerError(f"no compiled dense kernel for backend {backend!r}")
+
+
+def colour_sweep(backend: str, spins: np.ndarray, linear: np.ndarray,
+                 members: np.ndarray, class_starts: np.ndarray,
+                 data: np.ndarray, indices: np.ndarray, indptr: np.ndarray,
+                 scratch: np.ndarray, temperatures: np.ndarray,
+                 rng: np.random.Generator) -> None:
+    """Run colour-class Metropolis sweeps over one block, compiled.
+
+    ``spins`` is an ``(R, P)`` float64 view updated in place; ``members`` /
+    ``class_starts`` describe the ragged colour classes (block-level variable
+    indices, concatenated in class order); ``data``/``indices``/``indptr``
+    are the CSR arrays of the stacked per-class local-field operators (row
+    ``k`` maps block spins to the field of ``members[k]``); ``scratch`` is an
+    ``(R, max_class_width)`` float64 workspace.  One sweep over all classes
+    runs per entry of ``temperatures``, drawing from *rng* in exactly the
+    reference loop's (replica-major) order.
+    """
+    if backend == "numba":
+        kernels = _ensure_numba_kernels()
+        kernels["colour"](spins, linear, members, class_starts, data, indices,
+                          indptr, scratch,
+                          np.ascontiguousarray(temperatures,
+                                               dtype=np.float64),
+                          rng)
+        return
+    if backend == "cext":
+        lib = _load_cext()
+        sp, sld = _row_strided(spins)
+        fn, state = _rng_pointers(rng)
+        temperatures = np.ascontiguousarray(temperatures, dtype=np.float64)
+        lib.colour_sweep(
+            sp, sld,
+            ctypes.c_int64(spins.shape[0]),
+            linear.ctypes.data_as(ctypes.c_void_p),
+            members.ctypes.data_as(ctypes.c_void_p),
+            class_starts.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(class_starts.size - 1),
+            data.ctypes.data_as(ctypes.c_void_p),
+            indices.ctypes.data_as(ctypes.c_void_p),
+            indptr.ctypes.data_as(ctypes.c_void_p),
+            scratch.ctypes.data_as(ctypes.c_void_p),
+            temperatures.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(temperatures.size),
+            fn, state)
+        return
+    raise AnnealerError(f"no compiled colour kernel for backend {backend!r}")
+
+
+# --------------------------------------------------------------------------- #
+# numba backend
+# --------------------------------------------------------------------------- #
+
+_NUMBA_KERNELS: Optional[Dict[str, object]] = None
+
+
+def _ensure_numba_kernels() -> Dict[str, object]:
+    """Define (and JIT-register) the numba kernels once per process."""
+    global _NUMBA_KERNELS
+    if _NUMBA_KERNELS is not None:
+        return _NUMBA_KERNELS
+    import numba
+
+    # fastmath stays OFF: the kernels must perform the reference loops'
+    # arithmetic operation-for-operation (no reassociation, no FMA
+    # contraction), or seeded streams would drift from the numpy backend.
+    @numba.njit(cache=True)
+    def dense_kernel(spins, fields, matrix, order, temperatures, rng):
+        num_replicas = spins.shape[0]
+        size = matrix.shape[0]
+        for t in range(temperatures.shape[0]):
+            temperature = temperatures[t]
+            for k in range(order.shape[0]):
+                v = order[k]
+                for r in range(num_replicas):
+                    current = spins[r, v]
+                    delta = -2.0 * current * fields[r, v]
+                    accept = delta <= 0.0
+                    if not accept:
+                        # delta > 0: acceptance probability exp(-delta / T),
+                        # one uniform per uphill replica in replica order —
+                        # the exact rng.random(count) stream of the
+                        # reference loop.
+                        accept = rng.random() < np.exp(-delta / temperature)
+                    if accept:
+                        step = -2.0 * current
+                        spins[r, v] += step
+                        for w in range(size):
+                            fields[r, w] += step * matrix[v, w]
+
+    @numba.njit(cache=True)
+    def colour_kernel(spins, linear, members, class_starts, data, indices,
+                      indptr, scratch, temperatures, rng):
+        num_replicas = spins.shape[0]
+        num_classes = class_starts.shape[0] - 1
+        for t in range(temperatures.shape[0]):
+            temperature = temperatures[t]
+            for c in range(num_classes):
+                begin = class_starts[c]
+                width = class_starts[c + 1] - begin
+                # Local fields of every (replica, member) of the class are
+                # computed before any flip: members of one class never
+                # interact, so this matches the reference loop's simultaneous
+                # per-class update.
+                for r in range(num_replicas):
+                    for m in range(width):
+                        row = begin + m
+                        acc = 0.0
+                        for jj in range(indptr[row], indptr[row + 1]):
+                            acc += data[jj] * spins[r, indices[jj]]
+                        scratch[r, m] = acc + linear[members[row]]
+                for r in range(num_replicas):
+                    for m in range(width):
+                        v = members[begin + m]
+                        delta = -2.0 * spins[r, v] * scratch[r, m]
+                        accept = delta <= 0.0
+                        if not accept:
+                            # Uphill draws in replica-major order — the exact
+                            # rng.random(count) stream of the reference loop.
+                            accept = (rng.random()
+                                      < np.exp(-delta / temperature))
+                        if accept:
+                            spins[r, v] = -spins[r, v]
+
+    _NUMBA_KERNELS = {"dense": dense_kernel, "colour": colour_kernel}
+    return _NUMBA_KERNELS
+
+
+# --------------------------------------------------------------------------- #
+# cext backend: C source, on-disk compile cache, ctypes bindings
+# --------------------------------------------------------------------------- #
+
+_C_SOURCE = r"""
+#include <math.h>
+#include <stdint.h>
+
+/* Both kernels draw uniforms through the NumPy BitGenerator's next_double
+   function pointer, advancing the caller's Generator state in place — the
+   same extension point numba and Cython use, so the draw stream is exactly
+   the Generator's rng.random() stream. */
+typedef double (*next_double_fn)(void *state);
+
+/* Sequential-sweep Metropolis over one dense block.  spins/fields are
+   (num_replicas x size) row-strided views (ld = row stride in doubles);
+   matrix is the dense size x size block coupling, row-major contiguous. */
+void dense_sweep(double *spins, int64_t sld,
+                 double *fields, int64_t fld,
+                 const double *matrix,
+                 const int64_t *order, int64_t order_len,
+                 const double *temperatures, int64_t num_sweeps,
+                 int64_t num_replicas, int64_t size,
+                 next_double_fn next_double, void *state)
+{
+    for (int64_t t = 0; t < num_sweeps; ++t) {
+        const double temperature = temperatures[t];
+        for (int64_t k = 0; k < order_len; ++k) {
+            const int64_t v = order[k];
+            const double *row = matrix + v * size;
+            for (int64_t r = 0; r < num_replicas; ++r) {
+                double *srow = spins + r * sld;
+                double *frow = fields + r * fld;
+                const double current = srow[v];
+                const double delta = -2.0 * current * frow[v];
+                int accept = (delta <= 0.0);
+                if (!accept) {
+                    /* delta > 0: acceptance probability exp(-delta / T);
+                       one uniform per uphill replica in replica order. */
+                    const double u = next_double(state);
+                    accept = (u < exp(-delta / temperature));
+                }
+                if (accept) {
+                    const double step = -2.0 * current;
+                    srow[v] += step;
+                    for (int64_t w = 0; w < size; ++w)
+                        frow[w] += step * row[w];
+                }
+            }
+        }
+    }
+}
+
+/* Colour-class Metropolis sweeps over one block.  members/class_starts hold
+   the ragged classes; data/indices/indptr are the CSR arrays of the stacked
+   per-class local-field operators (row k -> field of members[k]); scratch
+   has room for num_replicas * max_class_width doubles. */
+void colour_sweep(double *spins, int64_t sld, int64_t num_replicas,
+                  const double *linear,
+                  const int64_t *members, const int64_t *class_starts,
+                  int64_t num_classes,
+                  const double *data, const int64_t *indices,
+                  const int64_t *indptr,
+                  double *scratch,
+                  const double *temperatures, int64_t num_sweeps,
+                  next_double_fn next_double, void *state)
+{
+    for (int64_t t = 0; t < num_sweeps; ++t) {
+        const double temperature = temperatures[t];
+        for (int64_t c = 0; c < num_classes; ++c) {
+            const int64_t begin = class_starts[c];
+            const int64_t width = class_starts[c + 1] - begin;
+            /* Fields of all (replica, member) pairs are computed before any
+               flip: class members never interact, so this matches the
+               reference loop's simultaneous per-class update. */
+            for (int64_t r = 0; r < num_replicas; ++r) {
+                const double *srow = spins + r * sld;
+                double *frow = scratch + r * width;
+                for (int64_t m = 0; m < width; ++m) {
+                    const int64_t rowidx = begin + m;
+                    double acc = 0.0;
+                    for (int64_t jj = indptr[rowidx]; jj < indptr[rowidx + 1];
+                         ++jj)
+                        acc += data[jj] * srow[indices[jj]];
+                    frow[m] = acc + linear[members[rowidx]];
+                }
+            }
+            for (int64_t r = 0; r < num_replicas; ++r) {
+                double *srow = spins + r * sld;
+                const double *frow = scratch + r * width;
+                for (int64_t m = 0; m < width; ++m) {
+                    const int64_t v = members[begin + m];
+                    const double delta = -2.0 * srow[v] * frow[m];
+                    int accept = (delta <= 0.0);
+                    if (!accept) {
+                        /* Uphill draws in replica-major order. */
+                        const double u = next_double(state);
+                        accept = (u < exp(-delta / temperature));
+                    }
+                    if (accept)
+                        srow[v] = -srow[v];
+                }
+            }
+        }
+    }
+}
+"""
+
+#: Compiler candidates tried in order for the cext backend.
+_COMPILERS = ("cc", "gcc", "clang")
+
+
+def _cache_dir() -> Path:
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / "repro_backends"
+
+
+def _compile_cext() -> Optional[Path]:
+    """Compile the C kernels into a cached shared object; None on failure."""
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    target = cache / f"metropolis_{digest}.so"
+    if target.exists():
+        return target
+    try:
+        cache.mkdir(parents=True, exist_ok=True)
+        with tempfile.TemporaryDirectory(dir=cache) as workdir:
+            source = Path(workdir) / "metropolis.c"
+            source.write_text(_C_SOURCE, encoding="utf-8")
+            built = Path(workdir) / "metropolis.so"
+            for compiler in _COMPILERS:
+                try:
+                    # -ffp-contract=off: no FMA contraction, so the kernel
+                    # arithmetic matches the numpy loops op for op.
+                    subprocess.run(
+                        [compiler, "-O2", "-fPIC", "-shared",
+                         "-ffp-contract=off", "-o", str(built), str(source),
+                         "-lm"],
+                        check=True, capture_output=True, timeout=120)
+                    break
+                except (OSError, subprocess.SubprocessError):
+                    continue
+            else:
+                return None
+            # Atomic publish so concurrent processes race benignly.
+            os.replace(built, target)
+    except OSError:
+        return None
+    return target
+
+
+def _load_cext() -> Optional[ctypes.CDLL]:
+    """Compile/load the C backend once per process; None when unavailable."""
+    if _CEXT_STATE["checked"]:
+        return _CEXT_STATE["lib"]
+    _CEXT_STATE["checked"] = True
+    path = _compile_cext()
+    if path is None:
+        return None
+    try:
+        lib = ctypes.CDLL(str(path))
+        lib.dense_sweep.restype = None
+        lib.dense_sweep.argtypes = [
+            ctypes.c_void_p, ctypes.c_int64,   # spins, row stride
+            ctypes.c_void_p, ctypes.c_int64,   # fields, row stride
+            ctypes.c_void_p,                   # matrix
+            ctypes.c_void_p, ctypes.c_int64,   # order, order_len
+            ctypes.c_void_p, ctypes.c_int64,   # temperatures, num_sweeps
+            ctypes.c_int64, ctypes.c_int64,    # num_replicas, size
+            ctypes.c_void_p, ctypes.c_void_p,  # next_double, state
+        ]
+        lib.colour_sweep.restype = None
+        lib.colour_sweep.argtypes = [
+            ctypes.c_void_p, ctypes.c_int64, ctypes.c_int64,  # spins, ld, R
+            ctypes.c_void_p,                   # linear
+            ctypes.c_void_p, ctypes.c_void_p, ctypes.c_int64,  # classes
+            ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,  # CSR
+            ctypes.c_void_p,                   # scratch
+            ctypes.c_void_p, ctypes.c_int64,   # temperatures, num_sweeps
+            ctypes.c_void_p, ctypes.c_void_p,  # next_double, state
+        ]
+    except OSError:
+        return None
+    _CEXT_STATE["lib"] = lib
+    return lib
+
+
+def _row_strided(array: np.ndarray) -> Tuple[ctypes.c_void_p, ctypes.c_int64]:
+    """(base pointer, row stride in doubles) of a row-strided float64 view."""
+    if array.dtype != np.float64 or array.ndim != 2:
+        raise AnnealerError("compiled kernels need 2-D float64 arrays")
+    if array.strides[1] != array.itemsize:
+        raise AnnealerError(
+            "compiled kernels need unit column stride (row-strided views of "
+            "a C-contiguous matrix)")
+    return (ctypes.c_void_p(array.ctypes.data),
+            ctypes.c_int64(array.strides[0] // array.itemsize))
+
+
+def _rng_pointers(rng: np.random.Generator
+                  ) -> Tuple[ctypes.c_void_p, ctypes.c_void_p]:
+    """(next_double function pointer, state pointer) of a Generator."""
+    interface = rng.bit_generator.ctypes
+    fn = ctypes.cast(interface.next_double, ctypes.c_void_p)
+    return fn, ctypes.c_void_p(interface.state_address)

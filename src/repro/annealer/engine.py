@@ -51,6 +51,16 @@ Two levels of reuse amortise setup cost across repeated runs:
   anneal that shares every sparse operation, while drawing each block's
   randomness from its own generator so the trajectories are bit-for-bit
   those of independent per-problem anneals.
+
+Orthogonally to the *kernel* choice, the ``backend=`` knob selects the
+*implementation* of the chosen kernel's inner loop: ``"numpy"`` runs the
+reference loops in this module, while ``"numba"`` / ``"cext"`` run compiled
+translations from :mod:`repro.annealer.backends` that consume the exact same
+per-variable Metropolis draw stream (``"auto"``, the default, picks the best
+available and falls back to numpy).  Because each block draws from its own
+generator and blocks never interact, the compiled backends evolve blocks one
+at a time through the whole schedule (or one sweep at a time when cluster
+moves interleave) without changing any block's stream.
 """
 
 from __future__ import annotations
@@ -61,6 +71,7 @@ import networkx as nx
 import numpy as np
 from scipy import sparse
 
+from repro.annealer import backends
 from repro.exceptions import AnnealerError
 from repro.ising.model import IsingModel
 from repro.utils.random import RandomState, ensure_rng
@@ -188,16 +199,36 @@ class BlockDiagonalSampler:
         the fully degenerate case the kernels share one dynamics and one
         Metropolis draw stream; in between they are distinct exact samplers
         and the choice is a (deterministic) performance decision.
+    backend:
+        Implementation of the selected kernel's inner loop: ``"numpy"`` (the
+        reference loops in this module), ``"numba"`` / ``"cext"`` (compiled
+        translations consuming the same draw stream, see
+        :mod:`repro.annealer.backends`) or ``"auto"`` (default: best
+        available compiled backend, falling back to numpy).  Explicitly
+        requesting an unavailable compiled backend raises
+        :class:`AnnealerError` at construction; compiled backends are warmed
+        (JIT/compile cache) here so first-anneal timings stay clean.
     """
 
     def __init__(self, isings: Sequence[IsingModel],
                  classes: Optional[List[np.ndarray]] = None,
                  clusters: Optional[List[np.ndarray]] = None,
-                 kernel: str = "auto"):
+                 kernel: str = "auto", backend: str = "auto"):
         if kernel not in KERNELS:
             raise AnnealerError(
                 f"kernel must be one of {KERNELS}, got {kernel!r}")
         self.kernel = kernel
+        self.backend = backend
+        # Resolve eagerly: unknown names and unavailable explicit backends
+        # fail loudly here, and the one-time JIT/compile cost is paid at
+        # construction instead of inside the first timed anneal.
+        resolved = backends.resolve_backend(backend)
+        if resolved != "numpy":
+            backends.warmup(resolved)
+        #: Whether cluster flips update the dense kernel's local-field matrix
+        #: incrementally (the default) instead of recomputing it after every
+        #: sweep; kept as a switch so benchmarks can time the recompute path.
+        self.incremental_cluster_fields = True
         isings = list(isings)
         if not isings:
             raise AnnealerError("the sampler needs at least one problem")
@@ -319,6 +350,20 @@ class BlockDiagonalSampler:
             return "dense"
         return "colour"
 
+    @property
+    def selected_backend(self) -> str:
+        """The concrete backend the ``backend=`` knob resolves to.
+
+        Resolved per call rather than frozen at construction so that
+        availability probes (monkeypatched in fallback tests, or a numba
+        install appearing between runs) take effect without rebuilding the
+        sampler; resolution itself is a cached dictionary lookup.  One
+        dispatch exception applies at anneal time: multi-block packs with
+        cluster moves always run the block-vectorised numpy loops, where
+        they are faster than per-(block, sweep) compiled calls.
+        """
+        return backends.resolve_backend(self.backend)
+
     def _entry_values(self, isings: Sequence[IsingModel]) -> np.ndarray:
         """Block-major flat value vector aligned with the combined entries."""
         count = len(self._edge_keys)
@@ -400,22 +445,47 @@ class BlockDiagonalSampler:
     # ------------------------------------------------------------------ #
     # The Metropolis sweep kernel
     # ------------------------------------------------------------------ #
+    def _cluster_coupling_rows(self, coupling: np.ndarray
+                               ) -> List[List[np.ndarray]]:
+        """Per-cluster, per-block dense coupling row slices ``J_b[C, :]``.
+
+        Materialised once per anneal (the fancy-indexed copies are what the
+        incremental cluster updates multiply through every sweep).
+        """
+        return [[coupling[b][members, :] for b in range(self.num_blocks)]
+                for members in self.block_clusters]
+
     def _cluster_sweep(self, spins: np.ndarray, temperature: float,
-                       rngs: Sequence[np.random.Generator]) -> None:
+                       rngs: Sequence[np.random.Generator],
+                       fields: Optional[np.ndarray] = None,
+                       cluster_rows: Optional[List[List[np.ndarray]]] = None
+                       ) -> None:
         """Offer every cluster of every block a collective flip.
 
         Flipping all spins of a cluster leaves its internal couplings
         unchanged, so the energy difference only involves the cluster's
         coupling to the rest of the system and its linear fields.
+
+        When the dense kernel's local-field matrix is passed as *fields*
+        (``(R, blocks*P)`` layout, with *cluster_rows* the per-cluster,
+        per-block dense coupling row slices from
+        :meth:`_cluster_coupling_rows`), accepted cluster flips update it
+        incrementally: flipping the members ``C`` of block ``b`` in replica
+        ``r`` adds ``sum_{m in C} (s'_m - s_m) J_b[m, :]`` to that replica's
+        field row — one ``(accepted x |C|) @ (|C| x P)`` product per cluster
+        instead of a full ``(R x P) @ (P x P)`` recompute per sweep.
         """
         num_replicas = spins.shape[0]
         blocks = self.num_blocks
-        for columns, operator, length, int_i, int_j, int_v in zip(
-                self._cluster_columns, self._cluster_operators,
-                self._cluster_lengths, self._cluster_int_i,
-                self._cluster_int_j, self._cluster_int_v):
-            fields = (operator @ spins.T).T + self.linear[columns]
-            boundary = (spins[:, columns] * fields).reshape(
+        size = self.block_size
+        for index, (members, columns, operator, length, int_i, int_j,
+                    int_v) in enumerate(zip(
+                self.block_clusters, self._cluster_columns,
+                self._cluster_operators, self._cluster_lengths,
+                self._cluster_int_i, self._cluster_int_j,
+                self._cluster_int_v)):
+            cluster_fields = (operator @ spins.T).T + self.linear[columns]
+            boundary = (spins[:, columns] * cluster_fields).reshape(
                 num_replicas, blocks, length).sum(axis=2)
             for t in range(int_i.shape[0]):
                 # Subtract the internal couplings, which were double counted
@@ -434,6 +504,18 @@ class BlockDiagonalSampler:
                         rng.random(count)
                         < np.exp(-delta[:, b][uphill_b] / temperature))
             if np.any(accept):
+                if fields is not None:
+                    for b in range(blocks):
+                        accepted = np.nonzero(accept[:, b])[0]
+                        if accepted.size == 0:
+                            continue
+                        cols = members + b * size
+                        # (s'_m - s_m) = -2 s_m on the accepted replicas;
+                        # one small matmul updates their field segments.
+                        segment = fields[:, b * size:(b + 1) * size]
+                        segment[accepted] += (
+                            (-2.0 * spins[np.ix_(accepted, cols)])
+                            @ cluster_rows[index][b])
                 flips = np.where(np.repeat(accept, length, axis=1), -1.0, 1.0)
                 spins[:, columns] *= flips
 
@@ -482,6 +564,9 @@ class BlockDiagonalSampler:
             rng = rngs[0]
             matrix = coupling[0]
             fields = spins @ matrix + self.linear[None, :]
+            cluster_rows = (self._cluster_coupling_rows(coupling)
+                            if self._cluster_operators
+                            and self.incremental_cluster_fields else None)
             for temperature in temperatures:
                 for v in order:
                     current = spins[:, v]
@@ -500,8 +585,13 @@ class BlockDiagonalSampler:
                         spins[:, v] += step
                         fields += step[:, None] * matrix[v, :][None, :]
                 if self._cluster_operators:
-                    self._cluster_sweep(spins, temperature, rngs)
-                    fields = spins @ matrix + self.linear[None, :]
+                    if cluster_rows is not None:
+                        self._cluster_sweep(spins, temperature, rngs,
+                                            fields=fields,
+                                            cluster_rows=cluster_rows)
+                    else:
+                        self._cluster_sweep(spins, temperature, rngs)
+                        fields = spins @ matrix + self.linear[None, :]
             return
 
         spins3 = spins.reshape(num_replicas, blocks, size)
@@ -512,6 +602,12 @@ class BlockDiagonalSampler:
                     + linear3[None, :, :])
 
         fields = recompute_fields()
+        # 2-D alias of the field matrix in the combined (R, blocks*P) layout
+        # the cluster sweep's incremental updates write through.
+        fields2 = fields.reshape(num_replicas, blocks * size)
+        cluster_rows = (self._cluster_coupling_rows(coupling)
+                        if self._cluster_operators
+                        and self.incremental_cluster_fields else None)
         for temperature in temperatures:
             for v in order:
                 delta = -2.0 * spins3[:, :, v] * fields[:, :, v]
@@ -531,8 +627,125 @@ class BlockDiagonalSampler:
                     spins3[:, :, v] += step
                     fields += step[:, :, None] * coupling[None, :, v, :]
             if self._cluster_operators:
+                if cluster_rows is not None:
+                    self._cluster_sweep(spins, temperature, rngs,
+                                        fields=fields2,
+                                        cluster_rows=cluster_rows)
+                else:
+                    self._cluster_sweep(spins, temperature, rngs)
+                    fields[...] = recompute_fields()
+
+    def _dense_sweep_compiled(self, spins: np.ndarray,
+                              temperatures: np.ndarray,
+                              rngs: Sequence[np.random.Generator],
+                              backend: str) -> None:
+        """Dense sequential sweep through a compiled backend kernel.
+
+        Blocks never interact and each draws from its own generator, so the
+        compiled kernel evolves one block at a time — through the whole
+        schedule when there are no clusters, or one sweep at a time with the
+        (vectorised) cluster sweep interleaved — without changing any
+        block's draw stream relative to the reference loop.
+        """
+        size = self.block_size
+        coupling = self._dense_coupling_blocks()
+        order = np.ascontiguousarray(np.concatenate(self.block_classes),
+                                     dtype=np.int64)
+        fields = np.empty_like(spins)
+        for b in range(self.num_blocks):
+            segment = slice(b * size, (b + 1) * size)
+            fields[:, segment] = (spins[:, segment] @ coupling[b]
+                                  + self.linear[segment][None, :])
+        if not self._cluster_operators:
+            for b, rng in enumerate(rngs):
+                segment = slice(b * size, (b + 1) * size)
+                backends.dense_sweep(backend, spins[:, segment],
+                                     fields[:, segment], coupling[b], order,
+                                     temperatures, rng)
+            return
+        cluster_rows = (self._cluster_coupling_rows(coupling)
+                        if self.incremental_cluster_fields else None)
+        for temperature in temperatures:
+            one = np.array([temperature])
+            for b, rng in enumerate(rngs):
+                segment = slice(b * size, (b + 1) * size)
+                backends.dense_sweep(backend, spins[:, segment],
+                                     fields[:, segment], coupling[b], order,
+                                     one, rng)
+            if cluster_rows is not None:
+                self._cluster_sweep(spins, temperature, rngs, fields=fields,
+                                    cluster_rows=cluster_rows)
+            else:
                 self._cluster_sweep(spins, temperature, rngs)
-                fields = recompute_fields()
+                for b in range(self.num_blocks):
+                    segment = slice(b * size, (b + 1) * size)
+                    fields[:, segment] = (spins[:, segment] @ coupling[b]
+                                          + self.linear[segment][None, :])
+
+    def _colour_class_csr(self) -> Tuple[np.ndarray, np.ndarray, list]:
+        """Block-local ragged colour classes + stacked per-class CSR operators.
+
+        Returns ``(members, class_starts, per_block)`` where *members* holds
+        the block-level variable indices of all classes concatenated in class
+        order, *class_starts* delimits the classes, and ``per_block[b]`` is
+        the ``(data, indices, indptr)`` CSR triple whose row ``k`` maps block
+        ``b``'s spins to the local field of ``members[k]`` — the same values,
+        in the same (ascending-column) summation order, as the combined
+        per-class operators the reference loop multiplies through.
+        """
+        size = self.block_size
+        members = np.ascontiguousarray(np.concatenate(self.block_classes),
+                                       dtype=np.int64)
+        widths = [group.size for group in self.block_classes]
+        class_starts = np.ascontiguousarray(
+            np.concatenate([[0], np.cumsum(widths)]), dtype=np.int64)
+        per_block = []
+        for b in range(self.num_blocks):
+            start = b * size
+            block = self._matrix[start:start + size,
+                                 start:start + size].tocsr()
+            stacked = block[members, :].tocsr()
+            per_block.append((
+                np.ascontiguousarray(stacked.data, dtype=np.float64),
+                np.ascontiguousarray(stacked.indices, dtype=np.int64),
+                np.ascontiguousarray(stacked.indptr, dtype=np.int64),
+            ))
+        return members, class_starts, per_block
+
+    def _colour_sweep_compiled(self, spins: np.ndarray,
+                               temperatures: np.ndarray,
+                               rngs: Sequence[np.random.Generator],
+                               num_replicas: int, backend: str) -> None:
+        """Colour-class sweeps through a compiled backend kernel.
+
+        Same block-at-a-time strategy as the dense compiled path; the
+        per-class local-field operators are re-sliced from the live combined
+        matrix on every call, so samplers rebound through
+        :meth:`refresh_values` always sweep the current values.
+        """
+        size = self.block_size
+        members, class_starts, per_block = self._colour_class_csr()
+        max_width = max((g.size for g in self.block_classes), default=1)
+        scratch = np.empty((num_replicas, max(max_width, 1)))
+        if not self._cluster_operators:
+            for b, rng in enumerate(rngs):
+                segment = slice(b * size, (b + 1) * size)
+                data, indices, indptr = per_block[b]
+                backends.colour_sweep(backend, spins[:, segment],
+                                      self.linear[segment], members,
+                                      class_starts, data, indices, indptr,
+                                      scratch, temperatures, rng)
+            return
+        for temperature in temperatures:
+            one = np.array([temperature])
+            for b, rng in enumerate(rngs):
+                segment = slice(b * size, (b + 1) * size)
+                data, indices, indptr = per_block[b]
+                backends.colour_sweep(backend, spins[:, segment],
+                                      self.linear[segment], members,
+                                      class_starts, data, indices, indptr,
+                                      scratch, one, rng)
+            self._cluster_sweep(spins, temperature, rngs)
 
     def _anneal(self, temperatures: Sequence[float], num_replicas: int,
                 rngs: Sequence[np.random.Generator],
@@ -563,8 +776,25 @@ class BlockDiagonalSampler:
                     f"got {spins.shape}"
                 )
 
+        backend = self.selected_backend
+        if (backend != "numpy" and self._cluster_operators
+                and self.num_blocks > 1):
+            # Compiled kernels evolve blocks one at a time; with cluster
+            # moves interleaving every sweep, a many-block pack pays one
+            # kernel call per (block, sweep) and loses to the
+            # block-vectorised reference loops (measured crossover at 2
+            # blocks on serving-shaped packs).  Streams are identical
+            # either way, so this is purely a dispatch decision.
+            backend = "numpy"
         if self.selected_kernel == "dense":
-            self._dense_sweep_loop(spins, temperatures, rngs)
+            if backend == "numpy":
+                self._dense_sweep_loop(spins, temperatures, rngs)
+            else:
+                self._dense_sweep_compiled(spins, temperatures, rngs, backend)
+            return spins.astype(np.int8)
+        if backend != "numpy":
+            self._colour_sweep_compiled(spins, temperatures, rngs,
+                                        num_replicas, backend)
             return spins.astype(np.int8)
 
         for temperature in temperatures:
@@ -645,9 +875,9 @@ class IsingSampler(BlockDiagonalSampler):
     def __init__(self, ising: IsingModel,
                  classes: Optional[List[np.ndarray]] = None,
                  clusters: Optional[List[np.ndarray]] = None,
-                 kernel: str = "auto"):
+                 kernel: str = "auto", backend: str = "auto"):
         super().__init__([ising], classes=classes, clusters=clusters,
-                         kernel=kernel)
+                         kernel=kernel, backend=backend)
         self.ising = ising
         #: Cluster member arrays (same as the block-level clusters).
         self.clusters = self.block_clusters
@@ -691,9 +921,10 @@ def batched_metropolis(ising: IsingModel, temperatures: Sequence[float],
                        num_replicas: int,
                        random_state: RandomState = None,
                        initial_spins: Optional[np.ndarray] = None,
-                       kernel: str = "auto") -> np.ndarray:
+                       kernel: str = "auto",
+                       backend: str = "auto") -> np.ndarray:
     """One-shot convenience wrapper around :class:`IsingSampler`."""
-    sampler = IsingSampler(ising, kernel=kernel)
+    sampler = IsingSampler(ising, kernel=kernel, backend=backend)
     return sampler.anneal(temperatures, num_replicas,
                           random_state=random_state,
                           initial_spins=initial_spins)

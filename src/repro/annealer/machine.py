@@ -24,6 +24,7 @@ import numpy as np
 from repro import constants
 from repro.annealer.chimera import ChimeraGraph
 from repro.annealer.embedded import EmbeddedIsing, embed_ising
+from repro.annealer.backends import BACKENDS
 from repro.annealer.embedding import Embedding, TriangleCliqueEmbedder
 from repro.annealer.engine import KERNELS, BlockDiagonalSampler, IsingSampler
 from repro.annealer.ice import ICEModel
@@ -205,7 +206,7 @@ class QuantumAnnealerSimulator:
             parameters: Optional[AnnealerParameters] = None,
             random_state: RandomState = None,
             embedding: Optional[Embedding] = None,
-            kernel: str = "auto") -> AnnealResult:
+            kernel: str = "auto", backend: str = "auto") -> AnnealResult:
         """Submit one QA job: embed, anneal ``N_a`` times, unembed, aggregate.
 
         A single-problem job is exactly a one-block :meth:`run_batch`, so the
@@ -225,10 +226,15 @@ class QuantumAnnealerSimulator:
             Metropolis sweep kernel passed to the sampler (``"auto"``,
             ``"dense"`` or ``"colour"``); see
             :class:`~repro.annealer.engine.BlockDiagonalSampler`.
+        backend:
+            Kernel implementation passed to the sampler (``"auto"``,
+            ``"numpy"``, ``"numba"`` or ``"cext"``); seeded runs are
+            bit-identical across backends.
         """
         return self.run_batch([logical_ising], parameters=parameters,
                               random_states=[ensure_rng(random_state)],
-                              embedding=embedding, kernel=kernel)[0]
+                              embedding=embedding, kernel=kernel,
+                              backend=backend)[0]
 
     # ------------------------------------------------------------------ #
     def run_batch(self, logical_isings: Sequence[IsingModel],
@@ -236,7 +242,8 @@ class QuantumAnnealerSimulator:
                   random_states: Optional[Sequence[RandomState]] = None,
                   random_state: RandomState = None,
                   embedding: Optional[Embedding] = None,
-                  kernel: str = "auto") -> List[AnnealResult]:
+                  kernel: str = "auto",
+                  backend: str = "auto") -> List[AnnealResult]:
         """Submit several same-size problems as one packed QA job.
 
         This is the Section 5.5 parallelization: small problems leave room on
@@ -269,11 +276,20 @@ class QuantumAnnealerSimulator:
             ``"dense"`` or ``"colour"``); embedded problems are sparse, so
             ``"auto"`` keeps the colour-class kernel, but services can pin a
             kernel without reaching into engine internals.
+        backend:
+            Kernel implementation for the packed sampler (``"auto"``,
+            ``"numpy"``, ``"numba"`` or ``"cext"``).  Every backend consumes
+            the same per-problem draw streams, so seeded results are
+            bit-identical across backends and this knob is purely about
+            where the sweep loop runs.
         """
         parameters = parameters or AnnealerParameters()
         if kernel not in KERNELS:
             raise AnnealerError(
                 f"kernel must be one of {KERNELS}, got {kernel!r}")
+        if backend not in BACKENDS:
+            raise AnnealerError(
+                f"backend must be one of {BACKENDS}, got {backend!r}")
         isings = list(logical_isings)
         if not isings:
             raise AnnealerError("run_batch needs at least one problem")
@@ -326,7 +342,8 @@ class QuantumAnnealerSimulator:
             else:
                 try:
                     sampler = BlockDiagonalSampler(perturbed, clusters=clusters,
-                                                   kernel=kernel)
+                                                   kernel=kernel,
+                                                   backend=backend)
                     samples = sampler.anneal(temperatures, batch, rngs)
                 except AnnealerError:
                     # An ICE draw cancelled a coupling exactly, so the blocks
@@ -336,7 +353,7 @@ class QuantumAnnealerSimulator:
                     sampler = None
                     samples = np.concatenate([
                         IsingSampler(problem, clusters=clusters,
-                                     kernel=kernel).anneal(
+                                     kernel=kernel, backend=backend).anneal(
                             temperatures, batch, random_state=rng)
                         for problem, rng in zip(perturbed, rngs)
                     ], axis=1)

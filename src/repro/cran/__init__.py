@@ -25,26 +25,30 @@ from repro.cran.scheduler import (
     FLUSH_FULL,
     FLUSH_TIMEOUT,
     DecodeBatch,
+    DecodeTimeModel,
     EDFBatchScheduler,
 )
-from repro.cran.service import CranService, ServiceReport
+from repro.cran.service import CranService, ServiceReport, decode_time_model_for
 from repro.cran.telemetry import LatencySummary, TelemetryRecorder
 from repro.cran.traffic import PoissonTrafficGenerator
-from repro.cran.workers import OVERLOAD_POLICIES, WorkerPool
+from repro.cran.workers import MODES, OVERLOAD_POLICIES, WorkerPool
 
 __all__ = [
     "DecodeJob",
     "JobResult",
     "DecodeBatch",
+    "DecodeTimeModel",
     "EDFBatchScheduler",
     "FLUSH_FULL",
     "FLUSH_TIMEOUT",
     "FLUSH_DRAIN",
     "WorkerPool",
+    "MODES",
     "OVERLOAD_POLICIES",
     "PoissonTrafficGenerator",
     "TelemetryRecorder",
     "LatencySummary",
     "CranService",
     "ServiceReport",
+    "decode_time_model_for",
 ]

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cran.jobs import DecodeJob
 from repro.exceptions import SchedulingError
@@ -42,6 +42,10 @@ from repro.utils.validation import check_integer_in_range, check_positive
 FLUSH_FULL = "full"
 FLUSH_TIMEOUT = "timeout"
 FLUSH_DRAIN = "drain"
+
+#: Modelled decode time of a pending group, ``(structure_key, size) -> µs``;
+#: see the ``decode_time_model`` parameter of :class:`EDFBatchScheduler`.
+DecodeTimeModel = Callable[[Tuple[int, int, str], int], float]
 
 
 @dataclass(frozen=True)
@@ -75,15 +79,28 @@ class EDFBatchScheduler:
         Longest a job may sit pending before its group is force-flushed,
         trading batch fill against queueing delay.  ``inf`` flushes only on
         full packs (and at drain).
+    decode_time_model:
+        Optional deadline-driven *adaptive* wait: a callable mapping a
+        pending group's ``(structure_key, size)`` to its modelled decode
+        time in µs.  A group then also flushes as soon as its most urgent
+        member's slack (deadline minus current time) drops to the modelled
+        decode time of the pack — waiting any longer would convert that
+        job's remaining slack into scheduler queueing and miss the deadline
+        even though capacity was free.  At high load full packs still flush
+        first (the model only ever *shortens* the wait), so batch fill is
+        unaffected where batching pays; at low load the tail no longer sits
+        out the whole ``max_wait_us`` timeout.
     """
 
     def __init__(self, max_batch: int = 16,
-                 max_wait_us: float = 2_000.0):
+                 max_wait_us: float = 2_000.0,
+                 decode_time_model: Optional[DecodeTimeModel] = None):
         self.max_batch = check_integer_in_range("max_batch", max_batch,
                                                 minimum=1)
         if not math.isinf(max_wait_us):
             check_positive("max_wait_us", max_wait_us)
         self.max_wait_us = float(max_wait_us)
+        self.decode_time_model = decode_time_model
         self._groups: Dict[Tuple[int, int, str], List[DecodeJob]] = {}
         self._clock_us = 0.0
         self._submitted = 0
@@ -117,13 +134,35 @@ class EDFBatchScheduler:
         """Total jobs emitted in batches so far."""
         return self._flushed
 
+    def _group_due_us(self, key: Tuple[int, int, str],
+                      jobs: List[DecodeJob]) -> float:
+        """Absolute time at which this pending group must flush.
+
+        The earlier of the bounded-wait timeout (oldest arrival plus
+        ``max_wait_us``) and, when a decode-time model is configured, the
+        latest start that still meets the most urgent member's deadline
+        (that deadline minus the pack's modelled decode time).  Never
+        earlier than the newest member's arrival, so flush stamps cannot
+        precede the arrival of a job they contain.
+        """
+        due = jobs[0].arrival_time_us + self.max_wait_us
+        if self.decode_time_model is not None:
+            urgent = min(job.deadline_us for job in jobs)
+            if not math.isinf(urgent):
+                due = min(due,
+                          urgent - self.decode_time_model(key, len(jobs)))
+        return max(due, jobs[-1].arrival_time_us)
+
     def next_due_us(self) -> float:
-        """Earliest timeout-flush due time among pending groups (``inf`` if
-        none is pending or ``max_wait_us`` is unbounded)."""
-        if math.isinf(self.max_wait_us) or not self._groups:
+        """Earliest flush due time among pending groups (``inf`` if none is
+        pending, or ``max_wait_us`` is unbounded and no decode-time model
+        shortens the wait)."""
+        if not self._groups:
             return math.inf
-        return min(jobs[0].arrival_time_us for jobs in self._groups.values()
-                   ) + self.max_wait_us
+        if math.isinf(self.max_wait_us) and self.decode_time_model is None:
+            return math.inf
+        return min(self._group_due_us(key, jobs)
+                   for key, jobs in self._groups.items())
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -139,18 +178,18 @@ class EDFBatchScheduler:
 
     def _due_batches(self, now_us: float,
                      strict: bool = False) -> List[DecodeBatch]:
-        """Flush every group whose oldest job has waited ``max_wait_us``.
+        """Flush every group whose wait budget (bounded or adaptive) is spent.
 
         With ``strict=True`` only groups due *strictly before* *now_us*
         flush — the boundary :meth:`submit` needs so an arrival at exactly
         its group's due time can ride along in that flush instead of
         stranding in a fresh group.
         """
-        if math.isinf(self.max_wait_us):
+        if math.isinf(self.max_wait_us) and self.decode_time_model is None:
             return []
         due: List[Tuple[float, float, Tuple[int, int, str]]] = []
         for key, jobs in self._groups.items():
-            due_time = jobs[0].arrival_time_us + self.max_wait_us
+            due_time = self._group_due_us(key, jobs)
             if due_time < now_us or (not strict and due_time == now_us):
                 deadline = min(job.deadline_us for job in jobs)
                 due.append((due_time, deadline, key))

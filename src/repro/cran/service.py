@@ -13,20 +13,25 @@ exposes.
 
 Because every job decodes from its own private stream, the whole service is a
 deterministic function of the offered load — batching and scheduling policy
-change *when* jobs complete, never *what* they decode to.
+change *when* jobs complete, never *what* they decode to.  That holds across
+every execution axis the service exposes: the Metropolis ``kernel``, the
+compiled ``backend``, and the worker-pool ``mode`` (inline, threads or a
+multi-core process pool) all produce bit-identical per-job detections.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.annealer.parallel import parallelization_factor
 from repro.cran.jobs import DecodeJob, JobResult
-from repro.cran.scheduler import EDFBatchScheduler
+from repro.cran.scheduler import DecodeTimeModel, EDFBatchScheduler
 from repro.cran.telemetry import TelemetryRecorder
 from repro.cran.workers import WorkerPool
 from repro.decoder.quamax import QuAMaxDecoder
+from repro.modulation.constellation import get_constellation
 
 
 @dataclass(frozen=True)
@@ -71,42 +76,116 @@ class ServiceReport:
         return total_errors / total_bits
 
 
+def decode_time_model_for(decoder: QuAMaxDecoder,
+                          margin: float = 0.1) -> DecodeTimeModel:
+    """Modelled decode time of a pending pack, derived from *decoder*.
+
+    The model mirrors the worker pool's virtual-time accounting: one shared
+    per-job overhead (programming + preprocessing + readout) per pack, plus
+    each member's amortised compute time ``N_a * T_a / P_f`` — where the
+    parallelization factor ``P_f`` follows from the structure key's logical
+    problem size, exactly as the machine model computes it at decode time.
+    Used by :class:`CranService` ``adaptive_wait`` to flush a pack as soon
+    as its most urgent member's slack drops to this modelled service time.
+
+    *margin* inflates the model (default 10%): flushing exactly at
+    ``slack == service time`` would finish exactly at the deadline with
+    zero headroom for queueing or model error, so the scheduler flushes a
+    little earlier than the pure model demands.
+    """
+    annealer = decoder.annealer
+    parameters = decoder.parameters
+    overhead_us = annealer.overheads.total_us(parameters.num_anneals)
+    anneal_us = parameters.num_anneals * parameters.schedule.duration_us
+    headroom = 1.0 + margin
+    cache: Dict[Tuple[int, int, str], float] = {}
+
+    def model(key: Tuple[int, int, str], size: int) -> float:
+        per_job = cache.get(key)
+        if per_job is None:
+            num_tx, _num_rx, modulation = key
+            num_logical = (num_tx
+                           * get_constellation(modulation).bits_per_symbol)
+            factor = parallelization_factor(
+                num_logical,
+                total_qubits=annealer.num_qubits,
+                shore_size=annealer.topology.shore_size)
+            per_job = anneal_us / factor
+            cache[key] = per_job
+        return (overhead_us + size * per_job) * headroom
+
+    return model
+
+
 class CranService:
     """Deadline-aware batched decode service over a QuAMax processing pool.
 
     Parameters
     ----------
     decoder:
-        The decoder every batch runs through (a default is created when
-        omitted); pin ``kernel=`` / ``parameters=`` here to configure the
-        whole pool.
+        The decoder every batch runs through; when omitted a default is
+        created from *kernel* / *backend*.
+    kernel, backend:
+        Metropolis sweep kernel and kernel implementation of the default
+        decoder (ignored when *decoder* is passed — configure it directly).
+        Seeded detections are bit-identical across every kernel/backend
+        combination; the knobs only move where the sweep loop runs.
     max_batch, max_wait_us:
         Scheduler batching policy (see :class:`EDFBatchScheduler`).
-    num_workers, queue_capacity, overload_policy, decoder_factory:
+    adaptive_wait:
+        When true, the scheduler additionally flushes a pending pack as
+        soon as its most urgent member's slack drops to the pack's modelled
+        decode time (see :func:`decode_time_model_for`), cutting the
+        low-load latency tail without sacrificing fill at high load.  A
+        custom model can be passed via *decode_time_model* instead.
+    decode_time_model:
+        Explicit ``(structure_key, size) -> µs`` model forwarded to the
+        scheduler (overrides *adaptive_wait*).
+    num_workers, mode, mp_context, queue_capacity, overload_policy,
+    decoder_factory:
         Worker-pool execution policy (see :class:`WorkerPool`);
-        ``num_workers=0`` (default) serves inline and deterministically.
+        ``num_workers=0`` (default) serves inline and deterministically,
+        ``mode="process"`` scales the pool across cores.
     telemetry_window:
         Rolling window of the latency percentiles (``None`` = all jobs).
     """
 
     def __init__(self, decoder: Optional[QuAMaxDecoder] = None, *,
+                 kernel: str = "auto",
+                 backend: str = "auto",
                  max_batch: int = 16,
                  max_wait_us: float = 2_000.0,
+                 adaptive_wait: bool = False,
+                 decode_time_model: Optional[DecodeTimeModel] = None,
                  num_workers: int = 0,
+                 mode: str = "thread",
+                 mp_context: Optional[str] = None,
                  queue_capacity: int = 16,
                  overload_policy: str = "block",
                  telemetry_window: Optional[int] = None,
                  decoder_factory: Optional[Callable[[], QuAMaxDecoder]] = None):
-        self.decoder = decoder or QuAMaxDecoder()
+        self.decoder = decoder or QuAMaxDecoder(kernel=kernel, backend=backend)
         self.max_batch = max_batch
         self.max_wait_us = max_wait_us
+        self.adaptive_wait = adaptive_wait
+        self._decode_time_model = decode_time_model
         self.num_workers = num_workers
+        self.mode = mode
+        self.mp_context = mp_context
         self.queue_capacity = queue_capacity
         self.overload_policy = overload_policy
         self.telemetry_window = telemetry_window
         self._decoder_factory = decoder_factory
 
     # ------------------------------------------------------------------ #
+    def scheduler_model(self) -> Optional[DecodeTimeModel]:
+        """The decode-time model the scheduler will run with (or ``None``)."""
+        if self._decode_time_model is not None:
+            return self._decode_time_model
+        if self.adaptive_wait:
+            return decode_time_model_for(self.decoder)
+        return None
+
     def run(self, jobs: Iterable[DecodeJob]) -> ServiceReport:
         """Replay *jobs* through the scheduler and pool; return the report.
 
@@ -115,10 +194,13 @@ class CranService:
         """
         ordered = sorted(jobs, key=lambda j: (j.arrival_time_us, j.job_id))
         scheduler = EDFBatchScheduler(max_batch=self.max_batch,
-                                      max_wait_us=self.max_wait_us)
+                                      max_wait_us=self.max_wait_us,
+                                      decode_time_model=self.scheduler_model())
         telemetry = TelemetryRecorder(window=self.telemetry_window)
         pool = WorkerPool(self.decoder,
                           num_workers=self.num_workers,
+                          mode=self.mode,
+                          mp_context=self.mp_context,
                           queue_capacity=self.queue_capacity,
                           overload_policy=self.overload_policy,
                           telemetry=telemetry,
@@ -143,5 +225,6 @@ class CranService:
     def __repr__(self) -> str:
         return (f"CranService(max_batch={self.max_batch}, "
                 f"max_wait_us={self.max_wait_us}, "
-                f"num_workers={self.num_workers}, "
+                f"adaptive_wait={self.adaptive_wait}, "
+                f"num_workers={self.num_workers}, mode={self.mode!r}, "
                 f"policy={self.overload_policy!r})")

@@ -3,13 +3,21 @@
 The pool models the paper's centralized processing pool (Section 7): batches
 flushed by the :class:`~repro.cran.scheduler.EDFBatchScheduler` are decoded
 through :meth:`~repro.decoder.quamax.QuAMaxDecoder.detect_batch`, which packs
-each batch into block-diagonal QA jobs.  Two execution modes share one
+each batch into block-diagonal QA jobs.  Three execution modes share one
 accounting model:
 
 * ``num_workers=0`` (inline) decodes synchronously in the submitting thread —
   fully deterministic, the mode simulations and tests use;
-* ``num_workers>=1`` drains a bounded queue from real threads, so wall-clock
-  throughput benefits from NumPy releasing the GIL inside the anneals.
+* ``num_workers>=1, mode="thread"`` drains a bounded queue from real
+  threads, so wall-clock throughput benefits from NumPy releasing the GIL
+  inside the anneals — but the Python parts of the decode stack still
+  serialise on the GIL;
+* ``num_workers>=1, mode="process"`` ships each flushed pack to a persistent
+  :mod:`multiprocessing` pool: the batch's job specs travel pickled, each
+  worker process decodes with its own decoder replica, and the bulky result
+  arrays come back through a shared-memory segment (pickle protocol 5
+  out-of-band buffers) instead of the result pipe — so NumPy *and* pure
+  Python decode work runs truly parallel across cores.
 
 Backpressure is explicit: the submission queue is bounded, and on overload the
 pool either **blocks** the producer (default — the scheduler naturally holds
@@ -34,9 +42,13 @@ no matter how jobs were batched, queued or interleaved.
 
 from __future__ import annotations
 
+import copy
+import multiprocessing
+import pickle
 import queue
 import threading
-from typing import Callable, Dict, List, Optional, Tuple
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cran.jobs import JobResult
 from repro.cran.scheduler import DecodeBatch
@@ -50,6 +62,115 @@ POLICY_BLOCK = "block"
 POLICY_SHED = "shed"
 OVERLOAD_POLICIES = (POLICY_BLOCK, POLICY_SHED)
 
+#: Execution modes of a pool with ``num_workers >= 1``.
+MODE_THREAD = "thread"
+MODE_PROCESS = "process"
+MODES = (MODE_THREAD, MODE_PROCESS)
+
+
+# --------------------------------------------------------------------------- #
+# Process-mode worker side (module level so the pool can address it)
+# --------------------------------------------------------------------------- #
+
+#: The per-process decoder replica, built once by the pool initializer.
+_WORKER_DECODER: Optional[QuAMaxDecoder] = None
+
+
+def _process_worker_init(payload: Tuple[str, object]) -> None:
+    """Build this worker process's decoder from the shipped spec."""
+    global _WORKER_DECODER
+    kind, value = payload
+    _WORKER_DECODER = value() if kind == "factory" else value
+
+
+def _pack_service_us(decoder: QuAMaxDecoder, outcomes) -> float:
+    """Virtual service time of one decoded pack.
+
+    One shared per-job overhead for the whole pack plus every block's
+    amortised compute — the accounting model all three execution modes
+    share, which is what keeps latency/deadline telemetry identical across
+    inline, thread and process serving.
+    """
+    num_anneals = outcomes[0].run.num_anneals
+    return (decoder.annealer.overheads.total_us(num_anneals)
+            + sum(outcome.compute_time_us for outcome in outcomes))
+
+
+def _process_decode_batch(batch: DecodeBatch):
+    """Decode one pack in a worker process; results go back via shared memory.
+
+    Returns ``((pickled, shm_name, buffer_sizes), service_us)`` —
+    see :func:`_export_outcomes` / :func:`_import_outcomes`.
+    """
+    decoder = _WORKER_DECODER
+    outcomes = decoder.detect_batch(
+        [job.channel_use for job in batch.jobs],
+        random_states=[job.rng() for job in batch.jobs])
+    return _export_outcomes(outcomes), _pack_service_us(decoder, outcomes)
+
+
+def _export_outcomes(outcomes) -> Tuple[bytes, Optional[str], list]:
+    """Serialise decode outcomes, large arrays out-of-band in shared memory.
+
+    Pickle protocol 5 hands every contiguous ndarray payload (sample
+    matrices, energies, embedded couplings, ...) to a buffer callback
+    instead of inlining it; those buffers are packed into one
+    :class:`multiprocessing.shared_memory.SharedMemory` segment per batch,
+    so only the (small) object graph travels through the pool's result
+    pipe.  Falls back to inline buffer copies when no shared memory is
+    available.
+    """
+    buffers: list = []
+    pickled = pickle.dumps(outcomes, protocol=5,
+                           buffer_callback=buffers.append)
+    views = [buffer.raw() for buffer in buffers]
+    total = sum(view.nbytes for view in views)
+    if total == 0:
+        return pickled, None, []
+    try:
+        from multiprocessing import shared_memory
+        segment = shared_memory.SharedMemory(create=True, size=total)
+    except (ImportError, OSError):
+        return pickled, None, [bytes(view) for view in views]
+    sizes = []
+    offset = 0
+    for view in views:
+        size = view.nbytes
+        segment.buf[offset:offset + size] = view
+        sizes.append(size)
+        offset += size
+    segment.close()
+    return pickled, segment.name, sizes
+
+
+def _import_outcomes(pickled: bytes, shm_name: Optional[str],
+                     sizes: Sequence) -> list:
+    """Reassemble outcomes exported by :func:`_export_outcomes`."""
+    if shm_name is None:
+        return pickle.loads(pickled, buffers=sizes)
+    from multiprocessing import shared_memory
+    segment = shared_memory.SharedMemory(name=shm_name)
+    views: list = []
+    attached = None
+    try:
+        offset = 0
+        for size in sizes:
+            views.append(segment.buf[offset:offset + size])
+            offset += size
+        attached = pickle.loads(pickled, buffers=views)
+        # Deep-copy detaches every array from the segment so it can be
+        # unlinked immediately instead of living as long as the results.
+        outcomes = copy.deepcopy(attached)
+    finally:
+        # Drop every exported view before closing, or close() would fail;
+        # unlink unconditionally so a parent-side failure (unpickling,
+        # deep copy) cannot leak the segment.
+        attached = None
+        views.clear()
+        segment.close()
+        segment.unlink()
+    return outcomes
+
 
 class WorkerPool:
     """Bounded-queue pool of QuAMax decode workers with virtual-time accounting.
@@ -62,9 +183,24 @@ class WorkerPool:
         created when omitted.
     num_workers:
         ``0`` decodes inline at submission (deterministic); ``>= 1`` starts
-        that many draining threads.
+        that many draining threads or worker processes (see *mode*).
+    mode:
+        ``"thread"`` (default) drains a bounded queue from threads;
+        ``"process"`` ships packs to a persistent multiprocessing pool —
+        pickled job specs out, shared-memory sample buffers back — so the
+        decode stack scales past the GIL.  Ignored when ``num_workers=0``.
+        Virtual-time accounting is identical across modes (batches credit
+        in flush order either way), so latency/deadline telemetry for a
+        given offered load and worker count does not depend on the mode.
+    mp_context:
+        Multiprocessing start method for process mode (``"fork"``,
+        ``"spawn"`` or ``"forkserver"``); default is the platform's own
+        (``fork`` on Linux — fast start, decoder inherited without
+        pickling — ``spawn`` on macOS/Windows, where forking a
+        BLAS-active parent is unsafe).
     queue_capacity:
-        Bound of the submission queue (threaded mode only).
+        Bound of the submission queue (threaded mode), or of the number of
+        in-flight packs (process mode).
     overload_policy:
         ``"block"`` stalls :meth:`submit` until space frees up; ``"shed"``
         drops the offered batch and records its jobs as shed.
@@ -83,6 +219,8 @@ class WorkerPool:
 
     def __init__(self, decoder: Optional[QuAMaxDecoder] = None, *,
                  num_workers: int = 0,
+                 mode: str = MODE_THREAD,
+                 mp_context: Optional[str] = None,
                  queue_capacity: int = 16,
                  overload_policy: str = POLICY_BLOCK,
                  telemetry: Optional[TelemetryRecorder] = None,
@@ -92,8 +230,13 @@ class WorkerPool:
             raise SchedulingError(
                 f"overload_policy must be one of {OVERLOAD_POLICIES}, got "
                 f"{overload_policy!r}")
+        if mode not in MODES:
+            raise SchedulingError(
+                f"mode must be one of {MODES}, got {mode!r}")
         self.num_workers = check_integer_in_range("num_workers", num_workers,
                                                   minimum=0)
+        self.mode = mode
+        self.mp_context = mp_context
         self.queue_capacity = check_integer_in_range(
             "queue_capacity", queue_capacity, minimum=1)
         self.overload_policy = overload_policy
@@ -105,6 +248,10 @@ class WorkerPool:
         self._queue: "queue.Queue[Optional[Tuple[int, DecodeBatch]]]" = \
             queue.Queue(maxsize=self.queue_capacity)
         self._lock = threading.Lock()
+        # Process mode: in-flight pack accounting behind the same lock.
+        self._space = threading.Condition(self._lock)
+        self._inflight = 0
+        self._pool = None
         self._results: List[JobResult] = []
         self._shed_jobs: List = []
         self._errors: List[BaseException] = []
@@ -126,11 +273,37 @@ class WorkerPool:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def start(self) -> None:
-        """Start the worker threads (no-op when inline or already started)."""
+        """Start the workers (no-op when inline or already started)."""
         if self._started or not self.num_workers:
             self._started = True
             return
         self._started = True
+        if self.mode == MODE_PROCESS:
+            # The platform-default start method is the safe choice: fork on
+            # Linux (fast start, decoder inherited without pickling), spawn
+            # on macOS/Windows where forking a threaded/BLAS-active parent
+            # is unsafe.  mp_context overrides it explicitly.
+            context = multiprocessing.get_context(self.mp_context)
+            try:
+                # Start the resource tracker *before* forking the pool, so
+                # the workers inherit it: shared-memory segments registered
+                # by a worker are then unregistered by the parent's unlink
+                # against the same tracker (no leak warnings, and crash
+                # cleanup still covers in-flight segments).
+                from multiprocessing import resource_tracker
+                resource_tracker.ensure_running()
+            except (ImportError, OSError):
+                pass
+            # Workers rebuild the decoder from a pickled spec: the factory
+            # when one was given (one decoder per process, like the threaded
+            # decoder_factory), else the configured decoder itself.
+            payload = (("factory", self._decoder_factory)
+                       if self._decoder_factory is not None
+                       else ("decoder", self.decoder))
+            self._pool = context.Pool(processes=self.num_workers,
+                                      initializer=_process_worker_init,
+                                      initargs=(payload,))
+            return
         for index in range(self.num_workers):
             decoder = (self._decoder_factory()
                        if self._decoder_factory is not None else self.decoder)
@@ -142,16 +315,23 @@ class WorkerPool:
             thread.start()
 
     def close(self) -> None:
-        """Stop accepting batches, drain the queue and join the workers."""
+        """Stop accepting batches, drain the backlog and join the workers."""
         if self._closed:
             return
         self._closed = True
         if self.num_workers:
             self.start()
-            for _ in self._threads:
-                self._queue.put(None)
-            for thread in self._threads:
-                thread.join()
+            if self.mode == MODE_PROCESS:
+                with self._space:
+                    while self._inflight:
+                        self._space.wait()
+                self._pool.close()
+                self._pool.join()
+            else:
+                for _ in self._threads:
+                    self._queue.put(None)
+                for thread in self._threads:
+                    thread.join()
         if self._errors:
             raise self._errors[0]
 
@@ -175,6 +355,8 @@ class WorkerPool:
         with self._lock:
             index = self._next_submit
             self._next_submit += 1
+        if self.num_workers and self.mode == MODE_PROCESS:
+            return self._submit_process(index, batch)
         if not self.num_workers:
             try:
                 self._decode(self.decoder, batch, index)
@@ -208,6 +390,57 @@ class WorkerPool:
                 self.telemetry.record_shed(batch.jobs)
             return False
         return True
+
+    def _submit_process(self, index: int, batch: DecodeBatch) -> bool:
+        """Ship one batch to the process pool, honouring the backpressure
+        policy on the number of in-flight packs."""
+        self.start()
+        with self._space:
+            if self.overload_policy == POLICY_BLOCK:
+                while self._inflight >= self.queue_capacity:
+                    self._space.wait()
+            elif self._inflight >= self.queue_capacity:
+                self._decoded[index] = None
+                self._credit_ready_locked()
+                self._shed_jobs.extend(batch.jobs)
+                self.telemetry.record_shed(batch.jobs)
+                return False
+            self._inflight += 1
+        self._pool.apply_async(
+            _process_decode_batch, (batch,),
+            callback=partial(self._on_process_result, index, batch),
+            error_callback=partial(self._on_process_error, index, batch))
+        return True
+
+    def _on_process_result(self, index: int, batch: DecodeBatch,
+                           payload) -> None:
+        """Pool callback: reattach shared buffers, credit in flush order."""
+        try:
+            (pickled, shm_name, sizes), service_us = payload
+            outcomes = _import_outcomes(pickled, shm_name, sizes)
+        except BaseException as error:  # surfaced by close()
+            self._on_process_error(index, batch, error)
+            return
+        with self._space:
+            self._decoded[index] = (batch, outcomes, service_us)
+            self._credit_ready_locked()
+            self._inflight -= 1
+            self._space.notify_all()
+
+    def _on_process_error(self, index: int, batch: DecodeBatch,
+                          error: BaseException) -> None:
+        """Pool error callback: account the pack as shed, keep the slot
+        order intact, and surface the error at close()."""
+        if not isinstance(error, BaseException):
+            error = SchedulingError(f"process worker failed: {error!r}")
+        with self._space:
+            self._errors.append(error)
+            self._decoded[index] = None
+            self._credit_ready_locked()
+            self._shed_jobs.extend(batch.jobs)
+            self.telemetry.record_shed(batch.jobs)
+            self._inflight -= 1
+            self._space.notify_all()
 
     def record_queue_depth(self, now_us: float, depth: int) -> None:
         """Sample the scheduler backlog into this pool's telemetry.
@@ -270,11 +503,9 @@ class WorkerPool:
         outcomes = decoder.detect_batch(
             [job.channel_use for job in batch.jobs],
             random_states=[job.rng() for job in batch.jobs])
-        num_anneals = outcomes[0].run.num_anneals
         # One shared job overhead per pack, plus the amortised compute of
         # every block: this is precisely where batching buys latency.
-        service_us = (decoder.annealer.overheads.total_us(num_anneals)
-                      + sum(outcome.compute_time_us for outcome in outcomes))
+        service_us = _pack_service_us(decoder, outcomes)
         with self._lock:
             self._decoded[index] = (batch, outcomes, service_us)
             self._credit_ready_locked()
@@ -309,6 +540,7 @@ class WorkerPool:
 
     def __repr__(self) -> str:
         mode = ("inline" if not self.num_workers
-                else f"{self.num_workers} threads")
+                else f"{self.num_workers} "
+                     f"{'processes' if self.mode == MODE_PROCESS else 'threads'}")
         return (f"WorkerPool({mode}, capacity={self.queue_capacity}, "
                 f"policy={self.overload_policy!r})")

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.annealer.backends import BACKENDS
 from repro.annealer.engine import KERNELS
 from repro.annealer.machine import (
     AnnealerParameters,
@@ -84,6 +85,11 @@ class QuAMaxDecoder(Detector):
         run (``"auto"``, ``"dense"`` or ``"colour"``).  Services can pin a
         kernel here without reaching into engine internals; the default
         ``"auto"`` keeps the engine's dispatch heuristic.
+    backend:
+        Kernel implementation forwarded alongside (``"auto"``, ``"numpy"``,
+        ``"numba"`` or ``"cext"``).  Seeded detections are bit-identical
+        across backends — the knob only moves the sweep loop between the
+        NumPy reference and the compiled implementations.
     """
 
     name = "quamax"
@@ -91,13 +97,17 @@ class QuAMaxDecoder(Detector):
     def __init__(self, annealer: Optional[QuantumAnnealerSimulator] = None,
                  parameters: Optional[AnnealerParameters] = None,
                  random_state: RandomState = None,
-                 kernel: str = "auto"):
+                 kernel: str = "auto", backend: str = "auto"):
         if kernel not in KERNELS:
             raise DetectionError(
                 f"kernel must be one of {KERNELS}, got {kernel!r}")
+        if backend not in BACKENDS:
+            raise DetectionError(
+                f"backend must be one of {BACKENDS}, got {backend!r}")
         self.annealer = annealer or QuantumAnnealerSimulator()
         self.parameters = parameters or AnnealerParameters()
         self.kernel = kernel
+        self.backend = backend
         self._rng = ensure_rng(random_state)
         self._reducer = MLToIsingReducer()
 
@@ -116,7 +126,7 @@ class QuAMaxDecoder(Detector):
 
         reduced = self._reducer.reduce(channel_use)
         run = self.annealer.run(reduced.ising, parameters, random_state=rng,
-                                kernel=self.kernel)
+                                kernel=self.kernel, backend=self.backend)
         return self._assemble_result(reduced, run, parameters)
 
     def detect_batch(self, channel_uses: Sequence[ChannelUse],
@@ -174,7 +184,7 @@ class QuAMaxDecoder(Detector):
             runs = self.annealer.run_batch(
                 [reduced[index].ising for index in indices], parameters,
                 random_states=[rngs[index] for index in indices],
-                kernel=self.kernel)
+                kernel=self.kernel, backend=self.backend)
             for index, run in zip(indices, runs):
                 results[index] = self._assemble_result(reduced[index], run,
                                                        parameters)
@@ -209,4 +219,4 @@ class QuAMaxDecoder(Detector):
     def __repr__(self) -> str:
         return (f"QuAMaxDecoder(annealer={self.annealer!r}, "
                 f"num_anneals={self.parameters.num_anneals}, "
-                f"kernel={self.kernel!r})")
+                f"kernel={self.kernel!r}, backend={self.backend!r})")

@@ -242,14 +242,20 @@ class SimulatedAnnealingSolver:
         End points of the geometric cooling schedule, in units of the
         problem's energy scale (the schedule is multiplied by the largest
         absolute coefficient so behaviour is scale-free).
+    backend:
+        Sweep-kernel implementation forwarded to the engine (``"auto"``,
+        ``"numpy"``, ``"numba"`` or ``"cext"``); seeded samples are
+        bit-identical across backends, so this is purely a speed knob.
     """
 
     def __init__(self, num_sweeps: int = 200, num_reads: int = 100,
-                 hot_temperature: float = 5.0, cold_temperature: float = 0.05):
+                 hot_temperature: float = 5.0, cold_temperature: float = 0.05,
+                 backend: str = "auto"):
         self.num_sweeps = check_integer_in_range("num_sweeps", num_sweeps, minimum=1)
         self.num_reads = check_integer_in_range("num_reads", num_reads, minimum=1)
         self.hot_temperature = check_positive("hot_temperature", hot_temperature)
         self.cold_temperature = check_positive("cold_temperature", cold_temperature)
+        self.backend = backend
 
     def temperature_schedule_for(self, ising: IsingModel) -> np.ndarray:
         """The scale-free geometric schedule instantiated for one problem."""
@@ -274,7 +280,7 @@ class SimulatedAnnealingSolver:
         rng = ensure_rng(random_state)
         reads = self._resolve_reads(num_reads)
         temperatures = self.temperature_schedule_for(ising)
-        sampler = IsingSampler(ising)
+        sampler = IsingSampler(ising, backend=self.backend)
         raw = sampler.anneal(temperatures, reads, random_state=rng)
         # The sampler's combined matrix *is* the problem's coupling operator
         # (one block), so aggregation reuses it instead of densifying.

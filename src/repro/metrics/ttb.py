@@ -122,7 +122,11 @@ class InstanceSolutionProfile:
         ])
         tail = np.clip(tail, 0.0, 1.0)
         weights = tail[:-1] ** num_anneals - tail[1:] ** num_anneals
-        return float(np.sum(weights * self.bit_errors) / self.num_bits)
+        value = float(np.sum(weights * self.bit_errors) / self.num_bits)
+        # The weights sum to 1 only up to one ulp of roundoff, so the
+        # weighted error count can land a hair outside [0, num_bits];
+        # clamp so the expectation is always a valid rate.
+        return min(max(value, 0.0), 1.0)
 
     def expected_fer(self, num_anneals: int, frame_size_bytes: int) -> float:
         """Expected FER after *num_anneals* anneals for a given frame size."""

@@ -295,3 +295,110 @@ class TestServingThroughput:
                                          "quick", output, force=True)
         assert merged["benchmarks"]["cran_serving"] == {"speedup": 1.0}
         assert merged["cran_scale"] == "quick"
+
+
+class TestAdaptiveWait:
+    """Deadline-driven adaptive max_wait: flush when slack hits the model."""
+
+    @staticmethod
+    def model_us(key, size):
+        # A transparent linear model: 1000 us per pack + 100 us per member.
+        return 1_000.0 + 100.0 * size
+
+    def test_flushes_when_urgent_slack_drops_to_model(self, channel_uses):
+        scheduler = EDFBatchScheduler(max_batch=8, max_wait_us=math.inf,
+                                      decode_time_model=self.model_us)
+        scheduler.submit(make_job(channel_uses, 0, arrival=0.0,
+                                  deadline=5_000.0))
+        # Slack hits the modelled decode time (1100 us for a 1-pack) at
+        # t = 5000 - 1100 = 3900.
+        assert scheduler.next_due_us() == pytest.approx(3_900.0)
+        assert scheduler.advance(3_899.0) == []
+        batches = scheduler.advance(3_900.0)
+        assert len(batches) == 1
+        assert batches[0].reason == FLUSH_TIMEOUT
+        assert batches[0].flush_time_us == pytest.approx(3_900.0)
+
+    def test_model_never_lengthens_the_bounded_wait(self, channel_uses):
+        scheduler = EDFBatchScheduler(max_batch=8, max_wait_us=500.0,
+                                      decode_time_model=self.model_us)
+        scheduler.submit(make_job(channel_uses, 0, arrival=0.0,
+                                  deadline=1e9))
+        assert scheduler.next_due_us() == pytest.approx(500.0)
+        batches = scheduler.advance(500.0)
+        assert len(batches) == 1
+        assert batches[0].flush_time_us == pytest.approx(500.0)
+
+    def test_urgent_arrival_flushes_group_immediately(self, channel_uses):
+        scheduler = EDFBatchScheduler(max_batch=8, max_wait_us=math.inf,
+                                      decode_time_model=self.model_us)
+        scheduler.submit(make_job(channel_uses, 0, arrival=0.0,
+                                  deadline=1e9))
+        # The newcomer's slack (800 us) is already below the 2-pack model
+        # (1200 us): the whole group must flush at this very arrival, the
+        # newcomer riding along.
+        batches = scheduler.submit(make_job(channel_uses, 1, arrival=100.0,
+                                            deadline=900.0))
+        assert len(batches) == 1
+        assert [job.job_id for job in batches[0].jobs] == [1, 0]
+        assert batches[0].flush_time_us == pytest.approx(100.0)
+        assert scheduler.queue_depth == 0
+
+    def test_flush_stamp_never_precedes_newest_member(self, channel_uses):
+        scheduler = EDFBatchScheduler(max_batch=8, max_wait_us=math.inf,
+                                      decode_time_model=self.model_us)
+        scheduler.submit(make_job(channel_uses, 0, arrival=0.0,
+                                  deadline=1e9))
+        # Adaptive due for the merged group would be 3500 - 1200 = 2300,
+        # before this member even arrived; the stamp clamps to its arrival.
+        batches = scheduler.submit(make_job(channel_uses, 1, arrival=3_000.0,
+                                            deadline=3_500.0))
+        assert len(batches) == 1
+        assert batches[0].flush_time_us == pytest.approx(3_000.0)
+
+    def test_best_effort_jobs_never_flush_adaptively(self, channel_uses):
+        scheduler = EDFBatchScheduler(max_batch=8, max_wait_us=math.inf,
+                                      decode_time_model=self.model_us)
+        scheduler.submit(make_job(channel_uses, 0, arrival=0.0))  # inf dl
+        assert scheduler.next_due_us() == math.inf
+        assert scheduler.advance(1e9) == []
+        drained = scheduler.drain()
+        assert len(drained) == 1 and drained[0].reason == FLUSH_DRAIN
+
+    def test_service_builds_model_only_when_asked(self, channel_uses):
+        from repro.cran.service import decode_time_model_for
+
+        decoder = QuAMaxDecoder(
+            QuantumAnnealerSimulator(ChimeraGraph.ideal(4, 4)),
+            AnnealerParameters(num_anneals=10))
+        assert CranService(decoder).scheduler_model() is None
+        model = CranService(decoder, adaptive_wait=True).scheduler_model()
+        assert model is not None
+        key = make_job(channel_uses, 0, arrival=0.0).structure_key
+        one = model(key, 1)
+        four = model(key, 4)
+        # One shared overhead plus per-member amortised compute: positive,
+        # growing with pack size, and anchored on the decoder's overheads.
+        overhead = decoder.annealer.overheads.total_us(10)
+        assert one > overhead > 0.0
+        assert four > one
+        assert model is not decode_time_model_for  # bound model, not the fn
+
+    def test_adaptive_detections_identical_to_fixed(self, channel_uses):
+        decoder = QuAMaxDecoder(
+            QuantumAnnealerSimulator(ChimeraGraph.ideal(4, 4)),
+            AnnealerParameters(num_anneals=8))
+        jobs = [make_job(channel_uses, i, arrival=2_000.0 * i,
+                         deadline=2_000.0 * i + 9_000.0)
+                for i in range(6)]
+        fixed = CranService(decoder, max_batch=4,
+                            max_wait_us=8_000.0).run(jobs)
+        adaptive = CranService(decoder, max_batch=4, max_wait_us=8_000.0,
+                               adaptive_wait=True).run(jobs)
+        assert adaptive.jobs_completed == fixed.jobs_completed == 6
+        for a, b in zip(fixed.results, adaptive.results):
+            np.testing.assert_array_equal(a.result.detection.bits,
+                                          b.result.detection.bits)
+        # The adaptive scheduler can only flush earlier, never later.
+        for a, b in zip(fixed.results, adaptive.results):
+            assert b.flush_time_us <= a.flush_time_us + 1e-9

@@ -261,3 +261,46 @@ class TestStatisticalAgreementAcrossDynamics:
         assert reference.best_energy == pytest.approx(exact)
         assert vectorised.ground_state_probability(exact, 1e-9) > 0.3
         assert reference.ground_state_probability(exact, 1e-9) > 0.3
+
+
+class TestCompiledBackendSharedDynamics:
+    """Compiled backends must reproduce the numpy loops' streams exactly.
+
+    A seeded randomized sweep over problem shapes that exercise both
+    kernels through ``kernel="auto"`` dispatch — dense logical-style
+    problems land on the dense sequential kernel, sparse ones on the
+    colour-class kernel — so a compiled backend that diverges on either
+    path, or in the dispatch glue between them, fails here by digest.
+    On machines without numba this covers numpy vs cext; CI's numba matrix
+    entry extends the identical assertions to numba.
+    """
+
+    from repro.annealer.backends import available_backends as _avail
+
+    COMPILED = [name for name in _avail() if name != "numpy"]
+    CASES = [(num_variables, density, num_sweeps, seed)
+             for num_variables, density in ((6, 1.0), (14, 1.0), (16, 0.3))
+             for num_sweeps in (25, 60)
+             for seed in (0, 1)]
+
+    @pytest.mark.parametrize("backend", COMPILED)
+    @pytest.mark.parametrize("num_variables,density,num_sweeps,seed", CASES)
+    def test_auto_kernel_digests_agree(self, backend, num_variables, density,
+                                       num_sweeps, seed, array_digest):
+        ising = random_ising(num_variables, seed, density=density)
+        temperatures = schedule(num_sweeps)
+        reference = IsingSampler(ising, backend="numpy")
+        compiled = IsingSampler(ising, backend=backend)
+        assert reference.selected_kernel == compiled.selected_kernel
+        expected = reference.anneal(temperatures, 10, random_state=seed + 50)
+        actual = compiled.anneal(temperatures, 10, random_state=seed + 50)
+        np.testing.assert_array_equal(expected, actual)
+        assert array_digest(expected) == array_digest(actual)
+
+    @pytest.mark.parametrize("backend", COMPILED)
+    def test_compiled_backend_solves_to_ground_state(self, backend):
+        ising = random_ising(12, 33)
+        exact = BruteForceIsingSolver().ground_energy(ising)
+        sampler = IsingSampler(ising, backend=backend)
+        samples = sampler.anneal(schedule(150), 60, random_state=34)
+        assert ising.energies(samples).min() == pytest.approx(exact)
