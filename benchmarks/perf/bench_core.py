@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Micro-benchmarks for the unified Metropolis core and the batched decode path.
 
-Times five hot paths, each as a before/after pair so the repository carries
+Times the hot paths, each as a before/after pair so the repository carries
 its own perf trajectory:
 
 * ``sa_solver`` — the classical simulated-annealing baseline: the scalar
@@ -22,6 +22,10 @@ its own perf trajectory:
 * ``cluster_fields`` — the dense kernel with chain clusters: recomputing the
   local-field matrix after every cluster sweep versus the incremental
   cluster-flip field updates;
+* ``cluster_sweep_compiled`` — the embedded (chain-coupled) acceptance pair:
+  the 128-variable path-chain workload annealed through the numpy
+  single-spin+cluster reference loops versus the fused compiled cluster
+  kernels (``backend="auto"``), bit-identical seeded samples;
 * ``annealer_engine`` — one ICE-batch cycle of the machine model: rebuilding
   the :class:`IsingSampler` (colour classes + CSR slicing) per batch versus
   rebinding the cached structure with :meth:`IsingSampler.refresh_values`;
@@ -83,6 +87,37 @@ def _dense_ising(num_variables: int, seed: int):
     return IsingModel(num_variables=num_variables,
                       linear=rng.normal(size=num_variables),
                       couplings=couplings)
+
+
+def _path_chain_ising(num_variables: int, chain_length: int, seed: int,
+                      density: float = 0.05):
+    """Embedded-shaped workload: ferromagnetic path chains (offered as flip
+    clusters) + sparse cross couplings — shared by both cluster pairs.
+
+    Keep the construction in sync with
+    ``tests/cluster_workloads.build_path_chain_problem`` (this module is a
+    standalone script, so it cannot import the tests package): the golden
+    digest `embedded_cluster_sampler_stream` pins exactly this problem at
+    ``(128, 16, seed=2019, density=0.05)``.
+    """
+    from repro.ising.model import IsingModel
+
+    rng = np.random.default_rng(seed)
+    couplings = {}
+    clusters = []
+    for start in range(0, num_variables, chain_length):
+        members = np.arange(start, min(start + chain_length, num_variables),
+                            dtype=np.intp)
+        clusters.append(members)
+        for a, b in zip(members[:-1], members[1:]):
+            couplings[(int(a), int(b))] = -2.0
+    for i in range(num_variables):
+        for j in range(i + 1, num_variables):
+            if (i, j) not in couplings and rng.random() < density:
+                couplings[(i, j)] = float(rng.normal())
+    return IsingModel(num_variables=num_variables,
+                      linear=rng.normal(size=num_variables),
+                      couplings=couplings), clusters
 
 
 def _timed(function, *args, **kwargs):
@@ -216,24 +251,9 @@ def bench_cluster_fields(num_variables: int, chain_length: int,
     incremental path does not touch.
     """
     from repro.annealer.engine import IsingSampler
-    from repro.ising.model import IsingModel
     from repro.ising.solver import geometric_temperature_schedule
 
-    rng = np.random.default_rng(seed)
-    couplings = {}
-    clusters = []
-    for start in range(0, num_variables, chain_length):
-        members = np.arange(start, start + chain_length, dtype=np.intp)
-        clusters.append(members)
-        for a, b in zip(members[:-1], members[1:]):
-            couplings[(int(a), int(b))] = -2.0
-    for i in range(num_variables):
-        for j in range(i + 1, num_variables):
-            if (i, j) not in couplings and rng.random() < 0.05:
-                couplings[(i, j)] = float(rng.normal())
-    ising = IsingModel(num_variables=num_variables,
-                       linear=rng.normal(size=num_variables),
-                       couplings=couplings)
+    ising, clusters = _path_chain_ising(num_variables, chain_length, seed)
     temperatures = geometric_temperature_schedule(num_sweeps, 5.0, 0.05)
     recompute = IsingSampler(ising, clusters=clusters, kernel="dense",
                              backend="numpy")
@@ -256,6 +276,60 @@ def bench_cluster_fields(num_variables: int, chain_length: int,
         "speedup": before_s / after_s,
         "samples_identical": bool(np.array_equal(before_spins, after_spins)),
     }
+
+
+def bench_cluster_sweep_compiled(num_variables: int, chain_length: int,
+                                 num_replicas: int, num_sweeps: int,
+                                 seed: int = 0) -> dict:
+    """Numpy cluster-flip path vs. the fused compiled cluster kernels.
+
+    The acceptance pair of the cluster backend layer: the same embedded
+    128-variable path-chain anneal (ferromagnetic chains plus sparse cross
+    couplings — the workload of ``cluster_fields``), with the
+    single-spin+cluster sweeps running in the numpy reference loops versus
+    the fused compiled kernels (``kernel="auto"`` dispatches the colour
+    kernel on this sparse problem, so the compiled side runs
+    ``fused_colour_cluster_sweep``).  Seeded samples must be bit-identical.
+    Skipped gracefully (``compiled_available: false``) when neither numba
+    nor a C compiler is present.
+    """
+    from repro.annealer import backends
+    from repro.annealer.engine import IsingSampler
+    from repro.ising.solver import geometric_temperature_schedule
+
+    ising, clusters = _path_chain_ising(num_variables, chain_length, seed)
+    temperatures = geometric_temperature_schedule(num_sweeps, 5.0, 0.05)
+    resolved = backends.resolve_backend("auto")
+    reference = IsingSampler(ising, clusters=clusters, backend="numpy")
+    entry = {
+        "params": {"num_variables": num_variables,
+                   "chain_length": chain_length,
+                   "num_replicas": num_replicas, "num_sweeps": num_sweeps,
+                   "num_clusters": len(clusters)},
+        "kernel": reference.selected_kernel,
+        "numba_available": backends.numba_available(),
+        "cext_available": backends.cext_available(),
+        "compiled_backend": resolved if resolved != "numpy" else None,
+        "compiled_available": resolved != "numpy",
+    }
+    reference.anneal(temperatures[:2], 2, random_state=seed)
+    before_s, reference_spins = _timed(reference.anneal, temperatures,
+                                       num_replicas, seed + 1)
+    entry["before_s"] = before_s
+    if resolved == "numpy":
+        entry["after_s"] = None
+        entry["speedup"] = None
+        entry["samples_identical"] = None
+        return entry
+    compiled = IsingSampler(ising, clusters=clusters, backend=resolved)
+    compiled.anneal(temperatures[:2], 2, random_state=seed)
+    after_s, compiled_spins = _timed(compiled.anneal, temperatures,
+                                     num_replicas, seed + 1)
+    entry["after_s"] = after_s
+    entry["speedup"] = before_s / after_s
+    entry["samples_identical"] = bool(np.array_equal(reference_spins,
+                                                     compiled_spins))
+    return entry
 
 
 def bench_annealer_engine(num_users: int, num_batches: int,
@@ -404,7 +478,7 @@ def bench_chunked_frame(num_users: int, num_subcarriers: int,
 
 
 def run_suite(scale: str = "quick") -> dict:
-    """Run all five benchmark pairs at *scale* and return the report."""
+    """Run all benchmark pairs at *scale* and return the report."""
     knobs = SCALES[scale]
     return {
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -419,6 +493,9 @@ def run_suite(scale: str = "quick") -> dict:
                 knobs["dense_variables"], knobs["dense_replicas"],
                 knobs["dense_sweeps"]),
             "cluster_fields": bench_cluster_fields(
+                knobs["cluster_variables"], knobs["cluster_chain"],
+                knobs["cluster_replicas"], knobs["cluster_sweeps"]),
+            "cluster_sweep_compiled": bench_cluster_sweep_compiled(
                 knobs["cluster_variables"], knobs["cluster_chain"],
                 knobs["cluster_replicas"], knobs["cluster_sweeps"]),
             "annealer_engine": bench_annealer_engine(

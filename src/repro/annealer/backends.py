@@ -3,8 +3,10 @@
 The engine's two sweep kernels (dense sequential and colour-class, see
 :mod:`repro.annealer.engine`) are exact single-spin-flip Metropolis dynamics
 whose *hot loop* is a Python ``for`` over variables (dense) or classes
-(colour).  This module provides drop-in compiled implementations of those
-inner loops behind a ``backend=`` seam:
+(colour); embedded (chain-coupled) problems additionally interleave a
+cluster-flip sweep — a collective chain-reorientation move — after every
+single-spin sweep.  This module provides drop-in compiled implementations of
+those inner loops behind a ``backend=`` seam:
 
 * ``"numpy"`` — the pure NumPy/Python reference loops in ``engine.py``
   (always available; the behavioural definition of the dynamics);
@@ -20,20 +22,38 @@ inner loops behind a ``backend=`` seam:
 * ``"auto"`` — ``numba`` when importable, else ``cext`` when a working C
   compiler is found, else ``numpy``.
 
+Cluster moves travel across the compiled boundary as a flattened
+:class:`ClusterDescriptor` — member/column/internal-edge CSR-style arrays
+built once per anneal by the engine — and run either standalone
+(:func:`cluster_sweep`) or fused with the single-spin kernels
+(:func:`fused_dense_cluster_sweep` / :func:`fused_colour_cluster_sweep`),
+one compiled call per block for the *whole* schedule.  That is what lets
+multi-block serving packs with chains (the C-RAN workload) run compiled end
+to end instead of falling back to the block-vectorised NumPy loops.
+
 Draw-stream discipline
 ----------------------
 
 All backends make identical Metropolis *decisions* from identical draws: for
 every visited variable the uphill replicas draw one uniform each, in
 ascending replica order — exactly the order in which the NumPy loops consume
-``rng.random(count)``.  The only way a compiled backend can diverge from the
+``rng.random(count)``; cluster sweeps draw one uniform per uphill
+(replica, cluster) pair in the same cluster-major, replica-ascending order
+as the reference.  The only way a compiled backend can diverge from the
 NumPy loops is a one-ulp difference between the vectorised ``np.exp`` and the
 scalar libm ``exp`` flipping an acceptance whose uniform draw lands inside
 that last-ulp window; the probability is ~1e-16 per uphill draw (~1e-10 over
 a full QA run), which is why the equivalence and golden suites — which compare
-seeded streams bit-for-bit across backends — hold in practice.  Floating
-contraction is disabled in both compiled backends (no FMA), so the arithmetic
-itself matches the NumPy loops operation for operation.
+seeded streams bit-for-bit across backends — hold in practice.  The fused
+dense+cluster kernels' incremental field update shares that window: the
+reference updates fields through a small BLAS matmul whose reduction order
+is unspecified, so a ~1-ulp field difference can shift a *later* acceptance
+threshold — tolerable because fields never gate the draw-free
+``delta <= 0`` branch at a structural zero.  The cluster flip-energy
+boundary, which does (an isolated chain's boundary is exactly zero), is
+instead accumulated in an explicitly defined member order on both sides.
+Floating contraction is disabled in both compiled backends (no FMA), so the
+remaining arithmetic matches the NumPy loops operation for operation.
 
 Compile-cost discipline
 -----------------------
@@ -55,7 +75,7 @@ import os
 import subprocess
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Dict, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -136,7 +156,8 @@ def resolve_backend(backend: str) -> str:
 def warmup(backend: str) -> None:
     """Force the backend's one-time compile cost now, once per process.
 
-    For ``numba`` this JIT-compiles both sweep kernels on toy inputs; for
+    For ``numba`` this JIT-compiles every sweep kernel (dense, colour,
+    cluster and the fused variants) on toy inputs; for
     ``cext`` it compiles (or dlopens the cached) shared object.  Samplers
     call this at construction, so first-anneal timings never include
     compilation.  No-op for ``numpy``/already-warm backends.
@@ -159,6 +180,19 @@ def warmup(backend: str) -> None:
     scratch = np.empty((2, 1))
     colour_sweep(backend, spins, np.zeros(2), members, class_starts,
                  data, indices, indptr, scratch, temperatures, rng)
+    clusters = ClusterDescriptor(
+        members=members, cluster_starts=np.array([0, 2], dtype=np.int64),
+        data=data, indices=indices, indptr=indptr,
+        edge_i=np.zeros(0, dtype=np.int64),
+        edge_j=np.zeros(0, dtype=np.int64),
+        edge_starts=np.zeros(2, dtype=np.int64),
+        edge_values=np.zeros(0))
+    cluster_sweep(backend, spins, np.zeros(2), clusters, temperatures, rng)
+    fused_dense_cluster_sweep(backend, spins, fields, matrix, order,
+                              np.zeros(2), clusters, temperatures, rng)
+    fused_colour_cluster_sweep(backend, spins, np.zeros(2), members,
+                               class_starts, data, indices, indptr, scratch,
+                               clusters, temperatures, rng)
     # The engine's multi-block paths pass non-contiguous column slices;
     # warm those array layouts too, or numba would JIT a second
     # specialization inside the first timed multi-block anneal.
@@ -168,6 +202,12 @@ def warmup(backend: str) -> None:
     dense_sweep(backend, view, fields_view, matrix, order, temperatures, rng)
     colour_sweep(backend, view, np.zeros(2), members, class_starts,
                  data, indices, indptr, scratch, temperatures, rng)
+    cluster_sweep(backend, view, np.zeros(2), clusters, temperatures, rng)
+    fused_dense_cluster_sweep(backend, view, fields_view, matrix, order,
+                              np.zeros(2), clusters, temperatures, rng)
+    fused_colour_cluster_sweep(backend, view, np.zeros(2), members,
+                               class_starts, data, indices, indptr, scratch,
+                               clusters, temperatures, rng)
     _WARMED.add(backend)
 
 
@@ -261,6 +301,341 @@ def colour_sweep(backend: str, spins: np.ndarray, linear: np.ndarray,
     raise AnnealerError(f"no compiled colour kernel for backend {backend!r}")
 
 
+class ClusterDescriptor(NamedTuple):
+    """Flattened per-block cluster metadata handed across the compiled boundary.
+
+    Built once per anneal by the engine
+    (:meth:`~repro.annealer.engine.BlockDiagonalSampler._cluster_descriptors`)
+    from the live coupling matrix, so samplers rebound through
+    ``refresh_values`` always sweep the current values.  All arrays are
+    *block-level*: member and edge indices address one block's ``(R, P)``
+    spin view, and ``data``/``edge_values`` carry that block's coupling
+    values (structure arrays are shared between the blocks of a pack).
+    """
+
+    #: Cluster members, cluster-major: ``members[cluster_starts[c]:
+    #: cluster_starts[c+1]]`` are cluster ``c``'s variable indices.
+    members: np.ndarray
+    #: Ragged cluster delimiters, ``int64[C+1]``.
+    cluster_starts: np.ndarray
+    #: CSR triple of the stacked member local-field rows: row ``k`` maps the
+    #: block's spins to the coupling field of ``members[k]`` (same values, in
+    #: the same ascending-column order, as the reference cluster operators).
+    data: np.ndarray
+    indices: np.ndarray
+    indptr: np.ndarray
+    #: Cluster-internal coupling edges (both endpoints in one cluster),
+    #: cluster-major with ``edge_starts`` delimiting; their field
+    #: contributions are double-counted through both endpoints and must be
+    #: subtracted from the flip energy.
+    edge_i: np.ndarray
+    edge_j: np.ndarray
+    edge_starts: np.ndarray
+    #: This block's coupling value of every internal edge.
+    edge_values: np.ndarray
+
+
+def _cluster_ctypes_args(clusters: ClusterDescriptor) -> list:
+    """The descriptor's ctypes argument tail shared by the cext kernels."""
+    return [
+        clusters.members.ctypes.data_as(ctypes.c_void_p),
+        clusters.cluster_starts.ctypes.data_as(ctypes.c_void_p),
+        ctypes.c_int64(clusters.cluster_starts.size - 1),
+        clusters.data.ctypes.data_as(ctypes.c_void_p),
+        clusters.indices.ctypes.data_as(ctypes.c_void_p),
+        clusters.indptr.ctypes.data_as(ctypes.c_void_p),
+        clusters.edge_i.ctypes.data_as(ctypes.c_void_p),
+        clusters.edge_j.ctypes.data_as(ctypes.c_void_p),
+        clusters.edge_starts.ctypes.data_as(ctypes.c_void_p),
+        clusters.edge_values.ctypes.data_as(ctypes.c_void_p),
+    ]
+
+
+def cluster_sweep(backend: str, spins: np.ndarray, linear: np.ndarray,
+                  clusters: ClusterDescriptor, temperatures: np.ndarray,
+                  rng: np.random.Generator) -> None:
+    """Run cluster-flip Metropolis sweeps over one block, compiled.
+
+    ``spins`` is an ``(R, P)`` float64 view updated in place; one sweep
+    offering every cluster of *clusters* a collective flip runs per entry of
+    ``temperatures``.  Uphill draws come from *rng* one uniform per uphill
+    replica in ascending replica order, cluster-major — exactly the
+    reference loop's ``rng.random(count)`` stream.
+    """
+    if backend == "numba":
+        kernels = _ensure_numba_kernels()
+        kernels["cluster"](spins, linear, clusters.members,
+                           clusters.cluster_starts, clusters.data,
+                           clusters.indices, clusters.indptr,
+                           clusters.edge_i, clusters.edge_j,
+                           clusters.edge_starts, clusters.edge_values,
+                           np.ascontiguousarray(temperatures,
+                                                dtype=np.float64),
+                           rng)
+        return
+    if backend == "cext":
+        lib = _load_cext()
+        sp, sld = _row_strided(spins)
+        fn, state = _rng_pointers(rng)
+        temperatures = np.ascontiguousarray(temperatures, dtype=np.float64)
+        lib.cluster_sweep(
+            sp, sld, ctypes.c_int64(spins.shape[0]),
+            linear.ctypes.data_as(ctypes.c_void_p),
+            *_cluster_ctypes_args(clusters),
+            temperatures.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(temperatures.size),
+            fn, state)
+        return
+    raise AnnealerError(f"no compiled cluster kernel for backend {backend!r}")
+
+
+def fused_dense_cluster_sweep(backend: str, spins: np.ndarray,
+                              fields: np.ndarray, matrix: np.ndarray,
+                              order: np.ndarray, linear: np.ndarray,
+                              clusters: ClusterDescriptor,
+                              temperatures: np.ndarray,
+                              rng: np.random.Generator) -> None:
+    """Dense sequential sweep + cluster-flip sweep, fused per temperature.
+
+    One compiled call evolves one block through the whole schedule: for
+    every entry of ``temperatures`` a full dense sequential sweep runs
+    first (as :func:`dense_sweep`), then every cluster is offered a
+    collective flip.  Accepted cluster flips update the block's
+    local-field matrix *incrementally* (``fields[r, :] += sum_m (-2 s_m)
+    J[m, :]``), so the field matrix is never recomputed.  The per-block
+    draw stream is exactly the reference loops' (dense draws, then cluster
+    draws, per sweep).
+    """
+    if backend == "numba":
+        kernels = _ensure_numba_kernels()
+        kernels["fused_dense"](
+            spins, fields, matrix, order, linear, clusters.members,
+            clusters.cluster_starts, clusters.data, clusters.indices,
+            clusters.indptr, clusters.edge_i, clusters.edge_j,
+            clusters.edge_starts, clusters.edge_values,
+            np.ascontiguousarray(temperatures, dtype=np.float64), rng)
+        return
+    if backend == "cext":
+        lib = _load_cext()
+        matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+        order = np.ascontiguousarray(order, dtype=np.int64)
+        temperatures = np.ascontiguousarray(temperatures, dtype=np.float64)
+        sp, sld = _row_strided(spins)
+        fp, fld = _row_strided(fields)
+        fn, state = _rng_pointers(rng)
+        lib.fused_dense_cluster_sweep(
+            sp, sld, fp, fld,
+            matrix.ctypes.data_as(ctypes.c_void_p),
+            order.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(order.size),
+            linear.ctypes.data_as(ctypes.c_void_p),
+            *_cluster_ctypes_args(clusters),
+            temperatures.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(temperatures.size),
+            ctypes.c_int64(spins.shape[0]), ctypes.c_int64(spins.shape[1]),
+            fn, state)
+        return
+    raise AnnealerError(
+        f"no fused dense+cluster kernel for backend {backend!r}")
+
+
+def fused_colour_cluster_sweep(backend: str, spins: np.ndarray,
+                               linear: np.ndarray, members: np.ndarray,
+                               class_starts: np.ndarray, data: np.ndarray,
+                               indices: np.ndarray, indptr: np.ndarray,
+                               scratch: np.ndarray,
+                               clusters: ClusterDescriptor,
+                               temperatures: np.ndarray,
+                               rng: np.random.Generator) -> None:
+    """Colour-class sweep + cluster-flip sweep, fused per temperature.
+
+    The embedded-problem serving shape: for every entry of ``temperatures``
+    a full colour-class sweep runs first (as :func:`colour_sweep`), then the
+    cluster-flip sweep.  One compiled call per block covers the whole
+    schedule, which is what lets multi-block serving packs with chains stay
+    compiled instead of paying one dispatch per (block, sweep).
+    """
+    if backend == "numba":
+        kernels = _ensure_numba_kernels()
+        kernels["fused_colour"](
+            spins, linear, members, class_starts, data, indices, indptr,
+            scratch, clusters.members, clusters.cluster_starts,
+            clusters.data, clusters.indices, clusters.indptr,
+            clusters.edge_i, clusters.edge_j, clusters.edge_starts,
+            clusters.edge_values,
+            np.ascontiguousarray(temperatures, dtype=np.float64), rng)
+        return
+    if backend == "cext":
+        lib = _load_cext()
+        sp, sld = _row_strided(spins)
+        fn, state = _rng_pointers(rng)
+        temperatures = np.ascontiguousarray(temperatures, dtype=np.float64)
+        lib.fused_colour_cluster_sweep(
+            sp, sld, ctypes.c_int64(spins.shape[0]),
+            linear.ctypes.data_as(ctypes.c_void_p),
+            members.ctypes.data_as(ctypes.c_void_p),
+            class_starts.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(class_starts.size - 1),
+            data.ctypes.data_as(ctypes.c_void_p),
+            indices.ctypes.data_as(ctypes.c_void_p),
+            indptr.ctypes.data_as(ctypes.c_void_p),
+            scratch.ctypes.data_as(ctypes.c_void_p),
+            *_cluster_ctypes_args(clusters),
+            temperatures.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(temperatures.size),
+            fn, state)
+        return
+    raise AnnealerError(
+        f"no fused colour+cluster kernel for backend {backend!r}")
+
+
+def _rng_pointer_arrays(rngs) -> Tuple[object, object]:
+    """Per-block (next_double function, state) pointer arrays for pack calls."""
+    fns = (ctypes.c_void_p * len(rngs))()
+    states = (ctypes.c_void_p * len(rngs))()
+    for index, rng in enumerate(rngs):
+        fn, state = _rng_pointers(rng)
+        fns[index] = fn
+        states[index] = state
+    return fns, states
+
+
+def pack_fused_colour_cluster_sweep(backend: str, spins: np.ndarray,
+                                    linear: np.ndarray, members: np.ndarray,
+                                    class_starts: np.ndarray,
+                                    class_data: np.ndarray,
+                                    indices: np.ndarray, indptr: np.ndarray,
+                                    scratch: np.ndarray,
+                                    clusters: ClusterDescriptor,
+                                    temperatures: np.ndarray, rngs) -> None:
+    """Whole-schedule fused colour+cluster sweeps over a multi-block pack.
+
+    One dispatch per pack per anneal: ``spins`` is the combined
+    ``(R, blocks*P)`` matrix, ``linear`` the combined block-major field
+    vector, and the per-block coupling values travel stacked — *class_data*
+    is ``(blocks, class_nnz)`` over the shared class CSR structure, and the
+    descriptor's ``data`` / ``edge_values`` are the ``(blocks, nnz)`` /
+    ``(blocks, E)`` block-major value matrices (all blocks of a pack share
+    one sparsity structure).  Each block consumes its own generator from
+    *rngs* exactly as a one-block fused call would, so the pack is
+    bit-for-bit the per-block serial anneals with the call marshalling paid
+    once per pack instead of once per block.
+    """
+    num_blocks = len(rngs)
+    size = spins.shape[1] // num_blocks
+    if backend == "numba":
+        kernels = _ensure_numba_kernels()
+        temperatures = np.ascontiguousarray(temperatures, dtype=np.float64)
+        for b, rng in enumerate(rngs):
+            segment = slice(b * size, (b + 1) * size)
+            kernels["fused_colour"](
+                spins[:, segment], linear[segment], members, class_starts,
+                class_data[b], indices, indptr, scratch, clusters.members,
+                clusters.cluster_starts, clusters.data[b], clusters.indices,
+                clusters.indptr, clusters.edge_i, clusters.edge_j,
+                clusters.edge_starts, clusters.edge_values[b], temperatures,
+                rng)
+        return
+    if backend == "cext":
+        lib = _load_cext()
+        sp, sld = _row_strided(spins)
+        temperatures = np.ascontiguousarray(temperatures, dtype=np.float64)
+        fns, states = _rng_pointer_arrays(rngs)
+        lib.pack_fused_colour_cluster_sweep(
+            sp, sld, ctypes.c_int64(spins.shape[0]),
+            ctypes.c_int64(num_blocks), ctypes.c_int64(size),
+            linear.ctypes.data_as(ctypes.c_void_p),
+            members.ctypes.data_as(ctypes.c_void_p),
+            class_starts.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(class_starts.size - 1),
+            class_data.ctypes.data_as(ctypes.c_void_p),
+            indices.ctypes.data_as(ctypes.c_void_p),
+            indptr.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(class_data.shape[1]),
+            scratch.ctypes.data_as(ctypes.c_void_p),
+            clusters.members.ctypes.data_as(ctypes.c_void_p),
+            clusters.cluster_starts.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(clusters.cluster_starts.size - 1),
+            clusters.data.ctypes.data_as(ctypes.c_void_p),
+            clusters.indices.ctypes.data_as(ctypes.c_void_p),
+            clusters.indptr.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(clusters.data.shape[1]),
+            clusters.edge_i.ctypes.data_as(ctypes.c_void_p),
+            clusters.edge_j.ctypes.data_as(ctypes.c_void_p),
+            clusters.edge_starts.ctypes.data_as(ctypes.c_void_p),
+            clusters.edge_values.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(clusters.edge_values.shape[1]),
+            temperatures.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(temperatures.size),
+            fns, states)
+        return
+    raise AnnealerError(
+        f"no pack colour+cluster kernel for backend {backend!r}")
+
+
+def pack_fused_dense_cluster_sweep(backend: str, spins: np.ndarray,
+                                   fields: np.ndarray, matrices: np.ndarray,
+                                   order: np.ndarray, linear: np.ndarray,
+                                   clusters: ClusterDescriptor,
+                                   temperatures: np.ndarray, rngs) -> None:
+    """Whole-schedule fused dense+cluster sweeps over a multi-block pack.
+
+    The dense-kernel sibling of :func:`pack_fused_colour_cluster_sweep`:
+    ``matrices`` is the ``(blocks, P, P)`` C-contiguous stack of per-block
+    dense couplings, ``fields`` the combined ``(R, blocks*P)`` local-field
+    matrix maintained incrementally across both move types, and the
+    descriptor carries stacked block-major values as in the colour pack.
+    """
+    num_blocks = len(rngs)
+    size = spins.shape[1] // num_blocks
+    if backend == "numba":
+        kernels = _ensure_numba_kernels()
+        temperatures = np.ascontiguousarray(temperatures, dtype=np.float64)
+        for b, rng in enumerate(rngs):
+            segment = slice(b * size, (b + 1) * size)
+            kernels["fused_dense"](
+                spins[:, segment], fields[:, segment], matrices[b], order,
+                linear[segment], clusters.members, clusters.cluster_starts,
+                clusters.data[b], clusters.indices, clusters.indptr,
+                clusters.edge_i, clusters.edge_j, clusters.edge_starts,
+                clusters.edge_values[b], temperatures, rng)
+        return
+    if backend == "cext":
+        lib = _load_cext()
+        matrices = np.ascontiguousarray(matrices, dtype=np.float64)
+        order = np.ascontiguousarray(order, dtype=np.int64)
+        temperatures = np.ascontiguousarray(temperatures, dtype=np.float64)
+        sp, sld = _row_strided(spins)
+        fp, fld = _row_strided(fields)
+        fns, states = _rng_pointer_arrays(rngs)
+        lib.pack_fused_dense_cluster_sweep(
+            sp, sld, fp, fld,
+            matrices.ctypes.data_as(ctypes.c_void_p),
+            order.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(order.size),
+            ctypes.c_int64(spins.shape[0]), ctypes.c_int64(num_blocks),
+            ctypes.c_int64(size),
+            linear.ctypes.data_as(ctypes.c_void_p),
+            clusters.members.ctypes.data_as(ctypes.c_void_p),
+            clusters.cluster_starts.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(clusters.cluster_starts.size - 1),
+            clusters.data.ctypes.data_as(ctypes.c_void_p),
+            clusters.indices.ctypes.data_as(ctypes.c_void_p),
+            clusters.indptr.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(clusters.data.shape[1]),
+            clusters.edge_i.ctypes.data_as(ctypes.c_void_p),
+            clusters.edge_j.ctypes.data_as(ctypes.c_void_p),
+            clusters.edge_starts.ctypes.data_as(ctypes.c_void_p),
+            clusters.edge_values.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(clusters.edge_values.shape[1]),
+            temperatures.ctypes.data_as(ctypes.c_void_p),
+            ctypes.c_int64(temperatures.size),
+            fns, states)
+        return
+    raise AnnealerError(
+        f"no pack dense+cluster kernel for backend {backend!r}")
+
+
 # --------------------------------------------------------------------------- #
 # numba backend
 # --------------------------------------------------------------------------- #
@@ -279,64 +654,165 @@ def _ensure_numba_kernels() -> Dict[str, object]:
     # arithmetic operation-for-operation (no reassociation, no FMA
     # contraction), or seeded streams would drift from the numpy backend.
     @numba.njit(cache=True)
-    def dense_kernel(spins, fields, matrix, order, temperatures, rng):
+    def dense_pass(spins, fields, matrix, order, temperature, rng):
         num_replicas = spins.shape[0]
         size = matrix.shape[0]
-        for t in range(temperatures.shape[0]):
-            temperature = temperatures[t]
-            for k in range(order.shape[0]):
-                v = order[k]
-                for r in range(num_replicas):
-                    current = spins[r, v]
-                    delta = -2.0 * current * fields[r, v]
+        for k in range(order.shape[0]):
+            v = order[k]
+            for r in range(num_replicas):
+                current = spins[r, v]
+                delta = -2.0 * current * fields[r, v]
+                accept = delta <= 0.0
+                if not accept:
+                    # delta > 0: acceptance probability exp(-delta / T),
+                    # one uniform per uphill replica in replica order —
+                    # the exact rng.random(count) stream of the
+                    # reference loop.
+                    accept = rng.random() < np.exp(-delta / temperature)
+                if accept:
+                    step = -2.0 * current
+                    spins[r, v] += step
+                    for w in range(size):
+                        fields[r, w] += step * matrix[v, w]
+
+    @numba.njit(cache=True)
+    def colour_pass(spins, linear, members, class_starts, data, indices,
+                    indptr, scratch, temperature, rng):
+        num_replicas = spins.shape[0]
+        num_classes = class_starts.shape[0] - 1
+        for c in range(num_classes):
+            begin = class_starts[c]
+            width = class_starts[c + 1] - begin
+            # Local fields of every (replica, member) of the class are
+            # computed before any flip: members of one class never
+            # interact, so this matches the reference loop's simultaneous
+            # per-class update.
+            for r in range(num_replicas):
+                for m in range(width):
+                    row = begin + m
+                    acc = 0.0
+                    for jj in range(indptr[row], indptr[row + 1]):
+                        acc += data[jj] * spins[r, indices[jj]]
+                    scratch[r, m] = acc + linear[members[row]]
+            for r in range(num_replicas):
+                for m in range(width):
+                    v = members[begin + m]
+                    delta = -2.0 * spins[r, v] * scratch[r, m]
                     accept = delta <= 0.0
                     if not accept:
-                        # delta > 0: acceptance probability exp(-delta / T),
-                        # one uniform per uphill replica in replica order —
-                        # the exact rng.random(count) stream of the
-                        # reference loop.
-                        accept = rng.random() < np.exp(-delta / temperature)
+                        # Uphill draws in replica-major order — the exact
+                        # rng.random(count) stream of the reference loop.
+                        accept = (rng.random()
+                                  < np.exp(-delta / temperature))
                     if accept:
-                        step = -2.0 * current
-                        spins[r, v] += step
+                        spins[r, v] = -spins[r, v]
+
+    @numba.njit(cache=True)
+    def cluster_pass(spins, linear, cmembers, cluster_starts, cdata,
+                     cindices, cindptr, edge_i, edge_j, edge_starts,
+                     edge_values, temperature, update_fields, fields,
+                     matrix, rng):
+        num_replicas = spins.shape[0]
+        num_clusters = cluster_starts.shape[0] - 1
+        for c in range(num_clusters):
+            begin = cluster_starts[c]
+            end = cluster_starts[c + 1]
+            ebegin = edge_starts[c]
+            eend = edge_starts[c + 1]
+            for r in range(num_replicas):
+                # Flip energy: the cluster's coupling to the rest of the
+                # system plus its linear fields, accumulated member by
+                # member in the reference loop's defined order; internal
+                # couplings were double counted through both endpoints'
+                # fields and are subtracted edge by edge.
+                boundary = 0.0
+                for k in range(begin, end):
+                    m = cmembers[k]
+                    acc = 0.0
+                    for jj in range(cindptr[k], cindptr[k + 1]):
+                        acc += cdata[jj] * spins[r, cindices[jj]]
+                    boundary += spins[r, m] * (acc + linear[m])
+                for e in range(ebegin, eend):
+                    boundary -= (2.0 * edge_values[e] * spins[r, edge_i[e]]
+                                 * spins[r, edge_j[e]])
+                delta = -2.0 * boundary
+                accept = delta <= 0.0
+                if not accept:
+                    # One uniform per uphill replica in ascending replica
+                    # order — the reference cluster sweep's stream.
+                    accept = rng.random() < np.exp(-delta / temperature)
+                if accept:
+                    if update_fields:
+                        # Incremental field maintenance: the accepted flip
+                        # adds sum_m (-2 s_m) J[m, :] to this replica's
+                        # field row (computed from the pre-flip spins).
+                        size = matrix.shape[0]
                         for w in range(size):
-                            fields[r, w] += step * matrix[v, w]
+                            acc = 0.0
+                            for k in range(begin, end):
+                                m = cmembers[k]
+                                acc += (-2.0 * spins[r, m]) * matrix[m, w]
+                            fields[r, w] += acc
+                    for k in range(begin, end):
+                        spins[r, cmembers[k]] = -spins[r, cmembers[k]]
+
+    @numba.njit(cache=True)
+    def dense_kernel(spins, fields, matrix, order, temperatures, rng):
+        for t in range(temperatures.shape[0]):
+            dense_pass(spins, fields, matrix, order, temperatures[t], rng)
 
     @numba.njit(cache=True)
     def colour_kernel(spins, linear, members, class_starts, data, indices,
                       indptr, scratch, temperatures, rng):
-        num_replicas = spins.shape[0]
-        num_classes = class_starts.shape[0] - 1
         for t in range(temperatures.shape[0]):
-            temperature = temperatures[t]
-            for c in range(num_classes):
-                begin = class_starts[c]
-                width = class_starts[c + 1] - begin
-                # Local fields of every (replica, member) of the class are
-                # computed before any flip: members of one class never
-                # interact, so this matches the reference loop's simultaneous
-                # per-class update.
-                for r in range(num_replicas):
-                    for m in range(width):
-                        row = begin + m
-                        acc = 0.0
-                        for jj in range(indptr[row], indptr[row + 1]):
-                            acc += data[jj] * spins[r, indices[jj]]
-                        scratch[r, m] = acc + linear[members[row]]
-                for r in range(num_replicas):
-                    for m in range(width):
-                        v = members[begin + m]
-                        delta = -2.0 * spins[r, v] * scratch[r, m]
-                        accept = delta <= 0.0
-                        if not accept:
-                            # Uphill draws in replica-major order — the exact
-                            # rng.random(count) stream of the reference loop.
-                            accept = (rng.random()
-                                      < np.exp(-delta / temperature))
-                        if accept:
-                            spins[r, v] = -spins[r, v]
+            colour_pass(spins, linear, members, class_starts, data, indices,
+                        indptr, scratch, temperatures[t], rng)
 
-    _NUMBA_KERNELS = {"dense": dense_kernel, "colour": colour_kernel}
+    @numba.njit(cache=True)
+    def cluster_kernel(spins, linear, cmembers, cluster_starts, cdata,
+                       cindices, cindptr, edge_i, edge_j, edge_starts,
+                       edge_values, temperatures, rng):
+        dummy = np.empty((0, 0))
+        for t in range(temperatures.shape[0]):
+            cluster_pass(spins, linear, cmembers, cluster_starts, cdata,
+                         cindices, cindptr, edge_i, edge_j, edge_starts,
+                         edge_values, temperatures[t], False, dummy, dummy,
+                         rng)
+
+    @numba.njit(cache=True)
+    def fused_dense_kernel(spins, fields, matrix, order, linear, cmembers,
+                           cluster_starts, cdata, cindices, cindptr, edge_i,
+                           edge_j, edge_starts, edge_values, temperatures,
+                           rng):
+        for t in range(temperatures.shape[0]):
+            dense_pass(spins, fields, matrix, order, temperatures[t], rng)
+            cluster_pass(spins, linear, cmembers, cluster_starts, cdata,
+                         cindices, cindptr, edge_i, edge_j, edge_starts,
+                         edge_values, temperatures[t], True, fields, matrix,
+                         rng)
+
+    @numba.njit(cache=True)
+    def fused_colour_kernel(spins, linear, members, class_starts, data,
+                            indices, indptr, scratch, cmembers,
+                            cluster_starts, cdata, cindices, cindptr, edge_i,
+                            edge_j, edge_starts, edge_values, temperatures,
+                            rng):
+        dummy = np.empty((0, 0))
+        for t in range(temperatures.shape[0]):
+            colour_pass(spins, linear, members, class_starts, data, indices,
+                        indptr, scratch, temperatures[t], rng)
+            cluster_pass(spins, linear, cmembers, cluster_starts, cdata,
+                         cindices, cindptr, edge_i, edge_j, edge_starts,
+                         edge_values, temperatures[t], False, dummy, dummy,
+                         rng)
+
+    _NUMBA_KERNELS = {
+        "dense": dense_kernel,
+        "colour": colour_kernel,
+        "cluster": cluster_kernel,
+        "fused_dense": fused_dense_kernel,
+        "fused_colour": fused_colour_kernel,
+    }
     return _NUMBA_KERNELS
 
 
@@ -347,16 +823,170 @@ def _ensure_numba_kernels() -> Dict[str, object]:
 _C_SOURCE = r"""
 #include <math.h>
 #include <stdint.h>
+#include <stddef.h>
 
-/* Both kernels draw uniforms through the NumPy BitGenerator's next_double
+/* All kernels draw uniforms through the NumPy BitGenerator's next_double
    function pointer, advancing the caller's Generator state in place — the
    same extension point numba and Cython use, so the draw stream is exactly
    the Generator's rng.random() stream. */
 typedef double (*next_double_fn)(void *state);
 
-/* Sequential-sweep Metropolis over one dense block.  spins/fields are
+/* One temperature of the sequential dense sweep.  spins/fields are
    (num_replicas x size) row-strided views (ld = row stride in doubles);
    matrix is the dense size x size block coupling, row-major contiguous. */
+static void dense_pass(double *spins, int64_t sld,
+                       double *fields, int64_t fld,
+                       const double *matrix,
+                       const int64_t *order, int64_t order_len,
+                       double temperature,
+                       int64_t num_replicas, int64_t size,
+                       next_double_fn next_double, void *state)
+{
+    for (int64_t k = 0; k < order_len; ++k) {
+        const int64_t v = order[k];
+        const double *row = matrix + v * size;
+        for (int64_t r = 0; r < num_replicas; ++r) {
+            double *srow = spins + r * sld;
+            double *frow = fields + r * fld;
+            const double current = srow[v];
+            const double delta = -2.0 * current * frow[v];
+            int accept = (delta <= 0.0);
+            if (!accept) {
+                /* delta > 0: acceptance probability exp(-delta / T);
+                   one uniform per uphill replica in replica order. */
+                const double u = next_double(state);
+                accept = (u < exp(-delta / temperature));
+            }
+            if (accept) {
+                const double step = -2.0 * current;
+                srow[v] += step;
+                for (int64_t w = 0; w < size; ++w)
+                    frow[w] += step * row[w];
+            }
+        }
+    }
+}
+
+/* One temperature of the colour-class sweep.  members/class_starts hold
+   the ragged classes; data/indices/indptr are the CSR arrays of the stacked
+   per-class local-field operators (row k -> field of members[k]); scratch
+   has room for num_replicas * max_class_width doubles. */
+static void colour_pass(double *spins, int64_t sld, int64_t num_replicas,
+                        const double *linear,
+                        const int64_t *members, const int64_t *class_starts,
+                        int64_t num_classes,
+                        const double *data, const int64_t *indices,
+                        const int64_t *indptr,
+                        double *scratch,
+                        double temperature,
+                        next_double_fn next_double, void *state)
+{
+    for (int64_t c = 0; c < num_classes; ++c) {
+        const int64_t begin = class_starts[c];
+        const int64_t width = class_starts[c + 1] - begin;
+        /* Fields of all (replica, member) pairs are computed before any
+           flip: class members never interact, so this matches the
+           reference loop's simultaneous per-class update. */
+        for (int64_t r = 0; r < num_replicas; ++r) {
+            const double *srow = spins + r * sld;
+            double *frow = scratch + r * width;
+            for (int64_t m = 0; m < width; ++m) {
+                const int64_t rowidx = begin + m;
+                double acc = 0.0;
+                for (int64_t jj = indptr[rowidx]; jj < indptr[rowidx + 1];
+                     ++jj)
+                    acc += data[jj] * srow[indices[jj]];
+                frow[m] = acc + linear[members[rowidx]];
+            }
+        }
+        for (int64_t r = 0; r < num_replicas; ++r) {
+            double *srow = spins + r * sld;
+            const double *frow = scratch + r * width;
+            for (int64_t m = 0; m < width; ++m) {
+                const int64_t v = members[begin + m];
+                const double delta = -2.0 * srow[v] * frow[m];
+                int accept = (delta <= 0.0);
+                if (!accept) {
+                    /* Uphill draws in replica-major order. */
+                    const double u = next_double(state);
+                    accept = (u < exp(-delta / temperature));
+                }
+                if (accept)
+                    srow[v] = -srow[v];
+            }
+        }
+    }
+}
+
+/* One temperature of the cluster-flip sweep over one block's flattened
+   cluster descriptor.  cmembers/cluster_starts hold the ragged clusters;
+   cdata/cindices/cindptr are the CSR arrays of the stacked member
+   local-field rows (row k -> coupling field of cmembers[k]); the edge
+   arrays list each cluster's internal couplings, whose field contributions
+   are double counted through both endpoints and subtracted edge by edge.
+   When fields != NULL, accepted flips add sum_m (-2 s_m) J[m, :] to the
+   replica's (row-strided) local-field row — the incremental maintenance of
+   the fused dense kernel. */
+static void cluster_pass(double *spins, int64_t sld, int64_t num_replicas,
+                         const double *linear,
+                         const int64_t *cmembers,
+                         const int64_t *cluster_starts, int64_t num_clusters,
+                         const double *cdata, const int64_t *cindices,
+                         const int64_t *cindptr,
+                         const int64_t *edge_i, const int64_t *edge_j,
+                         const int64_t *edge_starts,
+                         const double *edge_values,
+                         double temperature,
+                         double *fields, int64_t fld,
+                         const double *matrix, int64_t size,
+                         next_double_fn next_double, void *state)
+{
+    for (int64_t c = 0; c < num_clusters; ++c) {
+        const int64_t begin = cluster_starts[c];
+        const int64_t end = cluster_starts[c + 1];
+        const int64_t ebegin = edge_starts[c];
+        const int64_t eend = edge_starts[c + 1];
+        for (int64_t r = 0; r < num_replicas; ++r) {
+            double *srow = spins + r * sld;
+            /* Member sum in the reference loop's defined ascending order. */
+            double boundary = 0.0;
+            for (int64_t k = begin; k < end; ++k) {
+                const int64_t m = cmembers[k];
+                double acc = 0.0;
+                for (int64_t jj = cindptr[k]; jj < cindptr[k + 1]; ++jj)
+                    acc += cdata[jj] * srow[cindices[jj]];
+                boundary += srow[m] * (acc + linear[m]);
+            }
+            for (int64_t e = ebegin; e < eend; ++e)
+                boundary -= 2.0 * edge_values[e] * srow[edge_i[e]]
+                            * srow[edge_j[e]];
+            const double delta = -2.0 * boundary;
+            int accept = (delta <= 0.0);
+            if (!accept) {
+                /* One uniform per uphill replica in ascending replica
+                   order — the reference cluster sweep's stream. */
+                const double u = next_double(state);
+                accept = (u < exp(-delta / temperature));
+            }
+            if (!accept)
+                continue;
+            if (fields != NULL) {
+                double *frow = fields + r * fld;
+                for (int64_t w = 0; w < size; ++w) {
+                    double acc = 0.0;
+                    for (int64_t k = begin; k < end; ++k) {
+                        const int64_t m = cmembers[k];
+                        acc += (-2.0 * srow[m]) * matrix[m * size + w];
+                    }
+                    frow[w] += acc;
+                }
+            }
+            for (int64_t k = begin; k < end; ++k)
+                srow[cmembers[k]] = -srow[cmembers[k]];
+        }
+    }
+}
+
 void dense_sweep(double *spins, int64_t sld,
                  double *fields, int64_t fld,
                  const double *matrix,
@@ -365,38 +995,11 @@ void dense_sweep(double *spins, int64_t sld,
                  int64_t num_replicas, int64_t size,
                  next_double_fn next_double, void *state)
 {
-    for (int64_t t = 0; t < num_sweeps; ++t) {
-        const double temperature = temperatures[t];
-        for (int64_t k = 0; k < order_len; ++k) {
-            const int64_t v = order[k];
-            const double *row = matrix + v * size;
-            for (int64_t r = 0; r < num_replicas; ++r) {
-                double *srow = spins + r * sld;
-                double *frow = fields + r * fld;
-                const double current = srow[v];
-                const double delta = -2.0 * current * frow[v];
-                int accept = (delta <= 0.0);
-                if (!accept) {
-                    /* delta > 0: acceptance probability exp(-delta / T);
-                       one uniform per uphill replica in replica order. */
-                    const double u = next_double(state);
-                    accept = (u < exp(-delta / temperature));
-                }
-                if (accept) {
-                    const double step = -2.0 * current;
-                    srow[v] += step;
-                    for (int64_t w = 0; w < size; ++w)
-                        frow[w] += step * row[w];
-                }
-            }
-        }
-    }
+    for (int64_t t = 0; t < num_sweeps; ++t)
+        dense_pass(spins, sld, fields, fld, matrix, order, order_len,
+                   temperatures[t], num_replicas, size, next_double, state);
 }
 
-/* Colour-class Metropolis sweeps over one block.  members/class_starts hold
-   the ragged classes; data/indices/indptr are the CSR arrays of the stacked
-   per-class local-field operators (row k -> field of members[k]); scratch
-   has room for num_replicas * max_class_width doubles. */
 void colour_sweep(double *spins, int64_t sld, int64_t num_replicas,
                   const double *linear,
                   const int64_t *members, const int64_t *class_starts,
@@ -407,42 +1010,174 @@ void colour_sweep(double *spins, int64_t sld, int64_t num_replicas,
                   const double *temperatures, int64_t num_sweeps,
                   next_double_fn next_double, void *state)
 {
+    for (int64_t t = 0; t < num_sweeps; ++t)
+        colour_pass(spins, sld, num_replicas, linear, members, class_starts,
+                    num_classes, data, indices, indptr, scratch,
+                    temperatures[t], next_double, state);
+}
+
+void cluster_sweep(double *spins, int64_t sld, int64_t num_replicas,
+                   const double *linear,
+                   const int64_t *cmembers, const int64_t *cluster_starts,
+                   int64_t num_clusters,
+                   const double *cdata, const int64_t *cindices,
+                   const int64_t *cindptr,
+                   const int64_t *edge_i, const int64_t *edge_j,
+                   const int64_t *edge_starts, const double *edge_values,
+                   const double *temperatures, int64_t num_sweeps,
+                   next_double_fn next_double, void *state)
+{
+    for (int64_t t = 0; t < num_sweeps; ++t)
+        cluster_pass(spins, sld, num_replicas, linear, cmembers,
+                     cluster_starts, num_clusters, cdata, cindices, cindptr,
+                     edge_i, edge_j, edge_starts, edge_values,
+                     temperatures[t], NULL, 0, NULL, 0, next_double, state);
+}
+
+/* Whole-schedule fused kernels: one call per block per anneal.  Per
+   temperature the single-spin sweep runs first, then the cluster sweep —
+   the exact per-block draw order of the reference loops. */
+void fused_dense_cluster_sweep(double *spins, int64_t sld,
+                               double *fields, int64_t fld,
+                               const double *matrix,
+                               const int64_t *order, int64_t order_len,
+                               const double *linear,
+                               const int64_t *cmembers,
+                               const int64_t *cluster_starts,
+                               int64_t num_clusters,
+                               const double *cdata, const int64_t *cindices,
+                               const int64_t *cindptr,
+                               const int64_t *edge_i, const int64_t *edge_j,
+                               const int64_t *edge_starts,
+                               const double *edge_values,
+                               const double *temperatures,
+                               int64_t num_sweeps,
+                               int64_t num_replicas, int64_t size,
+                               next_double_fn next_double, void *state)
+{
     for (int64_t t = 0; t < num_sweeps; ++t) {
-        const double temperature = temperatures[t];
-        for (int64_t c = 0; c < num_classes; ++c) {
-            const int64_t begin = class_starts[c];
-            const int64_t width = class_starts[c + 1] - begin;
-            /* Fields of all (replica, member) pairs are computed before any
-               flip: class members never interact, so this matches the
-               reference loop's simultaneous per-class update. */
-            for (int64_t r = 0; r < num_replicas; ++r) {
-                const double *srow = spins + r * sld;
-                double *frow = scratch + r * width;
-                for (int64_t m = 0; m < width; ++m) {
-                    const int64_t rowidx = begin + m;
-                    double acc = 0.0;
-                    for (int64_t jj = indptr[rowidx]; jj < indptr[rowidx + 1];
-                         ++jj)
-                        acc += data[jj] * srow[indices[jj]];
-                    frow[m] = acc + linear[members[rowidx]];
-                }
-            }
-            for (int64_t r = 0; r < num_replicas; ++r) {
-                double *srow = spins + r * sld;
-                const double *frow = scratch + r * width;
-                for (int64_t m = 0; m < width; ++m) {
-                    const int64_t v = members[begin + m];
-                    const double delta = -2.0 * srow[v] * frow[m];
-                    int accept = (delta <= 0.0);
-                    if (!accept) {
-                        /* Uphill draws in replica-major order. */
-                        const double u = next_double(state);
-                        accept = (u < exp(-delta / temperature));
-                    }
-                    if (accept)
-                        srow[v] = -srow[v];
-                }
-            }
+        dense_pass(spins, sld, fields, fld, matrix, order, order_len,
+                   temperatures[t], num_replicas, size, next_double, state);
+        cluster_pass(spins, sld, num_replicas, linear, cmembers,
+                     cluster_starts, num_clusters, cdata, cindices, cindptr,
+                     edge_i, edge_j, edge_starts, edge_values,
+                     temperatures[t], fields, fld, matrix, size,
+                     next_double, state);
+    }
+}
+
+void fused_colour_cluster_sweep(double *spins, int64_t sld,
+                                int64_t num_replicas,
+                                const double *linear,
+                                const int64_t *members,
+                                const int64_t *class_starts,
+                                int64_t num_classes,
+                                const double *data, const int64_t *indices,
+                                const int64_t *indptr,
+                                double *scratch,
+                                const int64_t *cmembers,
+                                const int64_t *cluster_starts,
+                                int64_t num_clusters,
+                                const double *cdata, const int64_t *cindices,
+                                const int64_t *cindptr,
+                                const int64_t *edge_i, const int64_t *edge_j,
+                                const int64_t *edge_starts,
+                                const double *edge_values,
+                                const double *temperatures,
+                                int64_t num_sweeps,
+                                next_double_fn next_double, void *state)
+{
+    for (int64_t t = 0; t < num_sweeps; ++t) {
+        colour_pass(spins, sld, num_replicas, linear, members, class_starts,
+                    num_classes, data, indices, indptr, scratch,
+                    temperatures[t], next_double, state);
+        cluster_pass(spins, sld, num_replicas, linear, cmembers,
+                     cluster_starts, num_clusters, cdata, cindices, cindptr,
+                     edge_i, edge_j, edge_starts, edge_values,
+                     temperatures[t], NULL, 0, NULL, 0, next_double, state);
+    }
+}
+
+/* Pack-level fused kernels: one call per multi-block pack per anneal.
+   All blocks share one CSR structure (the BlockDiagonalSampler invariant),
+   so per-block values travel as stacked block-major matrices (row b =
+   block b's data) and per-block randomness as arrays of BitGenerator
+   (next_double, state) pairs.  Blocks never interact and each draws from
+   its own generator, so evolving them one after the other through the
+   whole schedule reproduces every block's serial stream while amortising
+   the call marshalling over the pack — the C-RAN serving shape. */
+void pack_fused_colour_cluster_sweep(
+    double *spins, int64_t sld, int64_t num_replicas,
+    int64_t num_blocks, int64_t size,
+    const double *linear,
+    const int64_t *members, const int64_t *class_starts,
+    int64_t num_classes,
+    const double *data, const int64_t *indices, const int64_t *indptr,
+    int64_t class_nnz,
+    double *scratch,
+    const int64_t *cmembers, const int64_t *cluster_starts,
+    int64_t num_clusters,
+    const double *cdata, const int64_t *cindices, const int64_t *cindptr,
+    int64_t cluster_nnz,
+    const int64_t *edge_i, const int64_t *edge_j,
+    const int64_t *edge_starts, const double *edge_values,
+    int64_t num_edges,
+    const double *temperatures, int64_t num_sweeps,
+    next_double_fn *next_doubles, void **states)
+{
+    for (int64_t b = 0; b < num_blocks; ++b) {
+        double *bspins = spins + b * size;
+        const double *blinear = linear + b * size;
+        const double *bdata = data + b * class_nnz;
+        const double *bcdata = cdata + b * cluster_nnz;
+        const double *bedges = edge_values + b * num_edges;
+        for (int64_t t = 0; t < num_sweeps; ++t) {
+            colour_pass(bspins, sld, num_replicas, blinear, members,
+                        class_starts, num_classes, bdata, indices, indptr,
+                        scratch, temperatures[t], next_doubles[b],
+                        states[b]);
+            cluster_pass(bspins, sld, num_replicas, blinear, cmembers,
+                         cluster_starts, num_clusters, bcdata, cindices,
+                         cindptr, edge_i, edge_j, edge_starts, bedges,
+                         temperatures[t], NULL, 0, NULL, 0,
+                         next_doubles[b], states[b]);
+        }
+    }
+}
+
+void pack_fused_dense_cluster_sweep(
+    double *spins, int64_t sld,
+    double *fields, int64_t fld,
+    const double *matrices,
+    const int64_t *order, int64_t order_len,
+    int64_t num_replicas, int64_t num_blocks, int64_t size,
+    const double *linear,
+    const int64_t *cmembers, const int64_t *cluster_starts,
+    int64_t num_clusters,
+    const double *cdata, const int64_t *cindices, const int64_t *cindptr,
+    int64_t cluster_nnz,
+    const int64_t *edge_i, const int64_t *edge_j,
+    const int64_t *edge_starts, const double *edge_values,
+    int64_t num_edges,
+    const double *temperatures, int64_t num_sweeps,
+    next_double_fn *next_doubles, void **states)
+{
+    for (int64_t b = 0; b < num_blocks; ++b) {
+        double *bspins = spins + b * size;
+        double *bfields = fields + b * size;
+        const double *bmatrix = matrices + b * size * size;
+        const double *blinear = linear + b * size;
+        const double *bcdata = cdata + b * cluster_nnz;
+        const double *bedges = edge_values + b * num_edges;
+        for (int64_t t = 0; t < num_sweeps; ++t) {
+            dense_pass(bspins, sld, bfields, fld, bmatrix, order, order_len,
+                       temperatures[t], num_replicas, size, next_doubles[b],
+                       states[b]);
+            cluster_pass(bspins, sld, num_replicas, blinear, cmembers,
+                         cluster_starts, num_clusters, bcdata, cindices,
+                         cindptr, edge_i, edge_j, edge_starts, bedges,
+                         temperatures[t], bfields, fld, bmatrix, size,
+                         next_doubles[b], states[b]);
         }
     }
 }
@@ -459,7 +1194,18 @@ def _cache_dir() -> Path:
 
 
 def _compile_cext() -> Optional[Path]:
-    """Compile the C kernels into a cached shared object; None on failure."""
+    """Compile the C kernels into a cached shared object; None on failure.
+
+    Concurrent-compile discipline (process-pool workers all warming a cold
+    cache at once): every process compiles into its *own* temporary
+    directory inside the cache and publishes with one atomic
+    :func:`os.replace`, so racing processes each install a byte-equivalent
+    artifact — last writer wins and every ``dlopen`` sees a complete file,
+    never a half-written one.  When this process's own attempt fails (cache
+    directory not writable, compiler racing on resource limits, no compiler
+    at all) but a concurrent process has published the target in the
+    meantime, that artifact is used instead of reporting failure.
+    """
     digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
     cache = _cache_dir()
     target = cache / f"metropolis_{digest}.so"
@@ -484,11 +1230,13 @@ def _compile_cext() -> Optional[Path]:
                 except (OSError, subprocess.SubprocessError):
                     continue
             else:
-                return None
+                # No compiler worked here — but tolerate a concurrent
+                # process having published the artifact while we tried.
+                return target if target.exists() else None
             # Atomic publish so concurrent processes race benignly.
             os.replace(built, target)
     except OSError:
-        return None
+        return target if target.exists() else None
     return target
 
 
@@ -521,6 +1269,82 @@ def _load_cext() -> Optional[ctypes.CDLL]:
             ctypes.c_void_p,                   # scratch
             ctypes.c_void_p, ctypes.c_int64,   # temperatures, num_sweeps
             ctypes.c_void_p, ctypes.c_void_p,  # next_double, state
+        ]
+        # Flattened cluster-descriptor tail shared by the cluster kernels:
+        # members, cluster_starts, num_clusters, CSR triple, edge arrays.
+        cluster_args = [
+            ctypes.c_void_p, ctypes.c_void_p, ctypes.c_int64,   # clusters
+            ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,  # CSR
+            ctypes.c_void_p, ctypes.c_void_p,  # edge_i, edge_j
+            ctypes.c_void_p, ctypes.c_void_p,  # edge_starts, edge_values
+        ]
+        lib.cluster_sweep.restype = None
+        lib.cluster_sweep.argtypes = [
+            ctypes.c_void_p, ctypes.c_int64, ctypes.c_int64,  # spins, ld, R
+            ctypes.c_void_p,                   # linear
+            *cluster_args,
+            ctypes.c_void_p, ctypes.c_int64,   # temperatures, num_sweeps
+            ctypes.c_void_p, ctypes.c_void_p,  # next_double, state
+        ]
+        lib.fused_dense_cluster_sweep.restype = None
+        lib.fused_dense_cluster_sweep.argtypes = [
+            ctypes.c_void_p, ctypes.c_int64,   # spins, row stride
+            ctypes.c_void_p, ctypes.c_int64,   # fields, row stride
+            ctypes.c_void_p,                   # matrix
+            ctypes.c_void_p, ctypes.c_int64,   # order, order_len
+            ctypes.c_void_p,                   # linear
+            *cluster_args,
+            ctypes.c_void_p, ctypes.c_int64,   # temperatures, num_sweeps
+            ctypes.c_int64, ctypes.c_int64,    # num_replicas, size
+            ctypes.c_void_p, ctypes.c_void_p,  # next_double, state
+        ]
+        lib.fused_colour_cluster_sweep.restype = None
+        lib.fused_colour_cluster_sweep.argtypes = [
+            ctypes.c_void_p, ctypes.c_int64, ctypes.c_int64,  # spins, ld, R
+            ctypes.c_void_p,                   # linear
+            ctypes.c_void_p, ctypes.c_void_p, ctypes.c_int64,  # classes
+            ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,  # CSR
+            ctypes.c_void_p,                   # scratch
+            *cluster_args,
+            ctypes.c_void_p, ctypes.c_int64,   # temperatures, num_sweeps
+            ctypes.c_void_p, ctypes.c_void_p,  # next_double, state
+        ]
+        # Pack-level variants: stacked per-block values, per-block rng
+        # pointer arrays.
+        pack_cluster_args = [
+            ctypes.c_void_p, ctypes.c_void_p, ctypes.c_int64,   # clusters
+            ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,  # CSR
+            ctypes.c_int64,                    # cluster_nnz
+            ctypes.c_void_p, ctypes.c_void_p,  # edge_i, edge_j
+            ctypes.c_void_p, ctypes.c_void_p,  # edge_starts, edge_values
+            ctypes.c_int64,                    # num_edges
+        ]
+        rng_arrays = [ctypes.POINTER(ctypes.c_void_p),
+                      ctypes.POINTER(ctypes.c_void_p)]
+        lib.pack_fused_colour_cluster_sweep.restype = None
+        lib.pack_fused_colour_cluster_sweep.argtypes = [
+            ctypes.c_void_p, ctypes.c_int64, ctypes.c_int64,  # spins, ld, R
+            ctypes.c_int64, ctypes.c_int64,    # num_blocks, size
+            ctypes.c_void_p,                   # linear
+            ctypes.c_void_p, ctypes.c_void_p, ctypes.c_int64,  # classes
+            ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,  # CSR
+            ctypes.c_int64,                    # class_nnz
+            ctypes.c_void_p,                   # scratch
+            *pack_cluster_args,
+            ctypes.c_void_p, ctypes.c_int64,   # temperatures, num_sweeps
+            *rng_arrays,                       # next_doubles, states
+        ]
+        lib.pack_fused_dense_cluster_sweep.restype = None
+        lib.pack_fused_dense_cluster_sweep.argtypes = [
+            ctypes.c_void_p, ctypes.c_int64,   # spins, row stride
+            ctypes.c_void_p, ctypes.c_int64,   # fields, row stride
+            ctypes.c_void_p,                   # matrices
+            ctypes.c_void_p, ctypes.c_int64,   # order, order_len
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,  # R, blocks, P
+            ctypes.c_void_p,                   # linear
+            *pack_cluster_args,
+            ctypes.c_void_p, ctypes.c_int64,   # temperatures, num_sweeps
+            *rng_arrays,                       # next_doubles, states
         ]
     except OSError:
         return None

@@ -88,6 +88,62 @@ class EmbeddedIsing:
         }
 
 
+def _embedding_plan(embedding: Embedding, num_logical: int):
+    """Structural embedding plan, cached on the embedding instance.
+
+    Everything about the embedded problem except the coefficient values is a
+    function of the embedding and the logical variable count alone — the
+    compact qubit order, the chain couplers, which physical coupler realises
+    each logical pair, and how fields spread over chains.  The serving path
+    embeds one problem per job against a handful of cached embeddings, so
+    this is derived once per (embedding, size) and reused; ``None`` marks an
+    embedding whose couplers collide (chains sharing a qubit or a coupler
+    doubling as a chain edge), for which :func:`embed_ising` keeps the
+    general accumulate-and-clip loop.
+    """
+    plans = embedding.__dict__.setdefault("_embed_plans", {})
+    if num_logical in plans:
+        return plans[num_logical]
+    qubit_order: Tuple[int, ...] = tuple(
+        sorted({qubit for index in range(num_logical)
+                for qubit in embedding.chains[index]})
+    )
+    position = {qubit: index for index, qubit in enumerate(qubit_order)}
+    logical_of = [0] * len(qubit_order)
+    covered = 0
+    for logical_index in range(num_logical):
+        for qubit in embedding.chains[logical_index]:
+            logical_of[position[qubit]] = logical_index
+            covered += 1
+    plan = None
+    if covered == len(qubit_order):  # chains vertex-disjoint
+        chain_keys = []
+        for logical_index in range(num_logical):
+            for edge in embedding.chain_edges[logical_index]:
+                a, b = position[edge[0]], position[edge[1]]
+                chain_keys.append((a, b) if a < b else (b, a))
+        coupler_of: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for pair, edge in embedding.logical_couplers.items():
+            if (pair[0] >= num_logical or pair[1] >= num_logical):
+                continue
+            a, b = position[edge[0]], position[edge[1]]
+            key = (a, b) if a < b else (b, a)
+            coupler_of[pair] = key
+            coupler_of[(pair[1], pair[0])] = key
+        distinct = set(chain_keys)
+        if (len(distinct) == len(chain_keys)
+                and not distinct.intersection(coupler_of.values())
+                and (len(set(coupler_of.values()))
+                     == len(coupler_of) // 2)):
+            chain_lengths = np.array(
+                [len(embedding.chains[index])
+                 for index in range(num_logical)], dtype=float)
+            plan = (qubit_order, tuple(logical_of), chain_keys, coupler_of,
+                    np.asarray(logical_of, dtype=np.intp), chain_lengths)
+    plans[num_logical] = plan
+    return plan
+
+
 def embed_ising(logical: IsingModel, embedding: Embedding, *,
                 chain_strength: float, extended_range: bool = False,
                 normalize: bool = True) -> EmbeddedIsing:
@@ -133,64 +189,96 @@ def embed_ising(logical: IsingModel, embedding: Embedding, *,
         if reference > 0:
             problem_scale /= reference
     scaled = logical.scaled(problem_scale)
-
-    qubit_order: Tuple[int, ...] = tuple(
-        sorted({qubit for index in range(logical.num_variables)
-                for qubit in embedding.chains[index]})
-    )
-    position = {qubit: index for index, qubit in enumerate(qubit_order)}
-    logical_of_list = [0] * len(qubit_order)
-    for logical_index in range(logical.num_variables):
-        for qubit in embedding.chains[logical_index]:
-            logical_of_list[position[qubit]] = logical_index
-
     coupler_min = chain_coupling
-    num_physical = len(qubit_order)
-    linear = np.zeros(num_physical)
-    couplings: Dict[Tuple[int, int], float] = {}
-    clipped = 0
 
-    def add_coupling(qubit_a: int, qubit_b: int, value: float) -> None:
-        nonlocal clipped
-        a, b = position[qubit_a], position[qubit_b]
-        key = (a, b) if a < b else (b, a)
-        total = couplings.get(key, 0.0) + value
-        if total < coupler_min or total > COUPLER_MAX:
-            clipped += 1
-            total = float(np.clip(total, coupler_min, COUPLER_MAX))
-        couplings[key] = total
+    plan = _embedding_plan(embedding, logical.num_variables)
+    if plan is not None:
+        # Collision-free embedding: every coupler receives exactly one value,
+        # so the accumulate-and-clip loop collapses to direct assignment with
+        # identical values, clip counts and dict insertion order (chain
+        # couplers first — Eq. 10 — then the crossing couplers in logical
+        # coupling order — Eq. 12; fields spread per Eq. 11).
+        (qubit_order, logical_of, chain_keys, coupler_of, logical_of_arr,
+         chain_lengths) = plan
+        shares = scaled.linear / chain_lengths
+        linear = shares[logical_of_arr]
+        couplings = dict.fromkeys(chain_keys, chain_coupling)
+        clipped = 0
+        for pair, value in scaled.couplings.items():
+            coupler = coupler_of.get(pair)
+            if coupler is None:
+                raise EmbeddingError(
+                    f"embedding provides no coupler for logical pair {pair}"
+                )
+            if value < coupler_min or value > COUPLER_MAX:
+                clipped += 1
+                value = float(np.clip(value, coupler_min, COUPLER_MAX))
+            couplings[coupler] = value
+        logical_of_list = list(logical_of)
+        num_physical = len(qubit_order)
+    else:
+        qubit_order = tuple(
+            sorted({qubit for index in range(logical.num_variables)
+                    for qubit in embedding.chains[index]})
+        )
+        position = {qubit: index for index, qubit in enumerate(qubit_order)}
+        logical_of_list = [0] * len(qubit_order)
+        for logical_index in range(logical.num_variables):
+            for qubit in embedding.chains[logical_index]:
+                logical_of_list[position[qubit]] = logical_index
 
-    # Chain ferromagnetic couplings (Eq. 10).
-    for logical_index in range(logical.num_variables):
-        for edge in embedding.chain_edges[logical_index]:
-            add_coupling(edge[0], edge[1], chain_coupling)
+        num_physical = len(qubit_order)
+        linear = np.zeros(num_physical)
+        couplings = {}
+        clipped = 0
 
-    # Logical fields spread over the chain (Eq. 11).  The scaled field is
-    # already expressed relative to the chain coupling (problem_scale folds in
-    # the 1 / |J_F| factor), so only the per-chain split remains.
-    for logical_index in range(logical.num_variables):
-        chain = embedding.chains[logical_index]
-        share = scaled.linear[logical_index] / len(chain)
-        for qubit in chain:
-            linear[position[qubit]] += share
+        def add_coupling(qubit_a: int, qubit_b: int, value: float) -> None:
+            nonlocal clipped
+            a, b = position[qubit_a], position[qubit_b]
+            key = (a, b) if a < b else (b, a)
+            total = couplings.get(key, 0.0) + value
+            if total < coupler_min or total > COUPLER_MAX:
+                clipped += 1
+                total = float(np.clip(total, coupler_min, COUPLER_MAX))
+            couplings[key] = total
 
-    # Logical couplings on the designated crossing coupler (Eq. 12).
-    for (i, j), value in scaled.couplings.items():
-        coupler = embedding.logical_couplers.get((i, j))
-        if coupler is None:
-            coupler = embedding.logical_couplers.get((j, i))
-        if coupler is None:
-            raise EmbeddingError(
-                f"embedding provides no coupler for logical pair ({i}, {j})"
-            )
-        add_coupling(coupler[0], coupler[1], value)
+        # Chain ferromagnetic couplings (Eq. 10).
+        for logical_index in range(logical.num_variables):
+            for edge in embedding.chain_edges[logical_index]:
+                add_coupling(edge[0], edge[1], chain_coupling)
+
+        # Logical fields spread over the chain (Eq. 11).  The scaled field
+        # is already expressed relative to the chain coupling (problem_scale
+        # folds in the 1 / |J_F| factor), so only the per-chain split
+        # remains.
+        for logical_index in range(logical.num_variables):
+            chain = embedding.chains[logical_index]
+            share = scaled.linear[logical_index] / len(chain)
+            for qubit in chain:
+                linear[position[qubit]] += share
+
+        # Logical couplings on the designated crossing coupler (Eq. 12).
+        for (i, j), value in scaled.couplings.items():
+            coupler = embedding.logical_couplers.get((i, j))
+            if coupler is None:
+                coupler = embedding.logical_couplers.get((j, i))
+            if coupler is None:
+                raise EmbeddingError(
+                    f"embedding provides no coupler for logical pair "
+                    f"({i}, {j})"
+                )
+            add_coupling(coupler[0], coupler[1], value)
 
     before = int(np.count_nonzero(np.abs(linear) > FIELD_MAX))
     clipped += before
     linear = np.clip(linear, FIELD_MIN, FIELD_MAX)
 
-    embedded = IsingModel(num_variables=num_physical, linear=linear,
-                          couplings=couplings, offset=0.0)
+    # add_coupling canonicalises every key (a < b, in range), so the trusted
+    # constructor applies; it still drops couplers an exact cancellation
+    # zeroed, like the validating constructor always has.
+    embedded = IsingModel.from_normalised(num_variables=num_physical,
+                                          linear=linear,
+                                          couplings=couplings, offset=0.0)
     return EmbeddedIsing(
         ising=embedded,
         embedding=embedding,

@@ -59,8 +59,10 @@ translations from :mod:`repro.annealer.backends` that consume the exact same
 per-variable Metropolis draw stream (``"auto"``, the default, picks the best
 available and falls back to numpy).  Because each block draws from its own
 generator and blocks never interact, the compiled backends evolve blocks one
-at a time through the whole schedule (or one sweep at a time when cluster
-moves interleave) without changing any block's stream.
+at a time through the whole schedule without changing any block's stream —
+including embedded problems with cluster (chain-flip) moves, which run
+through fused single-spin+cluster kernels driven by a flattened per-block
+cluster descriptor (:meth:`BlockDiagonalSampler._cluster_descriptors`).
 """
 
 from __future__ import annotations
@@ -260,6 +262,10 @@ class BlockDiagonalSampler:
         self._matrix_entries: Optional[np.ndarray] = None
         self._class_entries: List[np.ndarray] = []
         self._cluster_entries: List[np.ndarray] = []
+        # Compiled-call CSR structure caches (values are assembled from the
+        # live operators per call, so these survive refresh_values rebinds).
+        self._colour_csr_cache = None
+        self._cluster_compiled_cache = None
 
         #: Combined colour classes: block-major concatenation, so block ``b``'s
         #: members form the contiguous column segment ``[b*m, (b+1)*m)`` of
@@ -357,10 +363,10 @@ class BlockDiagonalSampler:
         Resolved per call rather than frozen at construction so that
         availability probes (monkeypatched in fallback tests, or a numba
         install appearing between runs) take effect without rebuilding the
-        sampler; resolution itself is a cached dictionary lookup.  One
-        dispatch exception applies at anneal time: multi-block packs with
-        cluster moves always run the block-vectorised numpy loops, where
-        they are faster than per-(block, sweep) compiled calls.
+        sampler; resolution itself is a cached dictionary lookup.  The
+        resolved backend runs every pack shape — since the fused cluster
+        kernels, multi-block packs with cluster moves (the serving shape)
+        dispatch compiled too, one whole-schedule call per block.
         """
         return backends.resolve_backend(self.backend)
 
@@ -455,6 +461,157 @@ class BlockDiagonalSampler:
         return [[coupling[b][members, :] for b in range(self.num_blocks)]
                 for members in self.block_clusters]
 
+    def _block_csr_structure(self, operators: List[sparse.csr_matrix],
+                             widths: Sequence[int]) -> List[Tuple]:
+        """Per-block CSR structure of block-major stacked combined operators.
+
+        Each combined operator holds, block-major, ``widths[k]`` rows per
+        block whose entries all fall inside that block's column range; block
+        ``b``'s rows of operator ``k`` are therefore the contiguous row
+        segment ``[b*widths[k], (b+1)*widths[k])`` and its data slots the
+        contiguous ``.data`` slice between those rows' ``indptr`` bounds.
+        Returns, per block, ``(data_slices, indices, indptr)`` where
+        *data_slices* are ``(operator, lo, hi)`` views into the live
+        operators (rewritten in place by :meth:`refresh_values`, so callers
+        assembling values from them always see the current coefficients)
+        and *indices*/*indptr* the rebased block-local CSR structure.
+        """
+        size = self.block_size
+        per_block: List[Tuple] = []
+        for b in range(self.num_blocks):
+            slices = []
+            indices_parts = []
+            count_parts = []
+            for operator, width in zip(operators, widths):
+                indptr = operator.indptr
+                lo = int(indptr[b * width])
+                hi = int(indptr[(b + 1) * width])
+                slices.append((operator, lo, hi))
+                indices_parts.append(
+                    operator.indices[lo:hi].astype(np.int64) - b * size)
+                count_parts.append(
+                    np.diff(indptr[b * width:(b + 1) * width + 1]))
+            indices = np.ascontiguousarray(np.concatenate(indices_parts),
+                                           dtype=np.int64)
+            indptr = np.ascontiguousarray(
+                np.concatenate([[0], np.cumsum(np.concatenate(count_parts))]),
+                dtype=np.int64)
+            per_block.append((slices, indices, indptr))
+        return per_block
+
+    @staticmethod
+    def _assemble_data(slices) -> np.ndarray:
+        """Concatenate live operator ``.data`` slices into one value vector."""
+        return np.ascontiguousarray(
+            np.concatenate([np.asarray(operator.data[lo:hi])
+                            for operator, lo, hi in slices]),
+            dtype=np.float64)
+
+    def _stack_block_data(self, per_block) -> np.ndarray:
+        """Stack every block's live operator values into a ``(blocks, nnz)``
+        matrix — the pack-kernel form of :meth:`_assemble_data`."""
+        nnz = per_block[0][1].size
+        stacked = np.empty((self.num_blocks, nnz))
+        for b, (slices, _, _) in enumerate(per_block):
+            position = 0
+            for operator, lo, hi in slices:
+                stacked[b, position:position + hi - lo] = operator.data[lo:hi]
+                position += hi - lo
+        return stacked
+
+    def _ensure_cluster_cache(self) -> Tuple:
+        """Build (once per sampler) the flattened cluster structure arrays."""
+        if self._cluster_compiled_cache is None:
+            members = np.ascontiguousarray(
+                np.concatenate(self.block_clusters), dtype=np.int64)
+            cluster_starts = np.ascontiguousarray(
+                np.concatenate([[0], np.cumsum(self._cluster_lengths)]),
+                dtype=np.int64)
+            edge_counts = [len(keys) for keys in self._cluster_internal_keys]
+            edge_starts = np.ascontiguousarray(
+                np.concatenate([[0], np.cumsum(edge_counts)]),
+                dtype=np.int64)
+            if sum(edge_counts):
+                pairs = np.concatenate([
+                    np.asarray(keys, dtype=np.int64).reshape(len(keys), 2)
+                    for keys in self._cluster_internal_keys if keys])
+                edge_i = np.ascontiguousarray(pairs[:, 0])
+                edge_j = np.ascontiguousarray(pairs[:, 1])
+            else:
+                edge_i = np.empty(0, dtype=np.int64)
+                edge_j = np.empty(0, dtype=np.int64)
+            per_block = self._block_csr_structure(self._cluster_operators,
+                                                  self._cluster_lengths)
+            self._cluster_compiled_cache = (members, cluster_starts, edge_i,
+                                            edge_j, edge_starts, per_block)
+        return self._cluster_compiled_cache
+
+    def _cluster_edge_values(self) -> np.ndarray:
+        """Internal-edge coupling values, shape ``(E_total, blocks)``.
+
+        ``_refresh_cluster_internal`` replaces the per-cluster arrays on
+        rebind, so these are re-read on every call.
+        """
+        nonempty = [block for block in self._cluster_int_v if block.size]
+        if not nonempty:
+            return np.empty((0, self.num_blocks))
+        return np.concatenate(nonempty, axis=0)
+
+    def _cluster_descriptors(self) -> List[backends.ClusterDescriptor]:
+        """Per-block flattened cluster descriptors for the compiled kernels.
+
+        One :class:`~repro.annealer.backends.ClusterDescriptor` per block:
+        the ragged member/internal-edge structure arrays (shared between
+        blocks, derived once per sampler) plus the block's own coupling
+        values — the member local-field rows as a CSR triple holding the
+        same values in the same ascending-column summation order as the
+        reference cluster operators, and the internal-edge value vector.
+        The value arrays are assembled per call from the live operators, so
+        samplers rebound through :meth:`refresh_values` always sweep the
+        current values.
+        """
+        (members, cluster_starts, edge_i, edge_j, edge_starts,
+         per_block) = self._ensure_cluster_cache()
+        values = self._cluster_edge_values()
+        return [
+            backends.ClusterDescriptor(
+                members=members,
+                cluster_starts=cluster_starts,
+                data=self._assemble_data(slices),
+                indices=indices,
+                indptr=indptr,
+                edge_i=edge_i,
+                edge_j=edge_j,
+                edge_starts=edge_starts,
+                edge_values=np.ascontiguousarray(values[:, b],
+                                                 dtype=np.float64),
+            )
+            for b, (slices, indices, indptr) in enumerate(per_block)
+        ]
+
+    def _cluster_pack_descriptor(self) -> backends.ClusterDescriptor:
+        """Pack-level cluster descriptor: stacked block-major value matrices.
+
+        The structure arrays are those of :meth:`_cluster_descriptors`
+        (identical across blocks — the sampler invariant); ``data`` and
+        ``edge_values`` hold every block's values as ``(blocks, nnz)`` /
+        ``(blocks, E)`` rows, the shape the pack-level fused kernels
+        consume so a multi-block anneal is one compiled dispatch.
+        """
+        (members, cluster_starts, edge_i, edge_j, edge_starts,
+         per_block) = self._ensure_cluster_cache()
+        return backends.ClusterDescriptor(
+            members=members,
+            cluster_starts=cluster_starts,
+            data=self._stack_block_data(per_block),
+            indices=per_block[0][1],
+            indptr=per_block[0][2],
+            edge_i=edge_i,
+            edge_j=edge_j,
+            edge_starts=edge_starts,
+            edge_values=np.ascontiguousarray(self._cluster_edge_values().T),
+        )
+
     def _cluster_sweep(self, spins: np.ndarray, temperature: float,
                        rngs: Sequence[np.random.Generator],
                        fields: Optional[np.ndarray] = None,
@@ -472,8 +629,8 @@ class BlockDiagonalSampler:
         :meth:`_cluster_coupling_rows`), accepted cluster flips update it
         incrementally: flipping the members ``C`` of block ``b`` in replica
         ``r`` adds ``sum_{m in C} (s'_m - s_m) J_b[m, :]`` to that replica's
-        field row — one ``(accepted x |C|) @ (|C| x P)`` product per cluster
-        instead of a full ``(R x P) @ (P x P)`` recompute per sweep.
+        field row — one small ``|C|``-term accumulation per cluster instead
+        of a full ``(R x P) @ (P x P)`` recompute per sweep.
         """
         num_replicas = spins.shape[0]
         blocks = self.num_blocks
@@ -485,8 +642,18 @@ class BlockDiagonalSampler:
                 self._cluster_int_i, self._cluster_int_j,
                 self._cluster_int_v)):
             cluster_fields = (operator @ spins.T).T + self.linear[columns]
-            boundary = (spins[:, columns] * cluster_fields).reshape(
-                num_replicas, blocks, length).sum(axis=2)
+            terms = (spins[:, columns] * cluster_fields).reshape(
+                num_replicas, blocks, length)
+            # Accumulate the member sum in explicit ascending-member order:
+            # for clusters of fewer than 8 members this is bit-for-bit what
+            # ``terms.sum(axis=2)`` computes (NumPy reduces short contiguous
+            # runs sequentially), and it *defines* the summation order for
+            # longer chains, so the compiled cluster kernels can reproduce
+            # every boundary exactly regardless of NumPy's pairwise/SIMD
+            # reduction strategy.
+            boundary = np.zeros((num_replicas, blocks))
+            for m in range(length):
+                boundary += terms[:, :, m]
             for t in range(int_i.shape[0]):
                 # Subtract the internal couplings, which were double counted
                 # through the fields of both endpoints.
@@ -512,6 +679,16 @@ class BlockDiagonalSampler:
                         cols = members + b * size
                         # (s'_m - s_m) = -2 s_m on the accepted replicas;
                         # one small matmul updates their field segments.
+                        # Unlike the flip-energy boundary above — whose
+                        # member sum needs a defined order because
+                        # structurally-zero boundaries make its sign an
+                        # O(1) hazard — this BLAS reduction may differ from
+                        # the compiled kernels' ascending-member
+                        # accumulation by ~1 ulp, which only moves later
+                        # acceptance thresholds inside the same ~1e-16
+                        # per-draw window already documented for
+                        # vectorised-vs-libm exp (see
+                        # repro.annealer.backends).
                         segment = fields[:, b * size:(b + 1) * size]
                         segment[accepted] += (
                             (-2.0 * spins[np.ix_(accepted, cols)])
@@ -642,10 +819,12 @@ class BlockDiagonalSampler:
         """Dense sequential sweep through a compiled backend kernel.
 
         Blocks never interact and each draws from its own generator, so the
-        compiled kernel evolves one block at a time — through the whole
-        schedule when there are no clusters, or one sweep at a time with the
-        (vectorised) cluster sweep interleaved — without changing any
-        block's draw stream relative to the reference loop.
+        compiled kernel evolves one block at a time through the whole
+        schedule — with clusters, the fused dense+cluster kernel interleaves
+        the cluster-flip sweep after every dense sweep and maintains the
+        block's local-field matrix incrementally across both move types —
+        without changing any block's draw stream relative to the reference
+        loop.
         """
         size = self.block_size
         coupling = self._dense_coupling_blocks()
@@ -663,8 +842,15 @@ class BlockDiagonalSampler:
                                      fields[:, segment], coupling[b], order,
                                      temperatures, rng)
             return
-        cluster_rows = (self._cluster_coupling_rows(coupling)
-                        if self.incremental_cluster_fields else None)
+        if self.incremental_cluster_fields:
+            backends.pack_fused_dense_cluster_sweep(
+                backend, spins, fields, coupling, order, self.linear,
+                self._cluster_pack_descriptor(), temperatures, rngs)
+            return
+        # Diagnostic recompute mode (incremental_cluster_fields=False):
+        # compiled dense sweeps with the reference cluster sweep and a full
+        # field recompute interleaved per temperature, kept so benchmarks
+        # can time the recompute path.  Streams are identical either way.
         for temperature in temperatures:
             one = np.array([temperature])
             for b, rng in enumerate(rngs):
@@ -672,15 +858,11 @@ class BlockDiagonalSampler:
                 backends.dense_sweep(backend, spins[:, segment],
                                      fields[:, segment], coupling[b], order,
                                      one, rng)
-            if cluster_rows is not None:
-                self._cluster_sweep(spins, temperature, rngs, fields=fields,
-                                    cluster_rows=cluster_rows)
-            else:
-                self._cluster_sweep(spins, temperature, rngs)
-                for b in range(self.num_blocks):
-                    segment = slice(b * size, (b + 1) * size)
-                    fields[:, segment] = (spins[:, segment] @ coupling[b]
-                                          + self.linear[segment][None, :])
+            self._cluster_sweep(spins, temperature, rngs)
+            for b in range(self.num_blocks):
+                segment = slice(b * size, (b + 1) * size)
+                fields[:, segment] = (spins[:, segment] @ coupling[b]
+                                      + self.linear[segment][None, :])
 
     def _colour_class_csr(self) -> Tuple[np.ndarray, np.ndarray, list]:
         """Block-local ragged colour classes + stacked per-class CSR operators.
@@ -691,26 +873,42 @@ class BlockDiagonalSampler:
         the ``(data, indices, indptr)`` CSR triple whose row ``k`` maps block
         ``b``'s spins to the local field of ``members[k]`` — the same values,
         in the same (ascending-column) summation order, as the combined
-        per-class operators the reference loop multiplies through.
+        per-class operators the reference loop multiplies through.  The
+        structure is derived once per sampler; the value vectors are
+        assembled per call from the live class operators, so
+        :meth:`refresh_values` rebinds are always honoured.
         """
-        size = self.block_size
-        members = np.ascontiguousarray(np.concatenate(self.block_classes),
-                                       dtype=np.int64)
-        widths = [group.size for group in self.block_classes]
-        class_starts = np.ascontiguousarray(
-            np.concatenate([[0], np.cumsum(widths)]), dtype=np.int64)
-        per_block = []
-        for b in range(self.num_blocks):
-            start = b * size
-            block = self._matrix[start:start + size,
-                                 start:start + size].tocsr()
-            stacked = block[members, :].tocsr()
-            per_block.append((
-                np.ascontiguousarray(stacked.data, dtype=np.float64),
-                np.ascontiguousarray(stacked.indices, dtype=np.int64),
-                np.ascontiguousarray(stacked.indptr, dtype=np.int64),
-            ))
-        return members, class_starts, per_block
+        members, class_starts, per_block = self._ensure_colour_cache()
+        return members, class_starts, [
+            (self._assemble_data(slices), indices, indptr)
+            for slices, indices, indptr in per_block
+        ]
+
+    def _ensure_colour_cache(self) -> Tuple:
+        """Build (once per sampler) the stacked colour-class CSR structure."""
+        if self._colour_csr_cache is None:
+            members = np.ascontiguousarray(np.concatenate(self.block_classes),
+                                           dtype=np.int64)
+            class_starts = np.ascontiguousarray(
+                np.concatenate([[0], np.cumsum(self._class_widths)]),
+                dtype=np.int64)
+            per_block = self._block_csr_structure(self.class_operators,
+                                                  self._class_widths)
+            self._colour_csr_cache = (members, class_starts, per_block)
+        return self._colour_csr_cache
+
+    def _colour_pack_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                        np.ndarray, np.ndarray]:
+        """Pack form of :meth:`_colour_class_csr`: one stacked value matrix.
+
+        Returns ``(members, class_starts, class_data, indices, indptr)``
+        with ``class_data`` the ``(blocks, nnz)`` block-major value matrix
+        over the shared rebased CSR structure — the shape the pack-level
+        fused kernels consume.
+        """
+        members, class_starts, per_block = self._ensure_colour_cache()
+        return (members, class_starts, self._stack_block_data(per_block),
+                per_block[0][1], per_block[0][2])
 
     def _colour_sweep_compiled(self, spins: np.ndarray,
                                temperatures: np.ndarray,
@@ -719,15 +917,18 @@ class BlockDiagonalSampler:
         """Colour-class sweeps through a compiled backend kernel.
 
         Same block-at-a-time strategy as the dense compiled path; the
-        per-class local-field operators are re-sliced from the live combined
-        matrix on every call, so samplers rebound through
-        :meth:`refresh_values` always sweep the current values.
+        per-class local-field operator values are re-read from the live
+        combined matrix on every call, so samplers rebound through
+        :meth:`refresh_values` always sweep the current values.  With
+        clusters, the pack-level fused colour+cluster kernel runs the whole
+        schedule for the whole pack — the embedded serving shape, one
+        compiled dispatch per anneal instead of one per (block, sweep).
         """
         size = self.block_size
-        members, class_starts, per_block = self._colour_class_csr()
         max_width = max((g.size for g in self.block_classes), default=1)
         scratch = np.empty((num_replicas, max(max_width, 1)))
         if not self._cluster_operators:
+            members, class_starts, per_block = self._colour_class_csr()
             for b, rng in enumerate(rngs):
                 segment = slice(b * size, (b + 1) * size)
                 data, indices, indptr = per_block[b]
@@ -736,16 +937,12 @@ class BlockDiagonalSampler:
                                       class_starts, data, indices, indptr,
                                       scratch, temperatures, rng)
             return
-        for temperature in temperatures:
-            one = np.array([temperature])
-            for b, rng in enumerate(rngs):
-                segment = slice(b * size, (b + 1) * size)
-                data, indices, indptr = per_block[b]
-                backends.colour_sweep(backend, spins[:, segment],
-                                      self.linear[segment], members,
-                                      class_starts, data, indices, indptr,
-                                      scratch, one, rng)
-            self._cluster_sweep(spins, temperature, rngs)
+        members, class_starts, class_data, indices, indptr = \
+            self._colour_pack_csr()
+        backends.pack_fused_colour_cluster_sweep(
+            backend, spins, self.linear, members, class_starts, class_data,
+            indices, indptr, scratch, self._cluster_pack_descriptor(),
+            temperatures, rngs)
 
     def _anneal(self, temperatures: Sequence[float], num_replicas: int,
                 rngs: Sequence[np.random.Generator],
@@ -764,10 +961,14 @@ class BlockDiagonalSampler:
         if initial_spins is None:
             # The annealer's initial superposition collapses to an unbiased
             # configuration under thermal sampling; each block draws its own.
+            # Generator.choice over a 2-array IS integers(0, 2) plus a take,
+            # so the direct form consumes the identical stream without
+            # choice's per-call validation overhead.
+            values = np.array([-1.0, 1.0])
             spins = np.empty((num_replicas, n))
             for b, rng in enumerate(rngs):
-                spins[:, b * size:(b + 1) * size] = rng.choice(
-                    np.array([-1.0, 1.0]), size=(num_replicas, size))
+                spins[:, b * size:(b + 1) * size] = values[
+                    rng.integers(0, 2, size=(num_replicas, size))]
         else:
             spins = np.asarray(initial_spins, dtype=np.float64).copy()
             if spins.shape != (num_replicas, n):
@@ -777,15 +978,6 @@ class BlockDiagonalSampler:
                 )
 
         backend = self.selected_backend
-        if (backend != "numpy" and self._cluster_operators
-                and self.num_blocks > 1):
-            # Compiled kernels evolve blocks one at a time; with cluster
-            # moves interleaving every sweep, a many-block pack pays one
-            # kernel call per (block, sweep) and loses to the
-            # block-vectorised reference loops (measured crossover at 2
-            # blocks on serving-shaped packs).  Streams are identical
-            # either way, so this is purely a dispatch decision.
-            backend = "numpy"
         if self.selected_kernel == "dense":
             if backend == "numpy":
                 self._dense_sweep_loop(spins, temperatures, rngs)

@@ -56,12 +56,20 @@ class ICEModel:
         rng = ensure_rng(random_state)
         linear = ising.linear + rng.normal(self.linear_mean, self.linear_std,
                                            size=ising.num_variables)
+        # One vectorised draw consumes the generator exactly as the
+        # historical per-coupling scalar draws did (element k of a sized
+        # normal() call is the k-th scalar draw), so seeded machine runs are
+        # unchanged; the dict is rebuilt over canonical keys, so the trusted
+        # constructor applies.
+        noise = rng.normal(self.quadratic_mean, self.quadratic_std,
+                           size=len(ising.couplings))
         couplings = {
-            key: value + rng.normal(self.quadratic_mean, self.quadratic_std)
-            for key, value in ising.couplings.items()
+            key: value + shift
+            for (key, value), shift in zip(ising.couplings.items(), noise)
         }
-        return IsingModel(num_variables=ising.num_variables, linear=linear,
-                          couplings=couplings, offset=ising.offset)
+        return IsingModel.from_normalised(
+            num_variables=ising.num_variables, linear=linear,
+            couplings=couplings, offset=ising.offset)
 
     def scaled(self, factor: float) -> "ICEModel":
         """An ICE model with all statistics multiplied by *factor*."""

@@ -74,26 +74,44 @@ def unembed_samples(embedded: EmbeddedIsing, physical_spins,
             f"{embedded.num_physical}), got {physical.shape}"
         )
     rng = ensure_rng(random_state)
-    chains = embedded.compact_chains
     num_logical = embedded.embedding.num_logical
     num_samples = physical.shape[0]
-    logical = np.empty((num_samples, num_logical), dtype=np.int8)
-    broken = 0
+    # All chains' majority votes are integer sums, so they can be computed
+    # in one gather-and-reduce over a flattened chain index (exact in any
+    # summation order); only tie breaking stays a per-chain loop, because
+    # each logical index draws its tie spins from *rng* in ascending order
+    # and that stream must not move.  The flattened index is a pure function
+    # of (embedding, logical count), so it is cached on the embedding — the
+    # serving path unembeds one batch per job against a handful of cached
+    # embeddings.
+    plans = embedded.embedding.__dict__.setdefault("_unembed_plans", {})
+    plan = plans.get(num_logical)
+    if plan is None:
+        chains = embedded.compact_chains
+        chain_lengths = np.fromiter(
+            (len(chains[index]) for index in range(num_logical)),
+            dtype=np.intp, count=num_logical)
+        flat_chains = np.fromiter(
+            (qubit for index in range(num_logical)
+             for qubit in chains[index]),
+            dtype=np.intp, count=int(chain_lengths.sum()))
+        bounds = np.concatenate([[0], np.cumsum(chain_lengths)])
+        plan = (chain_lengths, flat_chains, bounds)
+        plans[num_logical] = plan
+    chain_lengths, flat_chains, bounds = plan
+    gathered = physical[:, flat_chains].astype(np.int64)
+    sums = np.add.reduceat(gathered, bounds[:-1], axis=1)
+    values = np.sign(sums).astype(np.int8)
+    broken = int(np.count_nonzero(np.abs(sums) != chain_lengths[None, :]))
     ties = 0
-    for logical_index in range(num_logical):
-        chain = np.asarray(chains[logical_index], dtype=np.intp)
-        chain_spins = physical[:, chain]
-        sums = chain_spins.sum(axis=1)
-        values = np.sign(sums).astype(np.int8)
-        agreement = np.abs(sums) == chain.size
-        broken += int(np.count_nonzero(~agreement))
-        tie_mask = values == 0
+    tie_columns = np.nonzero((values == 0).any(axis=0))[0]
+    spin_choices = np.array([-1, 1], dtype=np.int8)
+    for logical_index in tie_columns:
+        column = values[:, logical_index]
+        tie_mask = column == 0
         num_ties = int(np.count_nonzero(tie_mask))
-        if num_ties:
-            ties += num_ties
-            values[tie_mask] = rng.choice(np.array([-1, 1], dtype=np.int8),
-                                          size=num_ties)
-        logical[:, logical_index] = values
+        ties += num_ties
+        column[tie_mask] = rng.choice(spin_choices, size=num_ties)
     report = UnembeddingReport(broken_chains=broken, tie_breaks=ties,
                                total_chains=num_samples * num_logical)
-    return logical, report
+    return values, report

@@ -117,6 +117,41 @@ def decode_time_model_for(decoder: QuAMaxDecoder,
     return model
 
 
+def online_decode_time_model(telemetry: TelemetryRecorder,
+                             fallback: DecodeTimeModel,
+                             overhead_us: float = 0.0,
+                             margin: float = 0.1) -> DecodeTimeModel:
+    """Decode-time model fed by the recorder's per-structure EWMAs.
+
+    Wraps *telemetry*'s online estimate
+    (:meth:`TelemetryRecorder.decode_time_us` — EWMAs of observed pack
+    service times and sizes, with *overhead_us* the known per-pack
+    overhead separating the fixed and per-job parts) with the same safety
+    *margin* as the analytic model, falling back to *fallback* until a
+    structure has completed enough packs for its estimate to be trusted.
+    Unlike the analytic model, the online one tracks what decodes actually
+    cost on this machine under current load, so the slack threshold is
+    self-calibrating.
+
+    Note on determinism: with an inline pool (``num_workers=0``) every pack
+    completes — and feeds the EWMA — before the next scheduling decision, so
+    serving stays a deterministic function of the offered load.  With a
+    concurrent pool the model sees whatever has been credited by the time a
+    flush decision is made, so adaptive flush *timing* can vary across runs;
+    per-job detections never change either way.
+    """
+    headroom = 1.0 + margin
+
+    def model(key: Tuple[int, int, str], size: int) -> float:
+        estimate = telemetry.decode_time_us(key, size,
+                                            overhead_us=overhead_us)
+        if estimate is None:
+            return fallback(key, size)
+        return estimate * headroom
+
+    return model
+
+
 class CranService:
     """Deadline-aware batched decode service over a QuAMax processing pool.
 
@@ -135,9 +170,13 @@ class CranService:
     adaptive_wait:
         When true, the scheduler additionally flushes a pending pack as
         soon as its most urgent member's slack drops to the pack's modelled
-        decode time (see :func:`decode_time_model_for`), cutting the
-        low-load latency tail without sacrificing fill at high load.  A
-        custom model can be passed via *decode_time_model* instead.
+        decode time, cutting the low-load latency tail without sacrificing
+        fill at high load.  The model is *online*: an EWMA of observed
+        per-structure pack decode times from this run's telemetry
+        (:func:`online_decode_time_model`), falling back to the analytic
+        :func:`decode_time_model_for` until enough packs of a structure
+        have completed.  A custom model can be passed via
+        *decode_time_model* instead.
     decode_time_model:
         Explicit ``(structure_key, size) -> µs`` model forwarded to the
         scheduler (overrides *adaptive_wait*).
@@ -179,7 +218,15 @@ class CranService:
 
     # ------------------------------------------------------------------ #
     def scheduler_model(self) -> Optional[DecodeTimeModel]:
-        """The decode-time model the scheduler will run with (or ``None``)."""
+        """The base decode-time model the scheduler runs with (or ``None``).
+
+        For ``adaptive_wait`` this is the *analytic* component
+        (:func:`decode_time_model_for`); at :meth:`run` time it becomes the
+        fallback of an :func:`online_decode_time_model` fed by the run's
+        telemetry, so the wait threshold self-calibrates once observed pack
+        decode times accumulate.  An explicit *decode_time_model* is used
+        verbatim.
+        """
         if self._decode_time_model is not None:
             return self._decode_time_model
         if self.adaptive_wait:
@@ -193,10 +240,22 @@ class CranService:
         once every non-shed job has been decoded and the pool has drained.
         """
         ordered = sorted(jobs, key=lambda j: (j.arrival_time_us, j.job_id))
+        telemetry = TelemetryRecorder(window=self.telemetry_window)
+        model = self.scheduler_model()
+        if (model is not None and self.adaptive_wait
+                and self._decode_time_model is None):
+            # Online adaptive wait: observed per-structure pack decode
+            # times (EWMAs via the recorder) refine the analytic model as
+            # the run progresses; the known per-pack overhead anchors the
+            # fixed/per-job split so full-pack observations still predict
+            # small pending packs.
+            overhead_us = self.decoder.annealer.overheads.total_us(
+                self.decoder.parameters.num_anneals)
+            model = online_decode_time_model(telemetry, model,
+                                             overhead_us=overhead_us)
         scheduler = EDFBatchScheduler(max_batch=self.max_batch,
                                       max_wait_us=self.max_wait_us,
-                                      decode_time_model=self.scheduler_model())
-        telemetry = TelemetryRecorder(window=self.telemetry_window)
+                                      decode_time_model=model)
         pool = WorkerPool(self.decoder,
                           num_workers=self.num_workers,
                           mode=self.mode,

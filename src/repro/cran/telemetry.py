@@ -28,6 +28,13 @@ from repro.utils.validation import check_integer_in_range
 #: Percentiles reported by default in latency summaries.
 DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
 
+#: Default EWMA weight of the newest per-structure decode-time observation.
+DECODE_TIME_EWMA_ALPHA = 0.3
+
+#: Packs a structure must have completed before its online decode-time
+#: estimate is trusted (callers fall back to an analytic model until then).
+DECODE_TIME_MIN_SAMPLES = 3
+
 
 @dataclass(frozen=True)
 class LatencySummary:
@@ -54,10 +61,18 @@ class TelemetryRecorder:
         batch fill) always cover the whole run.
     """
 
-    def __init__(self, window: Optional[int] = None):
+    def __init__(self, window: Optional[int] = None,
+                 decode_time_alpha: float = DECODE_TIME_EWMA_ALPHA,
+                 decode_time_min_samples: int = DECODE_TIME_MIN_SAMPLES):
         if window is not None:
             window = check_integer_in_range("window", window, minimum=1)
         self.window = window
+        if not 0.0 < decode_time_alpha <= 1.0:
+            raise ValueError(
+                f"decode_time_alpha must be in (0, 1], got {decode_time_alpha}")
+        self.decode_time_alpha = float(decode_time_alpha)
+        self.decode_time_min_samples = check_integer_in_range(
+            "decode_time_min_samples", decode_time_min_samples, minimum=1)
         self._latencies_us: Deque[float] = deque(maxlen=window)
         self._queue_delays_us: Deque[float] = deque(maxlen=window)
         self._batch_fill: Counter = Counter()
@@ -66,6 +81,12 @@ class TelemetryRecorder:
             maxlen=window)
         self._first_arrival_us: Optional[float] = None
         self._last_finish_us = 0.0
+        #: Per-structure EWMAs of observed pack service times (µs) and pack
+        #: sizes, plus sample counts — the online decode-time model the
+        #: adaptive-wait scheduler feeds on.
+        self._decode_service_ewma_us: Dict[Tuple[int, int, str], float] = {}
+        self._decode_size_ewma: Dict[Tuple[int, int, str], float] = {}
+        self._decode_time_samples: Counter = Counter()
         self.jobs_completed = 0
         self.jobs_shed = 0
         self.deadline_misses = 0
@@ -81,6 +102,23 @@ class TelemetryRecorder:
         self.batches_decoded += 1
         self._batch_fill[len(results)] += 1
         self._flush_reasons[results[0].flush_reason] += 1
+        # Feed the online decode-time model: one observation of this pack's
+        # service time and size (all members share one start/finish).
+        first = results[0]
+        key = first.job.structure_key
+        service_us = first.finish_time_us - first.start_time_us
+        size = float(len(results))
+        alpha = self.decode_time_alpha
+        previous = self._decode_service_ewma_us.get(key)
+        if previous is None:
+            self._decode_service_ewma_us[key] = service_us
+            self._decode_size_ewma[key] = size
+        else:
+            self._decode_service_ewma_us[key] = (
+                (1.0 - alpha) * previous + alpha * service_us)
+            self._decode_size_ewma[key] = (
+                (1.0 - alpha) * self._decode_size_ewma[key] + alpha * size)
+        self._decode_time_samples[key] += 1
         for result in results:
             self.jobs_completed += 1
             self._latencies_us.append(result.latency_us)
@@ -105,6 +143,28 @@ class TelemetryRecorder:
     # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #
+    def decode_time_us(self, structure_key: Tuple[int, int, str],
+                       size: int, overhead_us: float = 0.0) -> Optional[float]:
+        """Online decode-time estimate for a *size*-job pack of a structure.
+
+        Derived from the EWMAs of observed pack service times and sizes:
+        with *overhead_us* the (known) per-pack overhead, the per-job
+        compute is estimated as ``(E[service] - overhead) / E[size]`` and
+        the prediction is ``overhead + size * per_job`` — so a structure
+        observed in full packs still predicts small pending packs
+        correctly.  Returns ``None`` until :attr:`decode_time_min_samples`
+        packs of the structure have completed (callers fall back to an
+        analytic model until the estimate is trustworthy).
+        """
+        if self._decode_time_samples[structure_key] < \
+                self.decode_time_min_samples:
+            return None
+        per_job = ((self._decode_service_ewma_us[structure_key] - overhead_us)
+                   / self._decode_size_ewma[structure_key])
+        if per_job < 0.0:
+            per_job = 0.0
+        return overhead_us + size * per_job
+
     def latency_summary(self, percentiles: Sequence[float]
                         = DEFAULT_PERCENTILES) -> LatencySummary:
         """Rolling latency percentiles over the recorded window (µs)."""
@@ -196,4 +256,13 @@ class TelemetryRecorder:
                                     if queue_delay.size else float("nan")),
             "queue_depth_max": self.max_queue_depth(),
             "queue_depth_mean": self.mean_queue_depth(),
+            # Amortised per-job decode time at the *observed* pack sizes
+            # (E[service] / E[size], so the shared pack overhead is folded
+            # in) — an observability figure; the scheduler's model estimate
+            # is the overhead-split :meth:`decode_time_us`.
+            "decode_time_per_job_us": {
+                f"{key[0]}x{key[1]}:{key[2]}":
+                    value / self._decode_size_ewma[key]
+                for key, value in sorted(self._decode_service_ewma_us.items())
+            },
         }

@@ -26,11 +26,15 @@ from repro.utils.validation import check_integer_in_range
 
 Coupling = Tuple[int, int]
 
+#: Cached CSR sparsity templates of :meth:`IsingModel.coupling_operator`,
+#: keyed by ``(num_variables, coupling keys)``; bounded, cleared when full.
+_OPERATOR_TEMPLATES: Dict[tuple, tuple] = {}
+
 
 def spins_to_bits(spins) -> np.ndarray:
     """Map spins ``{-1, +1}`` to bits ``{0, 1}`` (Eq. 4: ``q = (s + 1) / 2``)."""
     spins = np.asarray(spins)
-    if spins.size and not np.all(np.isin(spins, (-1, 1))):
+    if spins.size and not ((spins == -1) | (spins == 1)).all():
         raise ConfigurationError("spins must be -1 or +1")
     return ((spins + 1) // 2).astype(np.uint8)
 
@@ -38,7 +42,7 @@ def spins_to_bits(spins) -> np.ndarray:
 def bits_to_spins(bits) -> np.ndarray:
     """Map bits ``{0, 1}`` to spins ``{-1, +1}`` (inverse of Eq. 4)."""
     bits = np.asarray(bits)
-    if bits.size and not np.all(np.isin(bits, (0, 1))):
+    if bits.size and not ((bits == 0) | (bits == 1)).all():
         raise ConfigurationError("bits must be 0 or 1")
     return (2 * bits.astype(np.int8) - 1).astype(np.int8)
 
@@ -94,6 +98,31 @@ class IsingModel:
     # Construction helpers
     # ------------------------------------------------------------------ #
     @classmethod
+    def from_normalised(cls, num_variables: int, linear: np.ndarray,
+                        couplings: Dict[Coupling, float],
+                        offset: float = 0.0) -> "IsingModel":
+        """Trusted fast construction from already-canonical inputs.
+
+        Skips the per-key validation of ``__post_init__`` for internal hot
+        paths that construct models per job (ICE perturbations, hardware
+        embedding, coefficient scaling): the caller guarantees *linear* is a
+        float array of the right shape and every coupling key is a canonical
+        ``(i, j)`` with ``i < j`` in range.  Exact-zero coupling values are
+        still dropped — the one normalisation step whose outcome depends on
+        the *values* — so the resulting coupling structure is identical to
+        what the validating constructor would produce.
+        """
+        model = cls.__new__(cls)
+        model.num_variables = num_variables
+        model.linear = linear
+        if any(value == 0.0 for value in couplings.values()):
+            couplings = {key: value for key, value in couplings.items()
+                         if value != 0.0}
+        model.couplings = couplings
+        model.offset = offset
+        return model
+
+    @classmethod
     def from_dense(cls, linear, coupling_matrix, offset: float = 0.0) -> "IsingModel":
         """Build from a dense upper-triangular coupling matrix.
 
@@ -134,14 +163,34 @@ class IsingModel:
         n = self.num_variables
         if not self.couplings:
             return sparse.csr_matrix((n, n), dtype=np.float64)
-        indices = np.array(list(self.couplings), dtype=np.intp)
+        # Direct canonical-CSR assembly: couplings are duplicate-free, so
+        # lexsorting by (row, col) yields exactly the data/indices/indptr a
+        # COO round trip would — minus scipy's per-call COO construction and
+        # canonicalisation overhead, which dominates for the small logical
+        # problems the serving path aggregates per job.  The sparsity
+        # template is a pure function of the key set, which the serving path
+        # repeats per job, so it is cached by (size, keys).
+        cache_key = (n, tuple(self.couplings))
+        template = _OPERATOR_TEMPLATES.get(cache_key)
+        if template is None:
+            pairs = np.array(list(self.couplings), dtype=np.intp)
+            rows = np.concatenate([pairs[:, 0], pairs[:, 1]])
+            cols = np.concatenate([pairs[:, 1], pairs[:, 0]])
+            order = np.lexsort((cols, rows))
+            indptr = np.zeros(n + 1, dtype=np.intp)
+            np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
+            template = (order, np.ascontiguousarray(cols[order]), indptr)
+            if len(_OPERATOR_TEMPLATES) > 512:
+                _OPERATOR_TEMPLATES.clear()
+            _OPERATOR_TEMPLATES[cache_key] = template
+        order, sorted_cols, indptr = template
         values = np.fromiter(self.couplings.values(), dtype=np.float64,
                              count=len(self.couplings))
-        rows = np.concatenate([indices[:, 0], indices[:, 1]])
-        cols = np.concatenate([indices[:, 1], indices[:, 0]])
-        matrix = sparse.coo_matrix(
-            (np.concatenate([values, values]), (rows, cols)), shape=(n, n))
-        return matrix.tocsr()
+        matrix = sparse.csr_matrix((n, n), dtype=np.float64)
+        matrix.data = np.concatenate([values, values])[order]
+        matrix.indices = sorted_cols
+        matrix.indptr = indptr
+        return matrix
 
     # ------------------------------------------------------------------ #
     # Evaluation
@@ -212,7 +261,9 @@ class IsingModel:
 
     def scaled(self, factor: float) -> "IsingModel":
         """Return a copy with every coefficient (and offset) multiplied by *factor*."""
-        return IsingModel(
+        # Keys stay canonical under scaling, so the trusted constructor
+        # applies (it still drops couplings a tiny factor underflows to 0).
+        return IsingModel.from_normalised(
             num_variables=self.num_variables,
             linear=self.linear * factor,
             couplings={key: value * factor for key, value in self.couplings.items()},

@@ -114,7 +114,26 @@ def aggregate_samples(ising: IsingModel, raw_samples: np.ndarray,
     raw_samples = np.asarray(raw_samples, dtype=np.int8)
     if raw_samples.ndim != 2:
         raise ConfigurationError("raw_samples must be 2-D (reads x variables)")
-    distinct, counts = np.unique(raw_samples, axis=0, return_counts=True)
+    num_variables = raw_samples.shape[1]
+    if (0 < num_variables <= 63 and raw_samples.size
+            and ((raw_samples == 1) | (raw_samples == -1)).all()):
+        # Fast path for spin matrices: pack each row into one integer key
+        # (MSB = first column, bit 1 = spin +1).  Ascending keys are exactly
+        # the lexicographic row order ``np.unique(axis=0)`` returns (-1
+        # sorts below +1 like bit 0 below bit 1), so distinct rows, their
+        # order and their counts are identical to the axis-0 unique — minus
+        # its per-call row-view/sort overhead, which dominates the repeated
+        # small aggregations of the serving path.
+        bits = (raw_samples > 0).astype(np.uint64)
+        weights = np.left_shift(
+            np.uint64(1),
+            np.arange(num_variables - 1, -1, -1, dtype=np.uint64))
+        keys = (bits * weights[None, :]).sum(axis=1)
+        _, first_occurrence, counts = np.unique(
+            keys, return_index=True, return_counts=True)
+        distinct = raw_samples[first_occurrence]
+    else:
+        distinct, counts = np.unique(raw_samples, axis=0, return_counts=True)
     energies = ising.energies(distinct, operator=operator)
     return SolverResult(samples=distinct, energies=energies, num_occurrences=counts)
 

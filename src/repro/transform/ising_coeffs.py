@@ -42,6 +42,28 @@ def spin_weights(constellation, num_users: int) -> np.ndarray:
     return np.tile(per_user, num_users)
 
 
+#: Small per-size caches of index arrays rebuilt identically on every call.
+_TRIU_CACHE: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+_USER_OF_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+
+
+def _triu_pairs(num_variables: int) -> Tuple[np.ndarray, np.ndarray]:
+    pairs = _TRIU_CACHE.get(num_variables)
+    if pairs is None:
+        pairs = np.triu_indices(num_variables, k=1)
+        _TRIU_CACHE[num_variables] = pairs
+    return pairs
+
+
+def _user_of(num_users: int, bits_per_symbol: int) -> np.ndarray:
+    key = (num_users, bits_per_symbol)
+    users = _USER_OF_CACHE.get(key)
+    if users is None:
+        users = np.repeat(np.arange(num_users), bits_per_symbol)
+        _USER_OF_CACHE[key] = users
+    return users
+
+
 def build_ml_ising(channel, received, constellation,
                    include_offset: bool = True) -> IsingModel:
     """Build the ML detection Ising problem directly from ``H`` and ``y``.
@@ -72,34 +94,41 @@ def build_ml_ising(channel, received, constellation,
     num_variables = num_users * bits_per_symbol
 
     weights = spin_weights(constellation, num_users)
-    user_of = np.repeat(np.arange(num_users), bits_per_symbol)
+    user_of = _user_of(num_users, bits_per_symbol)
 
     matched_filter = channel.conj().T @ received      # H^H y, length N_t
     gram = channel.conj().T @ channel                 # H^H H, N_t x N_t
 
-    linear = np.empty(num_variables)
-    for i in range(num_variables):
-        linear[i] = -2.0 * float(np.real(weights[i]
-                                         * np.conj(matched_filter[user_of[i]])))
+    # Elementwise-vectorised evaluation of the closed forms: every entry
+    # performs the identical scalar complex products (in the same
+    # association order) as the historical per-pair loops, so coefficients —
+    # and the seeded streams of everything downstream — are bit-for-bit
+    # unchanged; only the Python-loop overhead is gone.
+    linear = -2.0 * (weights * np.conj(matched_filter[user_of])).real
 
-    couplings: Dict[Tuple[int, int], float] = {}
-    for i in range(num_variables):
-        for j in range(i + 1, num_variables):
-            value = 2.0 * float(np.real(np.conj(weights[i])
-                                        * gram[user_of[i], user_of[j]]
-                                        * weights[j]))
-            if value != 0.0:
-                couplings[(i, j)] = value
+    pair_matrix = 2.0 * ((np.conj(weights)[:, None]
+                          * gram[np.ix_(user_of, user_of)])
+                         * weights[None, :]).real
+    upper_i, upper_j = _triu_pairs(num_variables)
+    pair_values = pair_matrix[upper_i, upper_j]
+    nonzero = pair_values != 0.0
+    couplings: Dict[Tuple[int, int], float] = {
+        (int(i), int(j)): float(value)
+        for i, j, value in zip(upper_i[nonzero], upper_j[nonzero],
+                               pair_values[nonzero])
+    }
 
     offset = 0.0
     if include_offset:
         offset = float(np.real(np.vdot(received, received)))
-        for i in range(num_variables):
-            offset += float(np.abs(weights[i]) ** 2
-                            * np.real(gram[user_of[i], user_of[i]]))
+        # Sequential accumulation keeps the historical summation order.
+        for term in (np.abs(weights) ** 2
+                     * gram.real[user_of, user_of]):
+            offset += float(term)
 
-    return IsingModel(num_variables=num_variables, linear=linear,
-                      couplings=couplings, offset=offset)
+    return IsingModel.from_normalised(num_variables=num_variables,
+                                      linear=linear, couplings=couplings,
+                                      offset=offset)
 
 
 def bpsk_coefficients(channel, received) -> Tuple[np.ndarray, np.ndarray]:

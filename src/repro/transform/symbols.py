@@ -64,8 +64,10 @@ class QuamaxTransform:
                 f"{self.bits_per_symbol}"
             )
         groups = bits.reshape(-1, self.bits_per_symbol)
-        return np.array([self.to_symbol(group) for group in groups],
-                        dtype=np.complex128)
+        # One matvec instead of a Python loop of per-group dots; the PAM
+        # weights and bits are small integers, so the arithmetic is exact
+        # and the symbols are identical to the per-group path.
+        return groups @ np.asarray(self.weights) + self.offset
 
     def from_symbol(self, symbol: complex) -> np.ndarray:
         """Invert ``T`` for an exact constellation point.

@@ -48,7 +48,7 @@ def ensure_bit_array(bits, *, length: Optional[int] = None) -> np.ndarray:
     array = np.asarray(bits)
     if array.ndim != 1:
         raise ConfigurationError(f"bit array must be 1-D, got shape {array.shape}")
-    if array.size and not np.all(np.isin(array, (0, 1))):
+    if array.size and not ((array == 0) | (array == 1)).all():
         raise ConfigurationError("bit array entries must be 0 or 1")
     if length is not None and array.size != length:
         raise ConfigurationError(

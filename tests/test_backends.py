@@ -19,6 +19,10 @@ same assertions to numba.
 """
 
 import builtins
+import hashlib
+import os
+import subprocess
+import sys
 
 import numpy as np
 import pytest
@@ -49,6 +53,11 @@ def random_ising(num_variables, seed, density=1.0):
     return IsingModel(num_variables=num_variables,
                       linear=rng.normal(size=num_variables),
                       couplings=couplings)
+
+
+# The embedded-shaped cluster workload, shared with the equivalence and
+# golden suites so they all exercise one problem family.
+from cluster_workloads import build_path_chain_problem as path_chain_ising  # noqa: E402
 
 
 def schedule(num_sweeps, hot=5.0, cold=0.05):
@@ -272,6 +281,170 @@ class TestCompiledIdentity:
         actual = compiled.sample(ising, random_state=25)
         assert array_digest(expected.samples) == array_digest(actual.samples)
         np.testing.assert_array_equal(expected.energies, actual.energies)
+
+
+@pytest.mark.parametrize("backend", COMPILED)
+class TestCompiledClusterKernels:
+    """The fused cluster kernels: embedded problems compiled end to end."""
+
+    @pytest.mark.parametrize("chain_length", [4, 16])
+    @pytest.mark.parametrize("kernel", ["colour", "dense"])
+    def test_embedded_problem_stream(self, backend, kernel, chain_length,
+                                     array_digest):
+        ising, clusters = path_chain_ising(48, chain_length, 40)
+        temperatures = schedule(45)
+        expected = IsingSampler(ising, clusters=clusters, kernel=kernel,
+                                backend="numpy").anneal(
+            temperatures, 9, random_state=41)
+        actual = IsingSampler(ising, clusters=clusters, kernel=kernel,
+                              backend=backend).anneal(
+            temperatures, 9, random_state=41)
+        np.testing.assert_array_equal(expected, actual)
+        assert array_digest(expected) == array_digest(actual)
+
+    @pytest.mark.parametrize("kernel", ["colour", "dense"])
+    def test_multi_block_cluster_pack_dispatches_compiled(
+            self, backend, kernel, monkeypatch):
+        """PR 4's dispatch exception is gone: serving-shaped packs with
+        chains run one pack-level fused compiled call per anneal."""
+        base, clusters = path_chain_ising(20, 4, 42, density=0.15)
+        rng = np.random.default_rng(43)
+        problems = [
+            IsingModel(num_variables=20, linear=rng.normal(size=20),
+                       couplings={key: float(rng.normal())
+                                  for key in base.couplings})
+            for _ in range(3)
+        ]
+        entry = ("pack_fused_dense_cluster_sweep" if kernel == "dense"
+                 else "pack_fused_colour_cluster_sweep")
+        calls = []
+        original = getattr(backends, entry)
+
+        def counting(used_backend, *args, **kwargs):
+            calls.append(used_backend)
+            return original(used_backend, *args, **kwargs)
+
+        monkeypatch.setattr(backends, entry, counting)
+        temperatures = schedule(30)
+        packed = BlockDiagonalSampler(problems, clusters=clusters,
+                                      kernel=kernel, backend=backend)
+        actual = packed.anneal(temperatures, 6,
+                               [np.random.default_rng(50 + b)
+                                for b in range(3)])
+        assert calls == [backend], \
+            "a multi-block cluster pack must be one compiled pack dispatch"
+        monkeypatch.undo()
+        expected = BlockDiagonalSampler(problems, clusters=clusters,
+                                        kernel=kernel,
+                                        backend="numpy").anneal(
+            temperatures, 6,
+            [np.random.default_rng(50 + b) for b in range(3)])
+        np.testing.assert_array_equal(expected, actual)
+
+    def test_cluster_sweep_entry_point(self, backend):
+        """The standalone cluster_sweep consumes the reference draw stream:
+        a schedule of pure cluster sweeps equals the numpy cluster path of a
+        colour-kernel sampler whose classes never move (no couplings beyond
+        the chains, zero-field singleton classes would still flip; instead
+        compare against engine-built descriptors via one-sweep equality)."""
+        ising, clusters = path_chain_ising(24, 4, 44, density=0.1)
+        sampler = IsingSampler(ising, clusters=clusters, backend="numpy")
+        descriptors = sampler._cluster_descriptors()
+        spins_ref = np.random.default_rng(44).choice(
+            np.array([-1.0, 1.0]), size=(7, 24))
+        spins_cmp = spins_ref.copy()
+        rng_ref = np.random.default_rng(45)
+        rng_cmp = np.random.default_rng(45)
+        temperatures = schedule(12)
+        for temperature in temperatures:
+            sampler._cluster_sweep(spins_ref, temperature, [rng_ref])
+        backends.cluster_sweep(backend, spins_cmp, sampler.linear,
+                               descriptors[0], temperatures, rng_cmp)
+        np.testing.assert_array_equal(spins_ref, spins_cmp)
+
+    def test_machine_run_batch_pack_identical(self, backend):
+        """Serving-shaped multi-problem QA packs (embedded chains → cluster
+        moves, multi-block) are bit-identical to numpy through the full
+        machine model now that the pack dispatch exception is gone."""
+        base = random_ising(5, 46)
+        rng = np.random.default_rng(47)
+        problems = [
+            IsingModel(num_variables=5, linear=rng.normal(size=5),
+                       couplings={key: float(rng.normal())
+                                  for key in base.couplings})
+            for _ in range(3)
+        ]
+        machine = QuantumAnnealerSimulator(ChimeraGraph.ideal(3, 3))
+        parameters = AnnealerParameters(num_anneals=10)
+        reference = machine.run_batch(problems, parameters, random_state=48,
+                                      backend="numpy")
+        compiled = machine.run_batch(problems, parameters, random_state=48,
+                                     backend=backend)
+        for expected, actual in zip(reference, compiled):
+            np.testing.assert_array_equal(expected.solutions.samples,
+                                          actual.solutions.samples)
+            np.testing.assert_array_equal(expected.solutions.num_occurrences,
+                                          actual.solutions.num_occurrences)
+            np.testing.assert_array_equal(expected.solutions.energies,
+                                          actual.solutions.energies)
+
+
+class TestCextCompileCache:
+    """Satellite: the on-disk compile cache survives concurrent compiles."""
+
+    def test_two_processes_cold_cache(self, tmp_path):
+        """Two fresh processes warming cext on one cold cache — the race the
+        process-pool serving workers hit — must both succeed and leave one
+        (complete) artifact."""
+        if not backends.cext_available():
+            pytest.skip("no C compiler in this environment")
+        repo_src = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(backends.__file__))))
+        env = dict(os.environ,
+                   XDG_CACHE_HOME=str(tmp_path),
+                   PYTHONPATH=repo_src + os.pathsep
+                   + os.environ.get("PYTHONPATH", ""))
+        script = (
+            "from repro.annealer import backends\n"
+            "assert backends.cext_available()\n"
+            "backends.warmup('cext')\n"
+        )
+        processes = [
+            subprocess.Popen([sys.executable, "-c", script], env=env)
+            for _ in range(2)
+        ]
+        exit_codes = [process.wait(timeout=300) for process in processes]
+        assert exit_codes == [0, 0]
+        artifacts = list((tmp_path / "repro_backends").glob("metropolis_*.so"))
+        assert len(artifacts) == 1
+
+    def test_compile_failure_tolerates_concurrent_winner(self, monkeypatch,
+                                                         tmp_path):
+        """When this process's compile fails but another process published
+        the artifact mid-flight, the published artifact is used."""
+        digest = hashlib.sha256(
+            backends._C_SOURCE.encode()).hexdigest()[:16]
+        cache = tmp_path / "cache"
+        target = cache / f"metropolis_{digest}.so"
+        monkeypatch.setattr(backends, "_cache_dir", lambda: cache)
+
+        def racing_compiler(*args, **kwargs):
+            # Simulate the concurrent winner: the target appears while this
+            # process's own compiler invocation fails.
+            cache.mkdir(parents=True, exist_ok=True)
+            target.write_bytes(b"concurrent winner")
+            raise subprocess.SubprocessError("simulated compiler failure")
+
+        monkeypatch.setattr(backends.subprocess, "run", racing_compiler)
+        assert backends._compile_cext() == target
+        assert target.read_bytes() == b"concurrent winner"
+
+    def test_compile_failure_without_winner_returns_none(self, monkeypatch,
+                                                         tmp_path):
+        cache = tmp_path / "cache"
+        monkeypatch.setattr(backends, "_cache_dir", lambda: cache)
+        monkeypatch.setattr(backends, "_COMPILERS", ())
+        assert backends._compile_cext() is None
 
 
 class TestIncrementalClusterFields:

@@ -251,6 +251,66 @@ class TestTelemetryRecorder:
         assert math.isnan(snapshot["latency_us"]["mean"])
 
 
+class TestDecodeTimeEwma:
+    """Satellite: the recorder's online per-structure decode-time model."""
+
+    def test_estimate_requires_min_samples(self, decoder, job_pool):
+        telemetry = TelemetryRecorder(decode_time_min_samples=3)
+        pool = WorkerPool(decoder, telemetry=telemetry)
+        key = job_pool[0].structure_key
+        pool.submit(make_batch(job_pool[:2], flush_time_us=0.0))
+        assert telemetry.decode_time_us(key, 2) is None
+        pool.submit(make_batch(job_pool[2:3], flush_time_us=10_000.0))
+        assert telemetry.decode_time_us(key, 2) is None
+        pool.submit(make_batch(job_pool[3:4], flush_time_us=20_000.0))
+        estimate = telemetry.decode_time_us(key, 2)
+        assert estimate is not None and estimate > 0.0
+        # Unknown structures stay analytic-fallback territory.
+        assert telemetry.decode_time_us((9, 9, "64QAM"), 2) is None
+
+    def test_ewma_tracks_observed_service_and_size(self, decoder, job_pool):
+        telemetry = TelemetryRecorder(decode_time_alpha=0.5,
+                                      decode_time_min_samples=1)
+        pool = WorkerPool(decoder, telemetry=telemetry)
+        key = job_pool[0].structure_key
+        pool.submit(make_batch(job_pool[:3], flush_time_us=0.0))
+        first = pool.results()[0]
+        service_us = first.finish_time_us - first.start_time_us
+        # One observation: prediction reproduces the affine service model.
+        overhead_us = decoder.annealer.overheads.total_us(
+            first.result.run.num_anneals)
+        per_job = (service_us - overhead_us) / 3.0
+        expected_for_two = overhead_us + 2 * per_job
+        assert telemetry.decode_time_us(key, 2, overhead_us=overhead_us) \
+            == pytest.approx(expected_for_two)
+        # Without the overhead split the estimate is the amortised scaling.
+        assert telemetry.decode_time_us(key, 3) == pytest.approx(service_us)
+        assert telemetry.snapshot()["decode_time_per_job_us"]
+
+    def test_online_model_falls_back_then_takes_over(self):
+        from repro.cran.service import online_decode_time_model
+
+        telemetry = TelemetryRecorder(decode_time_min_samples=1)
+        calls = []
+
+        def fallback(key, size):
+            calls.append((key, size))
+            return 1_234.0
+
+        model = online_decode_time_model(telemetry, fallback,
+                                         overhead_us=100.0, margin=0.1)
+        key = (3, 3, "QPSK")
+        # No observations yet: analytic fallback.
+        assert model(key, 2) == pytest.approx(1_234.0)
+        assert calls == [(key, 2)]
+        # Feed one observation directly through the recorder's EWMA state.
+        telemetry._decode_service_ewma_us[key] = 1_100.0
+        telemetry._decode_size_ewma[key] = 2.0
+        telemetry._decode_time_samples[key] += 1
+        # (1100 - 100) / 2 = 500 per job; pack of 3 -> 100 + 1500, x1.1.
+        assert model(key, 3) == pytest.approx((100.0 + 3 * 500.0) * 1.1)
+        assert len(calls) == 1
+
 class TestCranService:
     @pytest.fixture(scope="class")
     def traffic(self):
@@ -296,3 +356,25 @@ class TestCranService:
         for a, b in zip(inline.results, threaded.results):
             np.testing.assert_array_equal(a.result.detection.bits,
                                           b.result.detection.bits)
+
+    def test_adaptive_service_uses_online_model(self, decoder, traffic):
+        """Satellite: adaptive_wait serving stays deterministic and
+        bit-identical with the online decode-time model in the loop."""
+        fixed = CranService(decoder, max_batch=4,
+                            max_wait_us=5_000.0).run(traffic)
+        online_a = CranService(decoder, max_batch=4, max_wait_us=5_000.0,
+                               adaptive_wait=True).run(traffic)
+        online_b = CranService(decoder, max_batch=4, max_wait_us=5_000.0,
+                               adaptive_wait=True).run(traffic)
+        assert online_a.jobs_completed == fixed.jobs_completed
+        for a, b, c in zip(fixed.results, online_a.results,
+                           online_b.results):
+            np.testing.assert_array_equal(a.result.detection.bits,
+                                          b.result.detection.bits)
+            # Inline serving is deterministic: two online runs agree on the
+            # full timeline, not just the decodes.
+            assert b.finish_time_us == c.finish_time_us
+            assert b.flush_time_us == c.flush_time_us
+            # The adaptive scheduler can only flush earlier, never later.
+            assert b.flush_time_us <= a.flush_time_us + 1e-9
+        assert online_a.telemetry["decode_time_per_job_us"]

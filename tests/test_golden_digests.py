@@ -16,16 +16,33 @@ import numpy as np
 import pytest
 
 from repro.annealer.chimera import ChimeraGraph
+from repro.annealer.engine import IsingSampler
 from repro.annealer.machine import AnnealerParameters, QuantumAnnealerSimulator
 from repro.decoder.pipeline import OFDMDecodingPipeline
 from repro.decoder.quamax import QuAMaxDecoder
 from repro.ising.model import IsingModel
-from repro.ising.solver import SimulatedAnnealingSolver
+from repro.ising.solver import (
+    SimulatedAnnealingSolver,
+    geometric_temperature_schedule,
+)
 from repro.mimo.system import MimoUplink
 
 SEED = 2019
 NUM_SUBCARRIERS = 6
 FRAME_BYTES = 3
+
+
+def _path_chain_embedded_problem(num_variables=128, chain_length=16):
+    """The embedded 128-variable path-chain workload of the cluster benches.
+
+    Built through the shared cluster_workloads builder so the golden digest
+    pins
+    exactly the problem family the equivalence and backend suites exercise.
+    """
+    from cluster_workloads import build_path_chain_problem
+
+    return build_path_chain_problem(num_variables, chain_length, SEED,
+                                    density=0.05)
 
 
 @pytest.fixture(scope="module")
@@ -115,6 +132,19 @@ class TestGoldenDigests:
                 == array_digest(frame_payload(serial)))
         golden("decode_frame_auto_chunked", frame_payload(auto))
 
+    def test_embedded_cluster_sampler_stream(self, golden):
+        # Guards the cluster-kernel stream: the embedded 128-variable
+        # path-chain workload (ferromagnetic chains of 16 + sparse cross
+        # couplings, chain clusters offered collective flips) annealed
+        # through the numpy reference loops.  The fused compiled cluster
+        # kernels must hash to this same stream (class below).
+        ising, clusters = _path_chain_embedded_problem()
+        sampler = IsingSampler(ising, clusters=clusters, backend="numpy")
+        spins = sampler.anneal(
+            geometric_temperature_schedule(50, 5.0, 0.05), 12,
+            random_state=SEED)
+        golden("embedded_cluster_sampler_stream", {"spins": spins})
+
     def test_dense_kernel_sampler_stream(self, golden):
         # Guards the engine-level stream the decode paths sit on: a dense
         # logical problem sampled through the auto-dispatched dense kernel.
@@ -163,6 +193,16 @@ class TestGoldenDigestsAcrossBackends:
             "energies": result.energies,
             "occurrences": result.num_occurrences,
         })
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_embedded_cluster_sampler_stream_per_backend(self, backend,
+                                                         golden):
+        ising, clusters = _path_chain_embedded_problem()
+        sampler = IsingSampler(ising, clusters=clusters, backend=backend)
+        spins = sampler.anneal(
+            geometric_temperature_schedule(50, 5.0, 0.05), 12,
+            random_state=SEED)
+        golden("embedded_cluster_sampler_stream", {"spins": spins})
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_decode_subcarriers_per_backend(self, backend, channel_uses,

@@ -304,3 +304,99 @@ class TestCompiledBackendSharedDynamics:
         sampler = IsingSampler(ising, backend=backend)
         samples = sampler.anneal(schedule(150), 60, random_state=34)
         assert ising.energies(samples).min() == pytest.approx(exact)
+
+
+# The embedded-shaped cluster workload, shared with the backend and golden
+# suites so they all exercise one problem family.
+from cluster_workloads import build_path_chain_problem as path_chain_ising  # noqa: E402
+
+
+class TestEmbeddedClusterSharedDynamics:
+    """Cluster (chain-flip) moves across backends: bit-identical streams.
+
+    A seeded randomized sweep over embedded-shaped problems — path chains
+    of several lengths (including chains past NumPy's short-reduction
+    cutoff) plus sparse cross couplings — annealed with cluster moves under
+    every available backend.  The numpy loops are the reference; the fused
+    compiled cluster kernels must reproduce their per-variable/per-cluster
+    draw streams exactly, over schedule prefixes (trajectories, not just
+    end points), for both sweep kernels, and for multi-block packs (the
+    serving shape, one pack-level compiled dispatch).
+    """
+
+    from repro.annealer.backends import available_backends as _avail
+
+    COMPILED = [name for name in _avail() if name != "numpy"]
+    CASES = [(num_variables, chain_length, num_sweeps, seed)
+             for num_variables, chain_length in ((24, 4), (48, 8), (64, 16))
+             for num_sweeps in (20, 45)
+             for seed in (0, 1)]
+
+    @pytest.mark.parametrize("backend", COMPILED)
+    @pytest.mark.parametrize(
+        "num_variables,chain_length,num_sweeps,seed", CASES)
+    def test_embedded_cluster_digests_agree(self, backend, num_variables,
+                                            chain_length, num_sweeps, seed,
+                                            array_digest):
+        ising, clusters = path_chain_ising(num_variables, chain_length,
+                                           seed + 60)
+        temperatures = schedule(num_sweeps)
+        reference = IsingSampler(ising, clusters=clusters, backend="numpy")
+        compiled = IsingSampler(ising, clusters=clusters, backend=backend)
+        assert reference.selected_kernel == compiled.selected_kernel
+        for prefix in (1, num_sweeps // 2, num_sweeps):
+            expected = reference.anneal(temperatures[:prefix], 8,
+                                        random_state=seed + 61)
+            actual = compiled.anneal(temperatures[:prefix], 8,
+                                     random_state=seed + 61)
+            np.testing.assert_array_equal(expected, actual)
+            assert array_digest(expected) == array_digest(actual)
+
+    @pytest.mark.parametrize("backend", COMPILED)
+    @pytest.mark.parametrize("kernel", ["colour", "dense"])
+    def test_embedded_cluster_pack_matches_numpy_and_serial(self, backend,
+                                                            kernel):
+        base, clusters = path_chain_ising(20, 5, 70, density=0.12)
+        rng = np.random.default_rng(71)
+        problems = [
+            IsingModel(num_variables=20, linear=rng.normal(size=20),
+                       couplings={key: float(rng.normal())
+                                  for key in base.couplings})
+            for _ in range(4)
+        ]
+        temperatures = schedule(35)
+        expected = BlockDiagonalSampler(problems, clusters=clusters,
+                                        kernel=kernel,
+                                        backend="numpy").anneal(
+            temperatures, 6,
+            [np.random.default_rng(80 + b) for b in range(4)])
+        packed = BlockDiagonalSampler(problems, clusters=clusters,
+                                      kernel=kernel, backend=backend)
+        actual = packed.anneal(
+            temperatures, 6,
+            [np.random.default_rng(80 + b) for b in range(4)])
+        np.testing.assert_array_equal(expected, actual)
+        for b, block in enumerate(packed.split_samples(actual)):
+            serial = IsingSampler(problems[b], clusters=clusters,
+                                  kernel=kernel, backend=backend).anneal(
+                temperatures, 6, random_state=np.random.default_rng(80 + b))
+            np.testing.assert_array_equal(block, serial)
+
+    @pytest.mark.parametrize("backend", COMPILED)
+    def test_refresh_values_rebinds_cluster_kernels(self, backend):
+        """ICE-style rebinds flow through the cached compiled descriptors."""
+        base, clusters = path_chain_ising(24, 6, 72, density=0.1)
+        rng = np.random.default_rng(73)
+        replacement = IsingModel(
+            num_variables=24, linear=rng.normal(size=24),
+            couplings={key: float(rng.normal()) for key in base.couplings})
+        temperatures = schedule(30)
+        rebound = IsingSampler(base, clusters=clusters, backend=backend)
+        # Populate the structure caches on the original values first.
+        rebound.anneal(temperatures[:3], 3, random_state=74)
+        rebound.refresh_values(replacement)
+        fresh = IsingSampler(replacement, classes=rebound.classes,
+                             clusters=clusters, backend="numpy")
+        np.testing.assert_array_equal(
+            rebound.anneal(temperatures, 5, random_state=75),
+            fresh.anneal(temperatures, 5, random_state=75))
