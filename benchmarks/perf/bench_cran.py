@@ -10,6 +10,10 @@ Two measurements over a synthetic Argos-like trace workload:
   full ``max_batch`` packs into :meth:`QuAMaxDecoder.detect_batch`.  Decode
   results are bit-identical between the two; the difference is pure
   throughput (wall-clock jobs/s) and virtual-clock latency.
+* ``cran_warm_cache`` — the batch-size-1 load replayed with the annealer's
+  structure-keyed sampler cache disabled versus enabled: bit-identical
+  detections, with the warm path skipping per-submission sampler
+  reconstruction (colouring, CSR templates, entry maps).
 * ``cran_load_sweep`` — the same service at three offered loads (under,
   near, over the pool's service rate), recording virtual throughput, p50/p99
   latency, batch fill and deadline misses at each point.
@@ -144,6 +148,64 @@ def bench_serving_speedup(knobs: dict, seed: int = 0) -> dict:
         "mean_batch_fill": report_b.telemetry["mean_batch_fill"],
         "p99_latency_us_before": report_1.telemetry["latency_us"]["p99"],
         "p99_latency_us_after": report_b.telemetry["latency_us"]["p99"],
+        "detections_identical": identical,
+    }
+
+
+def bench_warm_cache(knobs: dict, seed: int = 0) -> dict:
+    """Cold vs. warm structure-keyed sampler cache, batch-size-1 serving.
+
+    Batch-1 serving is the configuration the warm cache targets: every job
+    is its own QA submission, so without the cache every submission rebuilds
+    the block-diagonal sampler (colouring, CSR templates, entry maps,
+    cluster descriptors) from scratch.  The pair replays the same saturating
+    load through a decoder whose annealer has the cache disabled
+    (``sampler_cache_size=0``) and one with the default cache; detections
+    must be bit-identical — the cache only skips reconstruction, never
+    changes the seeded sweep stream.
+    """
+    import numpy as np
+
+    from repro.annealer.machine import (AnnealerParameters,
+                                        QuantumAnnealerSimulator)
+    from repro.cran.service import CranService
+    from repro.decoder.quamax import QuAMaxDecoder
+
+    trace = _make_trace(knobs, seed)
+    jobs = None
+
+    def serve(sampler_cache_size):
+        nonlocal jobs
+        decoder = QuAMaxDecoder(
+            QuantumAnnealerSimulator(sampler_cache_size=sampler_cache_size),
+            AnnealerParameters(num_anneals=knobs["num_anneals"]))
+        if jobs is None:
+            jobs = _make_jobs(knobs, trace, mean_interarrival_us=10.0,
+                              num_bursts=knobs["num_bursts"], seed=seed)
+        service = CranService(decoder, max_batch=1, max_wait_us=math.inf)
+        # Warm the embedding cache (and, on the warm side, the sampler
+        # cache) so the pair isolates steady-state per-job cost.
+        service.run(jobs[:1])
+        wall_s, report = _timed(service.run, jobs)
+        return wall_s, report, decoder
+
+    cold_s, cold_report, _ = serve(0)
+    warm_s, warm_report, warm_decoder = serve(8)
+    identical = all(
+        np.array_equal(a.result.detection.bits, b.result.detection.bits)
+        for a, b in zip(cold_report.results, warm_report.results))
+    return {
+        "params": {
+            "num_jobs": len(jobs),
+            "num_anneals": knobs["num_anneals"],
+            "max_batch": 1,
+        },
+        "before_s": cold_s,
+        "after_s": warm_s,
+        "jobs_per_s_before": len(jobs) / cold_s,
+        "jobs_per_s_after": len(jobs) / warm_s,
+        "speedup": cold_s / warm_s,
+        "sampler_cache": warm_decoder.sampler_cache_info(),
         "detections_identical": identical,
     }
 
@@ -301,6 +363,7 @@ def run_suite(scale: str = "quick") -> dict:
     knobs = SCALES[scale]
     return {
         "cran_serving": bench_serving_speedup(knobs),
+        "cran_warm_cache": bench_warm_cache(knobs),
         "cran_load_sweep": bench_offered_load_sweep(knobs),
         "cran_process_scaling": bench_process_scaling(knobs),
         "cran_adaptive_wait": bench_adaptive_wait(knobs),
@@ -349,6 +412,11 @@ def main() -> None:
           f"jobs/s  batched {serving['jobs_per_s_after']:8.1f} jobs/s  "
           f"speedup {serving['speedup']:5.1f}x  "
           f"fill {serving['mean_batch_fill']:.1f}")
+    cache = entries["cran_warm_cache"]
+    print(f"cran_warm_cache   cold {cache['jobs_per_s_before']:8.1f} jobs/s  "
+          f"warm {cache['jobs_per_s_after']:8.1f} jobs/s  "
+          f"speedup {cache['speedup']:5.1f}x  "
+          f"hits {cache['sampler_cache']['hits']}")
     for point in entries["cran_load_sweep"]["points"]:
         print(f"cran_load_sweep   offered {point['offered_jobs_per_s']:8.1f} "
               f"jobs/s  p99 {point['p99_latency_us']:10.0f} us  "

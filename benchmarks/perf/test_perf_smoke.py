@@ -76,8 +76,15 @@ class TestPerfSmoke:
     def test_batched_decode_faster_and_identical(self, quick_report):
         entry = quick_report["benchmarks"]["frame_decode"]
         assert entry["detections_identical"]
-        # ~3-5x measured; 1.5x is the loud-failure bar.
-        assert entry["speedup"] >= 1.5
+        # Calibration note: ~3-5x through the compiled-kernel era, when the
+        # serial side rebuilt its sampler (colouring, CSR templates, entry
+        # maps) for every subcarrier.  The structure-keyed warm sampler
+        # cache removed that rebuild from the serial baseline too, so the
+        # batched/serial ratio legitimately re-centred at ~1.3-1.5x (the
+        # remaining win is pack-level marshalling and per-job overhead
+        # amortisation).  1.1x is the loud-failure bar; the bit-identity
+        # check above is the structural guard.
+        assert entry["speedup"] >= 1.1
 
     def test_compiled_backend_escapes_the_interpreter(self, quick_report):
         entry = quick_report["benchmarks"]["compiled_backend"]

@@ -80,12 +80,22 @@ class EmbeddedIsing:
 
     @property
     def compact_chains(self) -> Dict[int, Tuple[int, ...]]:
-        """Chains expressed in compact physical indices."""
-        position = {qubit: index for index, qubit in enumerate(self.qubit_order)}
-        return {
-            logical: tuple(position[qubit] for qubit in chain)
-            for logical, chain in self.embedding.chains.items()
-        }
+        """Chains expressed in compact physical indices.
+
+        Computed once and cached on the instance: the serving path reads the
+        chains of every embedded job to build cluster descriptors, and they
+        are a pure function of the frozen embedding and qubit order.
+        """
+        cached = self.__dict__.get("_compact_chains")
+        if cached is None:
+            position = {qubit: index
+                        for index, qubit in enumerate(self.qubit_order)}
+            cached = {
+                logical: tuple(position[qubit] for qubit in chain)
+                for logical, chain in self.embedding.chains.items()
+            }
+            object.__setattr__(self, "_compact_chains", cached)
+        return cached
 
 
 def _embedding_plan(embedding: Embedding, num_logical: int):

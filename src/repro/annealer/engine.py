@@ -146,9 +146,10 @@ def _entry_permutation(rows: np.ndarray, cols: np.ndarray,
     """CSR whose ``.data`` maps every data slot to its originating entry index.
 
     Slicing this matrix the same way as the value matrix yields, for each data
-    slot of the slice, the index into the flat entry-value vector — which is
-    what lets :meth:`BlockDiagonalSampler.refresh_values` rewrite sliced
-    operators in place without re-slicing.
+    slot of the slice, the index into the flat entry-value vector.  Kept as
+    the reference implementation of the entry maps: `_ensure_entry_maps` now
+    derives the same maps with a direct lexsort (no scipy materialisation or
+    per-group slicing), and the equivalence test pins the two together.
     """
     order = np.arange(1, rows.size + 1, dtype=np.int64)
     return sparse.coo_matrix((order, (rows, cols)), shape=shape).tocsr()
@@ -394,11 +395,31 @@ class BlockDiagonalSampler:
         if self._matrix_entries is not None:
             return
         n = self.num_variables
-        order = _entry_permutation(self._entry_rows, self._entry_cols, (n, n))
-        self._matrix_entries = _slot_entries(order)
-        self._class_entries = [_slot_entries(order[group, :])
-                               for group in self.classes]
-        self._cluster_entries = [_slot_entries(order[columns, :])
+        # The (row, col) entry list is duplicate-free, so scipy's CSR
+        # canonicalisation (row-major, columns sorted within each row) orders
+        # data slots exactly by (row, col): a lexsort of the entry arrays IS
+        # the slot->entry map, with no permutation matrix to materialise and
+        # no per-group scipy slicing.
+        perm = np.asarray(
+            np.lexsort((self._entry_cols, self._entry_rows)), dtype=np.int64)
+        counts = np.bincount(self._entry_rows, minlength=n)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+
+        def row_gather(group: np.ndarray) -> np.ndarray:
+            # Entry indices of M[group, :].tocsr().data: for each row of the
+            # slice in order, that row's contiguous slot segment of *perm*.
+            group = np.asarray(group, dtype=np.intp)
+            lengths = counts[group]
+            total = int(lengths.sum())
+            if total == 0:
+                return np.empty(0, dtype=np.int64)
+            ends = np.cumsum(lengths)
+            shifts = np.repeat(indptr[group] - (ends - lengths), lengths)
+            return perm[np.arange(total, dtype=np.intp) + shifts]
+
+        self._matrix_entries = perm
+        self._class_entries = [row_gather(group) for group in self.classes]
+        self._cluster_entries = [row_gather(columns)
                                  for columns in self._cluster_columns]
 
     def matches_structure(self, isings: Sequence[IsingModel]) -> bool:

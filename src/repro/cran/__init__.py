@@ -16,9 +16,14 @@ layer, built on the batched decode substrate underneath it:
 * :mod:`repro.cran.telemetry` — :class:`TelemetryRecorder`, rolling
   throughput, latency percentiles, batch-fill and deadline-miss statistics;
 * :mod:`repro.cran.service` — :class:`CranService`, the event loop tying
-  them together, and its :class:`ServiceReport`.
+  them together, its incremental :class:`ServiceSession`, and the
+  :class:`ServiceReport`;
+* :mod:`repro.cran.gateway` — :class:`IngressGateway`, the thread-safe
+  admission-controlled front end merging many concurrent cell feeds into
+  one session.
 """
 
+from repro.cran.gateway import IngressGateway
 from repro.cran.jobs import DecodeJob, JobResult
 from repro.cran.scheduler import (
     FLUSH_DRAIN,
@@ -28,7 +33,12 @@ from repro.cran.scheduler import (
     DecodeTimeModel,
     EDFBatchScheduler,
 )
-from repro.cran.service import CranService, ServiceReport, decode_time_model_for
+from repro.cran.service import (
+    CranService,
+    ServiceReport,
+    ServiceSession,
+    decode_time_model_for,
+)
 from repro.cran.telemetry import LatencySummary, TelemetryRecorder
 from repro.cran.traffic import PoissonTrafficGenerator
 from repro.cran.workers import MODES, OVERLOAD_POLICIES, WorkerPool
@@ -50,5 +60,7 @@ __all__ = [
     "LatencySummary",
     "CranService",
     "ServiceReport",
+    "ServiceSession",
+    "IngressGateway",
     "decode_time_model_for",
 ]

@@ -149,8 +149,21 @@ class EDFBatchScheduler:
         if self.decode_time_model is not None:
             urgent = min(job.deadline_us for job in jobs)
             if not math.isinf(urgent):
-                due = min(due,
-                          urgent - self.decode_time_model(key, len(jobs)))
+                estimate = self.decode_time_model(key, len(jobs))
+                # A model emitting NaN/inf/negative estimates (a cold online
+                # EWMA fed a pathological overhead, a buggy analytic fit)
+                # would silently corrupt due times and EDF ordering; fail
+                # loudly instead.
+                try:
+                    estimate = float(estimate)
+                except (TypeError, ValueError):
+                    estimate = math.nan
+                if not math.isfinite(estimate) or estimate < 0.0:
+                    raise SchedulingError(
+                        f"decode-time model returned an invalid estimate "
+                        f"{estimate!r} for structure {key} at size "
+                        f"{len(jobs)}; expected a finite non-negative number")
+                due = min(due, urgent - estimate)
         return max(due, jobs[-1].arrival_time_us)
 
     def next_due_us(self) -> float:

@@ -152,6 +152,117 @@ def online_decode_time_model(telemetry: TelemetryRecorder,
     return model
 
 
+class ServiceSession:
+    """One open replay of a :class:`CranService`: submit jobs, then close.
+
+    :meth:`CranService.run` is the batch interface — an iterable in, a report
+    out.  A session is the *incremental* interface underneath it (and under
+    the ingress gateway): it owns the run's telemetry recorder, scheduler and
+    worker pool, accepts jobs one at a time in arrival order, and produces
+    the same :class:`ServiceReport` on :meth:`close`.  Feeding a session the
+    jobs of an offered load in arrival order is exactly ``run`` — same
+    scheduling decisions, same detections, same telemetry.
+
+    Sessions are not thread-safe; concurrent producers go through
+    :class:`~repro.cran.gateway.IngressGateway`, which serialises submission
+    into a session.
+    """
+
+    def __init__(self, service: "CranService"):
+        self._telemetry = TelemetryRecorder(window=service.telemetry_window)
+        model = service.scheduler_model()
+        if (model is not None and service.adaptive_wait
+                and service._decode_time_model is None):
+            # Online adaptive wait: observed per-structure pack decode
+            # times (EWMAs via the recorder) refine the analytic model as
+            # the run progresses; the known per-pack overhead anchors the
+            # fixed/per-job split so full-pack observations still predict
+            # small pending packs.
+            overhead_us = service.decoder.annealer.overheads.total_us(
+                service.decoder.parameters.num_anneals)
+            model = online_decode_time_model(self._telemetry, model,
+                                             overhead_us=overhead_us)
+        self._scheduler = EDFBatchScheduler(
+            max_batch=service.max_batch,
+            max_wait_us=service.max_wait_us,
+            decode_time_model=model)
+        self._pool = WorkerPool(service.decoder,
+                                num_workers=service.num_workers,
+                                mode=service.mode,
+                                mp_context=service.mp_context,
+                                queue_capacity=service.queue_capacity,
+                                overload_policy=service.overload_policy,
+                                telemetry=self._telemetry,
+                                decoder_factory=service._decoder_factory)
+        self._start_wall = time.perf_counter()
+        self._report: Optional[ServiceReport] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def clock_us(self) -> float:
+        """Latest virtual timestamp the session's scheduler has observed."""
+        return self._scheduler.clock_us
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently pending in the session's scheduler."""
+        return self._scheduler.queue_depth
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has completed (the report exists)."""
+        return self._report is not None
+
+    # ------------------------------------------------------------------ #
+    def submit(self, job: DecodeJob) -> None:
+        """Feed one job; jobs must arrive in (arrival time, id) order."""
+        try:
+            for batch in self._scheduler.submit(job):
+                self._pool.submit(batch)
+            self._pool.record_queue_depth(job.arrival_time_us,
+                                          self._scheduler.queue_depth)
+        except BaseException:
+            self._pool.close()
+            raise
+
+    def close(self) -> ServiceReport:
+        """Drain the scheduler, stop the pool and return the report.
+
+        Idempotent: repeated calls return the same report.  The drain phase
+        samples queue depth after every flush (at the flush stamp), so
+        backlog statistics cover the bursty tail of the load instead of
+        stopping at the last arrival.
+        """
+        if self._report is not None:
+            return self._report
+        try:
+            pending = self._scheduler.queue_depth
+            for batch in self._scheduler.drain():
+                pending -= batch.size
+                self._pool.submit(batch)
+                self._pool.record_queue_depth(batch.flush_time_us, pending)
+        finally:
+            self._pool.close()
+        wall_time_s = time.perf_counter() - self._start_wall
+        self._report = ServiceReport(
+            results=self._pool.results(),
+            shed_jobs=self._pool.shed_jobs,
+            telemetry=self._telemetry.snapshot(),
+            wall_time_s=wall_time_s,
+        )
+        return self._report
+
+    def __enter__(self) -> "ServiceSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if exc_info and exc_info[0] is not None:
+            # Error path: stop workers without forcing a full drain.
+            self._pool.close()
+        else:
+            self.close()
+
+
 class CranService:
     """Deadline-aware batched decode service over a QuAMax processing pool.
 
@@ -233,6 +344,20 @@ class CranService:
             return decode_time_model_for(self.decoder)
         return None
 
+    def session(self) -> ServiceSession:
+        """Open an incremental serving session (see :class:`ServiceSession`)."""
+        return ServiceSession(self)
+
+    def gateway(self, **kwargs):
+        """Open an ingress gateway feeding a fresh session of this service.
+
+        Keyword arguments are forwarded to
+        :class:`~repro.cran.gateway.IngressGateway` (``admission_limit``,
+        ``per_cell_limit``, ``overload_policy``).
+        """
+        from repro.cran.gateway import IngressGateway
+        return IngressGateway(self, **kwargs)
+
     def run(self, jobs: Iterable[DecodeJob]) -> ServiceReport:
         """Replay *jobs* through the scheduler and pool; return the report.
 
@@ -240,46 +365,10 @@ class CranService:
         once every non-shed job has been decoded and the pool has drained.
         """
         ordered = sorted(jobs, key=lambda j: (j.arrival_time_us, j.job_id))
-        telemetry = TelemetryRecorder(window=self.telemetry_window)
-        model = self.scheduler_model()
-        if (model is not None and self.adaptive_wait
-                and self._decode_time_model is None):
-            # Online adaptive wait: observed per-structure pack decode
-            # times (EWMAs via the recorder) refine the analytic model as
-            # the run progresses; the known per-pack overhead anchors the
-            # fixed/per-job split so full-pack observations still predict
-            # small pending packs.
-            overhead_us = self.decoder.annealer.overheads.total_us(
-                self.decoder.parameters.num_anneals)
-            model = online_decode_time_model(telemetry, model,
-                                             overhead_us=overhead_us)
-        scheduler = EDFBatchScheduler(max_batch=self.max_batch,
-                                      max_wait_us=self.max_wait_us,
-                                      decode_time_model=model)
-        pool = WorkerPool(self.decoder,
-                          num_workers=self.num_workers,
-                          mode=self.mode,
-                          mp_context=self.mp_context,
-                          queue_capacity=self.queue_capacity,
-                          overload_policy=self.overload_policy,
-                          telemetry=telemetry,
-                          decoder_factory=self._decoder_factory)
-        start_wall = time.perf_counter()
-        with pool:
-            for job in ordered:
-                for batch in scheduler.submit(job):
-                    pool.submit(batch)
-                pool.record_queue_depth(job.arrival_time_us,
-                                        scheduler.queue_depth)
-            for batch in scheduler.drain():
-                pool.submit(batch)
-        wall_time_s = time.perf_counter() - start_wall
-        return ServiceReport(
-            results=pool.results(),
-            shed_jobs=pool.shed_jobs,
-            telemetry=telemetry.snapshot(),
-            wall_time_s=wall_time_s,
-        )
+        session = self.session()
+        for job in ordered:
+            session.submit(job)
+        return session.close()
 
     def __repr__(self) -> str:
         return (f"CranService(max_batch={self.max_batch}, "

@@ -153,8 +153,12 @@ class TelemetryRecorder:
         the prediction is ``overhead + size * per_job`` — so a structure
         observed in full packs still predicts small pending packs
         correctly.  Returns ``None`` until :attr:`decode_time_min_samples`
-        packs of the structure have completed (callers fall back to an
-        analytic model until the estimate is trustworthy).
+        packs of the structure have completed, and again whenever the
+        claimed *overhead_us* exceeds the observed service EWMA: a negative
+        per-job split would otherwise be clamped into a size-independent
+        prediction (``overhead + size * 0``) that makes the adaptive-wait
+        scheduler under-wait.  Callers fall back to the analytic model in
+        both cases.
         """
         if self._decode_time_samples[structure_key] < \
                 self.decode_time_min_samples:
@@ -162,7 +166,9 @@ class TelemetryRecorder:
         per_job = ((self._decode_service_ewma_us[structure_key] - overhead_us)
                    / self._decode_size_ewma[structure_key])
         if per_job < 0.0:
-            per_job = 0.0
+            # The overhead/service split degenerated — the estimate carries
+            # no size information, so defer to the analytic model.
+            return None
         return overhead_us + size * per_job
 
     def latency_summary(self, percentiles: Sequence[float]

@@ -104,6 +104,7 @@ class PoissonTrafficGenerator:
             for name in self._modulation_names
         }
         self._next_job_id = 0
+        self._last_arrival_us = 0.0
 
     # ------------------------------------------------------------------ #
     @property
@@ -120,7 +121,12 @@ class PoissonTrafficGenerator:
         a burst share one arrival time (they leave the FFT together).  The
         id counter persists across calls, so loads generated in several
         chained calls (via *start_time_us*) can be concatenated without
-        violating the jobs' unique-id contract.
+        violating the jobs' unique-id contract.  To keep the concatenation
+        also *arrival-ordered* (ids monotone in arrival time, which the
+        strict scheduler clock relies on), *start_time_us* must not precede
+        the last arrival emitted by a previous call — chain with
+        ``start_time_us=previous[-1].arrival_time_us`` (equality is fine,
+        the first gap of the new call is strictly positive almost surely).
         """
         num_bursts = check_integer_in_range("num_bursts", num_bursts,
                                             minimum=1)
@@ -128,6 +134,12 @@ class PoissonTrafficGenerator:
             raise SchedulingError(
                 f"start_time_us must be finite and non-negative, got "
                 f"{start_time_us}")
+        if start_time_us < self._last_arrival_us:
+            raise SchedulingError(
+                f"start_time_us ({start_time_us}) precedes the last arrival "
+                f"already emitted ({self._last_arrival_us}); chained "
+                f"generate calls must move forward in time so job ids stay "
+                f"monotone in arrival time")
         rng = ensure_rng(random_state)
         jobs: List[DecodeJob] = []
         now_us = float(start_time_us)
@@ -161,6 +173,7 @@ class PoissonTrafficGenerator:
                     seed=spawn_seed(rng),
                 ))
                 self._next_job_id += 1
+        self._last_arrival_us = now_us
         return jobs
 
     def __repr__(self) -> str:

@@ -8,10 +8,14 @@ accounting model:
 
 * ``num_workers=0`` (inline) decodes synchronously in the submitting thread —
   fully deterministic, the mode simulations and tests use;
-* ``num_workers>=1, mode="thread"`` drains a bounded queue from real
+* ``num_workers>=1, mode="thread"`` drains per-worker shard queues from real
   threads, so wall-clock throughput benefits from NumPy releasing the GIL
   inside the anneals — but the Python parts of the decode stack still
-  serialise on the GIL;
+  serialise on the GIL.  Batches are routed to a *sticky* shard by structure
+  key (first-seen keys round-robin across workers), which keeps one worker's
+  decoder sampler cache hot for each structure; an idle worker whose own
+  shard is empty steals the oldest batch from the longest other shard, so
+  skewed structure mixes never strand capacity;
 * ``num_workers>=1, mode="process"`` ships each flushed pack to a persistent
   :mod:`multiprocessing` pool: the batch's job specs travel pickled, each
   worker process decodes with its own decoder replica, and the bulky result
@@ -19,10 +23,11 @@ accounting model:
   out-of-band buffers) instead of the result pipe — so NumPy *and* pure
   Python decode work runs truly parallel across cores.
 
-Backpressure is explicit: the submission queue is bounded, and on overload the
-pool either **blocks** the producer (default — the scheduler naturally holds
-jobs back) or **sheds** the batch (its jobs are counted and returned as
-dropped, the right policy when deadlines make late decodes worthless).
+Backpressure is explicit: the total number of queued batches (summed across
+all shards) is bounded, and on overload the pool either **blocks** the
+producer (default — the scheduler naturally holds jobs back) or **sheds** the
+batch (its jobs are counted and returned as dropped, the right policy when
+deadlines make late decodes worthless).
 
 Completion times are tracked on a virtual clock: each batch occupies the
 earliest-free virtual QA machine from its flush time, for a service time of
@@ -45,8 +50,8 @@ from __future__ import annotations
 import copy
 import multiprocessing
 import pickle
-import queue
 import threading
+from collections import deque
 from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -185,7 +190,8 @@ class WorkerPool:
         ``0`` decodes inline at submission (deterministic); ``>= 1`` starts
         that many draining threads or worker processes (see *mode*).
     mode:
-        ``"thread"`` (default) drains a bounded queue from threads;
+        ``"thread"`` (default) drains bounded per-worker shard queues
+        (structure-sticky routing with work stealing) from threads;
         ``"process"`` ships packs to a persistent multiprocessing pool —
         pickled job specs out, shared-memory sample buffers back — so the
         decode stack scales past the GIL.  Ignored when ``num_workers=0``.
@@ -199,8 +205,8 @@ class WorkerPool:
         pickling — ``spawn`` on macOS/Windows, where forking a
         BLAS-active parent is unsafe).
     queue_capacity:
-        Bound of the submission queue (threaded mode), or of the number of
-        in-flight packs (process mode).
+        Bound on queued batches summed over all worker shards (threaded
+        mode), or on the number of in-flight packs (process mode).
     overload_policy:
         ``"block"`` stalls :meth:`submit` until space frees up; ``"shed"``
         drops the offered batch and records its jobs as shed.
@@ -245,9 +251,18 @@ class WorkerPool:
         self.telemetry = telemetry if telemetry is not None \
             else TelemetryRecorder()
 
-        self._queue: "queue.Queue[Optional[Tuple[int, DecodeBatch]]]" = \
-            queue.Queue(maxsize=self.queue_capacity)
         self._lock = threading.Lock()
+        # Thread mode: one shard deque per worker, a sticky structure-key
+        # routing table, and a total-pending bound shared by all shards.
+        self._shards: List["deque[Tuple[int, DecodeBatch]]"] = [
+            deque() for _ in range(max(1, self.num_workers))]
+        self._route: Dict[Tuple, int] = {}
+        self._next_shard = 0
+        self._pending = 0
+        self._steals = 0
+        self._stop = False
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
         # Process mode: in-flight pack accounting behind the same lock.
         self._space = threading.Condition(self._lock)
         self._inflight = 0
@@ -308,7 +323,7 @@ class WorkerPool:
             decoder = (self._decoder_factory()
                        if self._decoder_factory is not None else self.decoder)
             thread = threading.Thread(target=self._worker_loop,
-                                      args=(decoder,),
+                                      args=(decoder, index),
                                       name=f"cran-worker-{index}",
                                       daemon=True)
             self._threads.append(thread)
@@ -328,8 +343,9 @@ class WorkerPool:
                 self._pool.close()
                 self._pool.join()
             else:
-                for _ in self._threads:
-                    self._queue.put(None)
+                with self._lock:
+                    self._stop = True
+                    self._not_empty.notify_all()
                 for thread in self._threads:
                     thread.join()
         if self._errors:
@@ -370,25 +386,28 @@ class WorkerPool:
                     self.telemetry.record_shed(batch.jobs)
                 raise
             return True
-        # A blocking put with no running consumer would deadlock the
-        # producer; surface the misuse instead.
-        block = self.overload_policy == POLICY_BLOCK and self._started
-        try:
-            self._queue.put((index, batch), block=block)
-        except queue.Full:
-            if self.overload_policy == POLICY_BLOCK:
-                with self._lock:
+        with self._not_full:
+            if self._pending >= self.queue_capacity:
+                if self.overload_policy == POLICY_SHED:
                     self._decoded[index] = None
                     self._credit_ready_locked()
-                raise SchedulingError(
-                    "submission queue is full but no worker is running; "
-                    "call start() before blocking submissions")
-            with self._lock:
-                self._decoded[index] = None
-                self._credit_ready_locked()
-                self._shed_jobs.extend(batch.jobs)
-                self.telemetry.record_shed(batch.jobs)
-            return False
+                    self._shed_jobs.extend(batch.jobs)
+                    self.telemetry.record_shed(batch.jobs)
+                    return False
+                if not self._started:
+                    # A blocking wait with no running consumer would
+                    # deadlock the producer; surface the misuse instead.
+                    self._decoded[index] = None
+                    self._credit_ready_locked()
+                    raise SchedulingError(
+                        "submission queue is full but no worker is running; "
+                        "call start() before blocking submissions")
+                while self._pending >= self.queue_capacity:
+                    self._not_full.wait()
+            self._shards[self._shard_for_locked(batch.structure_key)].append(
+                (index, batch))
+            self._pending += 1
+            self._not_empty.notify()
         return True
 
     def _submit_process(self, index: int, batch: DecodeBatch) -> bool:
@@ -469,12 +488,61 @@ class WorkerPool:
     # ------------------------------------------------------------------ #
     # Decoding
     # ------------------------------------------------------------------ #
-    def _worker_loop(self, decoder: QuAMaxDecoder) -> None:
+    def _shard_for_locked(self, key: Tuple) -> int:
+        """Sticky shard of one structure key (first-seen keys round-robin).
+
+        Called with the lock held.  Routing by structure rather than by load
+        keeps each worker decoding the same problem shapes back to back —
+        which is what lets a per-worker decoder's warm sampler cache hit —
+        while work stealing (:meth:`_take_locked`) still balances skewed
+        mixes.  The round-robin assignment depends only on first-seen order,
+        never on ``hash()``, so routing is reproducible across runs.
+        """
+        shard = self._route.get(key)
+        if shard is None:
+            shard = self._next_shard % len(self._shards)
+            self._route[key] = shard
+            self._next_shard += 1
+        return shard
+
+    def _take_locked(self, shard: int) -> Optional[Tuple[int, DecodeBatch]]:
+        """Pop this worker's next batch, stealing when its shard is empty.
+
+        Called with the lock held.  Own shard first (FIFO), else the oldest
+        batch of the *longest* other shard (ties to the lowest index);
+        ``None`` when every shard is empty.
+        """
+        own = self._shards[shard]
+        if not own:
+            victim, depth = None, 0
+            for other, candidate in enumerate(self._shards):
+                if other != shard and len(candidate) > depth:
+                    victim, depth = other, len(candidate)
+            if victim is None:
+                return None
+            own = self._shards[victim]
+            self._steals += 1
+        self._pending -= 1
+        return own.popleft()
+
+    @property
+    def steal_count(self) -> int:
+        """Number of batches taken from another worker's shard so far."""
+        with self._lock:
+            return self._steals
+
+    def _worker_loop(self, decoder: QuAMaxDecoder, shard: int) -> None:
         failed = False
         while True:
-            item = self._queue.get()
-            if item is None:
-                return
+            with self._not_empty:
+                while True:
+                    item = self._take_locked(shard)
+                    if item is not None:
+                        break
+                    if self._stop:
+                        return
+                    self._not_empty.wait()
+                self._not_full.notify_all()
             index, batch = item
             if failed:
                 # Keep draining so blocked producers never deadlock on a

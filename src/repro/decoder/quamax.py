@@ -112,6 +112,15 @@ class QuAMaxDecoder(Detector):
         self._reducer = MLToIsingReducer()
 
     # ------------------------------------------------------------------ #
+    def sampler_cache_info(self) -> dict:
+        """Warm sampler cache counters of the underlying machine.
+
+        Serving-layer telemetry reads this to report how often batch-size-1
+        submissions reused a fully-warmed sampler instead of rebuilding one.
+        """
+        return self.annealer.sampler_cache_info()
+
+    # ------------------------------------------------------------------ #
     def detect(self, channel_use: ChannelUse) -> DetectionResult:
         """Standard detector interface: return only the detection result."""
         return self.detect_with_run(channel_use).detection

@@ -233,3 +233,95 @@ class TestRunKernelKnob:
                                    kernel="colour")
         np.testing.assert_array_equal(auto.solutions.samples,
                                       pinned.solutions.samples)
+
+
+class TestSamplerCache:
+    """The structure-keyed warm sampler cache of the machine front end."""
+
+    def _machine(self, cache):
+        return QuantumAnnealerSimulator(ChimeraGraph.ideal(4, 4),
+                                        sampler_cache_size=cache)
+
+    def _solutions(self, machine, reduced_list, num_anneals=12):
+        parameters = AnnealerParameters(num_anneals=num_anneals)
+        return [machine.run(reduced.ising, parameters, random_state=seed)
+                for seed, reduced in enumerate(reduced_list)]
+
+    def test_cached_runs_bit_identical_to_uncached(self):
+        reduced = [make_reduced(num_users=3, constellation="QPSK", seed=s,
+                                snr_db=12.0) for s in range(5)]
+        cold = self._solutions(self._machine(0), reduced)
+        warm = self._solutions(self._machine(8), reduced)
+        for a, b in zip(cold, warm):
+            np.testing.assert_array_equal(a.solutions.samples,
+                                          b.solutions.samples)
+            np.testing.assert_array_equal(a.solutions.energies,
+                                          b.solutions.energies)
+            np.testing.assert_array_equal(a.solutions.num_occurrences,
+                                          b.solutions.num_occurrences)
+
+    def test_same_structure_jobs_hit_the_cache(self):
+        machine = self._machine(8)
+        reduced = [make_reduced(num_users=3, constellation="QPSK", seed=s,
+                                snr_db=12.0) for s in range(4)]
+        self._solutions(machine, reduced)
+        info = machine.sampler_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 3
+        assert info["entries"] == 1
+
+    def test_distinct_structures_get_distinct_entries(self):
+        machine = self._machine(8)
+        a = make_reduced(num_users=2, constellation="QPSK", seed=1, snr_db=12.0)
+        b = make_reduced(num_users=3, constellation="BPSK", seed=2, snr_db=12.0)
+        self._solutions(machine, [a, b, a, b])
+        info = machine.sampler_cache_info()
+        assert info["misses"] == 2
+        assert info["hits"] == 2
+        assert info["entries"] == 2
+
+    def test_capacity_evicts_least_recently_used(self):
+        machine = self._machine(1)
+        a = make_reduced(num_users=2, constellation="QPSK", seed=1, snr_db=12.0)
+        b = make_reduced(num_users=3, constellation="BPSK", seed=2, snr_db=12.0)
+        self._solutions(machine, [a, b, a])
+        info = machine.sampler_cache_info()
+        assert info["entries"] == 1
+        # a evicted by b, then b evicted by a: every lookup missed.
+        assert info["misses"] == 3
+        assert info["hits"] == 0
+
+    def test_zero_capacity_disables_cache(self):
+        machine = self._machine(0)
+        reduced = [make_reduced(num_users=2, seed=s, snr_db=12.0)
+                   for s in range(3)]
+        self._solutions(machine, reduced)
+        info = machine.sampler_cache_info()
+        assert info == {"capacity": 0, "entries": 0, "hits": 0, "misses": 0}
+
+    def test_clear_drops_entries_keeps_counters(self):
+        machine = self._machine(8)
+        reduced = [make_reduced(num_users=2, seed=s, snr_db=12.0)
+                   for s in range(2)]
+        self._solutions(machine, reduced)
+        machine.clear_sampler_cache()
+        info = machine.sampler_cache_info()
+        assert info["entries"] == 0
+        assert info["hits"] + info["misses"] == 2
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(Exception):
+            QuantumAnnealerSimulator(ChimeraGraph.ideal(4, 4),
+                                     sampler_cache_size=-1)
+
+    def test_batched_packs_cache_across_calls(self):
+        machine = self._machine(8)
+        parameters = AnnealerParameters(num_anneals=10)
+        packs = [[make_reduced(num_users=3, constellation="QPSK",
+                               seed=10 * call + s, snr_db=12.0).ising
+                  for s in range(3)] for call in range(3)]
+        for call, pack in enumerate(packs):
+            machine.run_batch(pack, parameters, random_state=call)
+        info = machine.sampler_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 2

@@ -1,0 +1,154 @@
+"""Property-based fuzz of the EDF batch scheduler's invariants.
+
+Hypothesis drives :class:`~repro.cran.scheduler.EDFBatchScheduler` with
+randomised offered loads (mixed structures, deadlines from tight to
+best-effort) and randomised policies (batch bound, wait budget, adaptive
+decode-time models), checking the contracts every consumer of the scheduler
+— the worker pool's virtual-time accounting, the telemetry, the ingress
+gateway's monotone merge — silently relies on:
+
+* conservation — after drain, every submitted job was emitted exactly once;
+* structure homogeneity — a batch only packs jobs of its structure key;
+* the batch bound — never more than ``max_batch`` jobs, and ``full``
+  flushes are exactly full;
+* causal, monotone stamps — a flush is never stamped before a member's
+  arrival, and emission order never goes back in time;
+* EDF order — most-urgent-first within every batch, ties by job id;
+* the wait budget — a timeout flush never exceeds the oldest member's
+  arrival plus ``max_wait_us`` (adaptive models only ever shorten it);
+* determinism — replaying the same load through a fresh scheduler
+  reproduces the same batches, stamps and reasons bit for bit.
+
+The jobs here are synthetic (a small pool of real channel uses is reused
+across examples); decode correctness has its own suites — this one is about
+scheduling policy alone, so hundreds of examples stay cheap enough for CI.
+"""
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cran.jobs import DecodeJob
+from repro.cran.scheduler import (
+    FLUSH_DRAIN,
+    FLUSH_FULL,
+    FLUSH_TIMEOUT,
+    EDFBatchScheduler,
+)
+from repro.mimo.system import MimoUplink
+
+#: A few real channel uses, one per problem structure; every synthetic job
+#: borrows one, so structure keys are genuine and cheap.
+_CHANNEL_POOL = [
+    MimoUplink(num_users=2, constellation="BPSK").transmit(random_state=0),
+    MimoUplink(num_users=2, constellation="QPSK").transmit(random_state=1),
+    MimoUplink(num_users=3, constellation="BPSK").transmit(random_state=2),
+]
+
+
+@st.composite
+def offered_loads(draw):
+    """A list of jobs in arrival order plus a scheduler policy."""
+    events = draw(st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=3_000.0),   # inter-arrival µs
+            st.integers(min_value=0, max_value=len(_CHANNEL_POOL) - 1),
+            st.one_of(                                     # deadline slack µs
+                st.just(math.inf),
+                st.floats(min_value=10.0, max_value=50_000.0)),
+        ),
+        min_size=1, max_size=40))
+    jobs = []
+    now = 0.0
+    for job_id, (gap, structure, slack) in enumerate(events):
+        now += gap
+        jobs.append(DecodeJob(
+            job_id=job_id, user_id=structure, frame=0, subcarrier=0,
+            channel_use=_CHANNEL_POOL[structure],
+            arrival_time_us=now, deadline_us=now + slack))
+    max_batch = draw(st.integers(min_value=1, max_value=6))
+    max_wait_us = draw(st.one_of(
+        st.just(math.inf),
+        st.floats(min_value=1.0, max_value=10_000.0)))
+    model = None
+    if draw(st.booleans()):
+        overhead = draw(st.floats(min_value=0.0, max_value=5_000.0))
+        per_job = draw(st.floats(min_value=0.0, max_value=2_000.0))
+        model = lambda key, size: overhead + per_job * size  # noqa: E731
+    return jobs, max_batch, max_wait_us, model
+
+
+def replay(jobs, max_batch, max_wait_us, model):
+    scheduler = EDFBatchScheduler(max_batch=max_batch,
+                                  max_wait_us=max_wait_us,
+                                  decode_time_model=model)
+    batches = []
+    for job in jobs:
+        batches.extend(scheduler.submit(job))
+    batches.extend(scheduler.drain())
+    return scheduler, batches
+
+
+class TestSchedulerInvariants:
+    @settings(max_examples=120, deadline=None)
+    @given(offered_loads())
+    def test_invariants_hold_for_any_load_and_policy(self, load):
+        jobs, max_batch, max_wait_us, model = load
+        scheduler, batches = replay(jobs, max_batch, max_wait_us, model)
+
+        # Conservation: every job emitted exactly once, nothing left behind.
+        emitted = [job.job_id for batch in batches for job in batch.jobs]
+        assert sorted(emitted) == [job.job_id for job in jobs]
+        assert scheduler.queue_depth == 0
+        assert scheduler.jobs_flushed == scheduler.jobs_submitted == len(jobs)
+
+        last_stamp = 0.0
+        arrival_of = {job.job_id: job.arrival_time_us for job in jobs}
+        for batch in batches:
+            # Structure homogeneity and the batch bound.
+            assert all(job.structure_key == batch.structure_key
+                       for job in batch.jobs)
+            assert 1 <= batch.size <= max_batch
+            if batch.reason == FLUSH_FULL:
+                assert batch.size == max_batch
+            assert batch.reason in (FLUSH_FULL, FLUSH_TIMEOUT, FLUSH_DRAIN)
+
+            # Causal stamps, monotone in emission order.
+            assert batch.flush_time_us >= max(
+                arrival_of[job.job_id] for job in batch.jobs)
+            assert batch.flush_time_us >= last_stamp
+            last_stamp = batch.flush_time_us
+
+            # EDF inside the pack: most urgent first, ties by id.
+            order = [(job.deadline_us, job.job_id) for job in batch.jobs]
+            assert order == sorted(order)
+
+            # The wait budget: a timeout flush never overshoots the oldest
+            # member's budget (an adaptive model only ever shortens it).
+            if batch.reason == FLUSH_TIMEOUT and not math.isinf(max_wait_us):
+                oldest = min(arrival_of[job.job_id] for job in batch.jobs)
+                assert batch.flush_time_us <= oldest + max_wait_us + 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(offered_loads())
+    def test_replay_is_deterministic(self, load):
+        jobs, max_batch, max_wait_us, model = load
+        _, first = replay(jobs, max_batch, max_wait_us, model)
+        _, second = replay(jobs, max_batch, max_wait_us, model)
+        assert [(b.structure_key, b.flush_time_us, b.reason,
+                 tuple(job.job_id for job in b.jobs)) for b in first] == \
+            [(b.structure_key, b.flush_time_us, b.reason,
+              tuple(job.job_id for job in b.jobs)) for b in second]
+
+    @settings(max_examples=60, deadline=None)
+    @given(offered_loads())
+    def test_unbounded_wait_without_model_only_flushes_full_or_drain(
+            self, load):
+        jobs, max_batch, _max_wait_us, _model = load
+        _, batches = replay(jobs, max_batch, math.inf, None)
+        assert all(batch.reason in (FLUSH_FULL, FLUSH_DRAIN)
+                   for batch in batches)

@@ -191,6 +191,50 @@ class TestWorkerPool:
         assert len(pool.shed_jobs) == 8
         assert pool.telemetry.jobs_shed == 8
 
+    def test_sticky_routing_round_robins_first_seen_structures(self, decoder,
+                                                               job_pool):
+        qpsk = MimoUplink(num_users=2, constellation="QPSK")
+        rng = np.random.default_rng(7)
+        qpsk_jobs = [
+            DecodeJob(job_id=100 + i, user_id=0, frame=0, subcarrier=i,
+                      channel_use=qpsk.transmit(random_state=rng),
+                      arrival_time_us=0.0, seed=900 + i)
+            for i in range(2)
+        ]
+        pool = WorkerPool(decoder, num_workers=2, queue_capacity=8,
+                          autostart=False)
+        pool.submit(make_batch(job_pool[:2], flush_time_us=0.0))
+        pool.submit(make_batch(qpsk_jobs, flush_time_us=1.0))
+        pool.submit(make_batch(job_pool[2:4], flush_time_us=2.0))
+        # First-seen structures round-robin across shards; repeats stick to
+        # their first shard, keeping that worker's sampler cache hot.
+        assert [len(shard) for shard in pool._shards] == [2, 1]
+        pool.start()
+        pool.close()
+        assert [r.job.job_id for r in pool.results()] == [0, 1, 2, 3, 100, 101]
+
+    def test_idle_worker_steals_from_longest_shard(self, decoder, job_pool):
+        pool = WorkerPool(decoder, num_workers=2, queue_capacity=8,
+                          autostart=False)
+        for start in (0, 2, 4):
+            pool.submit(make_batch(job_pool[start:start + 2],
+                                   flush_time_us=float(start)))
+        # One structure key: sticky routing lands everything on shard 0.
+        assert [len(shard) for shard in pool._shards] == [3, 0]
+        with pool._lock:
+            item = pool._take_locked(1)
+            # Worker 1's own shard is empty, so it steals the oldest batch
+            # from the longest other shard instead of going idle.
+            assert item is not None
+            assert item[0] == 0
+            assert pool._steals == 1
+            pool._shards[1].append(item)
+            pool._pending += 1
+        assert pool.steal_count == 1
+        pool.start()
+        pool.close()
+        assert [r.job.job_id for r in pool.results()] == [0, 1, 2, 3, 4, 5]
+
 
 class TestTelemetryRecorder:
     def test_batch_fill_and_latency(self, decoder, job_pool):
@@ -311,6 +355,29 @@ class TestDecodeTimeEwma:
         assert model(key, 3) == pytest.approx((100.0 + 3 * 500.0) * 1.1)
         assert len(calls) == 1
 
+    def test_degenerate_overhead_split_returns_none(self):
+        # Satellite regression: when the claimed overhead exceeds the
+        # observed service EWMA the per-job split is negative.  Clamping it
+        # to zero would make predictions size-independent (overhead + 0*n)
+        # and starve the adaptive wait; the estimate must instead defer to
+        # the analytic fallback.
+        telemetry = TelemetryRecorder(decode_time_min_samples=1)
+        key = (3, 3, "QPSK")
+        telemetry._decode_service_ewma_us[key] = 1_100.0
+        telemetry._decode_size_ewma[key] = 2.0
+        telemetry._decode_time_samples[key] += 1
+        assert telemetry.decode_time_us(key, 3, overhead_us=5_000.0) is None
+        # The online wrapper then uses the fallback, never a flat estimate.
+        from repro.cran.service import online_decode_time_model
+
+        model = online_decode_time_model(telemetry, lambda k, n: 777.0,
+                                         overhead_us=5_000.0)
+        assert model(key, 3) == pytest.approx(777.0)
+        # A sane overhead keeps the online estimate size-dependent.
+        assert telemetry.decode_time_us(key, 3, overhead_us=100.0) \
+            > telemetry.decode_time_us(key, 1, overhead_us=100.0)
+
+
 class TestCranService:
     @pytest.fixture(scope="class")
     def traffic(self):
@@ -335,6 +402,43 @@ class TestCranService:
         assert report.telemetry["jobs_completed"] == len(traffic)
         assert report.telemetry["batches_decoded"] >= 1
         assert 0.0 <= report.bit_error_rate() <= 1.0
+
+    def test_drain_phase_samples_queue_depth(self, decoder, traffic):
+        # Satellite regression: with unbounded wait everything flushes at
+        # drain, after the last arrival.  Depth must be sampled as the drain
+        # empties the groups — ending at zero — not stop at the last
+        # arrival's (maximal) backlog.
+        report = CranService(decoder, max_batch=64,
+                             max_wait_us=math.inf).run(traffic)
+        assert report.jobs_completed == len(traffic)
+        assert report.telemetry["queue_depth_max"] == len(traffic)
+        # The mean reflects the tail draining to empty, so it sits strictly
+        # below the peak backlog and the sample set includes a zero.
+        assert (report.telemetry["queue_depth_mean"]
+                < report.telemetry["queue_depth_max"])
+
+    def test_session_matches_run(self, decoder, traffic):
+        # The incremental session is the substrate of run(): feeding the
+        # same load in arrival order must reproduce the report exactly.
+        service = CranService(decoder, max_batch=4, max_wait_us=5_000.0)
+        batch_report = service.run(traffic)
+        session = service.session()
+        assert not session.closed
+        for job in sorted(traffic,
+                          key=lambda j: (j.arrival_time_us, j.job_id)):
+            session.submit(job)
+        report = session.close()
+        assert session.closed
+        # close() is idempotent: the same report object comes back.
+        assert session.close() is report
+        assert report.jobs_completed == batch_report.jobs_completed
+        for a, b in zip(batch_report.results, report.results):
+            assert a.job.job_id == b.job.job_id
+            assert a.flush_time_us == b.flush_time_us
+            assert a.finish_time_us == b.finish_time_us
+            np.testing.assert_array_equal(a.result.detection.bits,
+                                          b.result.detection.bits)
+        assert report.telemetry == batch_report.telemetry
 
     def test_deterministic_replay(self, decoder, traffic):
         service = CranService(decoder, max_batch=4, max_wait_us=5_000.0)

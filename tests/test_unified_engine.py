@@ -222,6 +222,41 @@ class TestBlockDiagonalSampler:
             sampler.anneal([1.0, 0.4], 5, rngs_a),
             fresh.anneal([1.0, 0.4], 5, rngs_b))
 
+    @pytest.mark.parametrize("density", [0.3, 0.7, 1.0])
+    def test_lexsort_entry_maps_match_scipy_reference(self, density):
+        """The lexsort-derived entry maps equal the permutation-matrix ones.
+
+        `_ensure_entry_maps` derives the slot->entry maps with a direct
+        lexsort; `_entry_permutation`/`_slot_entries` are kept as the scipy
+        reference implementation and pinned here on every map the sampler
+        builds (full matrix, colour classes, cluster operators).
+        """
+        from repro.annealer.engine import _entry_permutation, _slot_entries
+        base = random_ising(9, 21, density=density)
+        rng = np.random.default_rng(22)
+        problems = [IsingModel(num_variables=9, linear=rng.normal(size=9),
+                               couplings={key: float(rng.normal())
+                                          for key in base.couplings})
+                    for _ in range(3)]
+        clusters = [np.array([0, 1, 2], dtype=np.intp),
+                    np.array([5, 8], dtype=np.intp)]
+        sampler = BlockDiagonalSampler(problems, clusters=clusters)
+        sampler._ensure_entry_maps()
+        n = sampler.num_variables
+        order = _entry_permutation(sampler._entry_rows, sampler._entry_cols,
+                                   (n, n))
+        np.testing.assert_array_equal(sampler._matrix_entries,
+                                      _slot_entries(order))
+        assert len(sampler._class_entries) == len(sampler.classes)
+        for entries, group in zip(sampler._class_entries, sampler.classes):
+            np.testing.assert_array_equal(entries,
+                                          _slot_entries(order[group, :]))
+        assert len(sampler._cluster_entries) == len(sampler._cluster_columns)
+        for entries, columns in zip(sampler._cluster_entries,
+                                    sampler._cluster_columns):
+            np.testing.assert_array_equal(entries,
+                                          _slot_entries(order[columns, :]))
+
 
 class TestRunBatch:
     @pytest.fixture(scope="class")
