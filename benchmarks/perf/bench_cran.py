@@ -26,6 +26,11 @@ Two measurements over a synthetic Argos-like trace workload:
   model, and the online model (``adaptive_wait=True``: per-structure EWMA
   of observed pack decode times, analytic fallback during warm-up):
   identical detections, lower p99 latency and fewer deadline misses.
+* ``cran_trace_overhead`` — the saturating batched load replayed with
+  tracing off versus ``tracing=True``: bit-identical detections and
+  identical virtual-clock telemetry, with the wall-clock cost of recording
+  the full lifecycle event stream pinned (the perf-smoke bar holds it to a
+  few percent of throughput).
 
 Results are *merged* into ``BENCH_core.json`` (next to this file by default)
 alongside the core benchmarks, preserving whatever entries are already there.
@@ -358,6 +363,52 @@ def bench_adaptive_wait(knobs: dict, seed: int = 0) -> dict:
     }
 
 
+def bench_trace_overhead(knobs: dict, seed: int = 0) -> dict:
+    """Tracing off vs. on over the saturating batched load.
+
+    The recorder is a passive append buffer behind locks the pool already
+    takes, so the overhead should be noise-level; the pair pins it (and the
+    perf-smoke bar enforces ≤ a few percent).  Detections and the virtual
+    event stream are deterministic, so the traced side also reports the
+    event count and the per-job event rate.
+    """
+    import numpy as np
+
+    from repro.cran.service import CranService
+
+    trace = _make_trace(knobs, seed)
+    decoder = _make_decoder(knobs["num_anneals"])
+    jobs = _make_jobs(knobs, trace, mean_interarrival_us=10.0,
+                      num_bursts=knobs["num_bursts"], seed=seed)
+    untraced = CranService(decoder, max_batch=knobs["max_batch"],
+                           max_wait_us=knobs["max_wait_us"])
+    traced = CranService(decoder, max_batch=knobs["max_batch"],
+                         max_wait_us=knobs["max_wait_us"], tracing=True)
+    # Warm the embedding/sampler caches so the pair times steady state.
+    untraced.run(jobs[:1])
+    before_s, plain_report = _timed(untraced.run, jobs)
+    after_s, traced_report = _timed(traced.run, jobs)
+    identical = all(
+        np.array_equal(a.result.detection.bits, b.result.detection.bits)
+        for a, b in zip(plain_report.results, traced_report.results))
+    return {
+        "params": {
+            "num_jobs": len(jobs),
+            "max_batch": knobs["max_batch"],
+            "num_anneals": knobs["num_anneals"],
+        },
+        "before_s": before_s,
+        "after_s": after_s,
+        "jobs_per_s_before": len(jobs) / before_s,
+        "jobs_per_s_after": len(jobs) / after_s,
+        "speedup": before_s / after_s,
+        "overhead_fraction": after_s / before_s - 1.0,
+        "trace_events": len(traced_report.trace),
+        "events_per_job": len(traced_report.trace) / len(jobs),
+        "detections_identical": identical,
+    }
+
+
 def run_suite(scale: str = "quick") -> dict:
     """Run the C-RAN benchmarks at *scale* and return their entries."""
     knobs = SCALES[scale]
@@ -367,6 +418,7 @@ def run_suite(scale: str = "quick") -> dict:
         "cran_load_sweep": bench_offered_load_sweep(knobs),
         "cran_process_scaling": bench_process_scaling(knobs),
         "cran_adaptive_wait": bench_adaptive_wait(knobs),
+        "cran_trace_overhead": bench_trace_overhead(knobs),
     }
 
 
@@ -435,6 +487,11 @@ def main() -> None:
           f"  online {adaptive['p99_latency_us_adaptive']:10.0f} us  "
           f"miss {adaptive['deadline_miss_rate_fixed']:.2f}"
           f" -> {adaptive['deadline_miss_rate_adaptive']:.2f}")
+    overhead = entries["cran_trace_overhead"]
+    print(f"cran_trace        off {overhead['jobs_per_s_before']:8.1f} jobs/s"
+          f"  on {overhead['jobs_per_s_after']:8.1f} jobs/s  overhead "
+          f"{overhead['overhead_fraction'] * 100:+.1f}%  "
+          f"{overhead['events_per_job']:.1f} events/job")
     print(f"wrote {args.output}")
 
 

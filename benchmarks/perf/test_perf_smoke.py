@@ -21,6 +21,7 @@ import pytest
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import bench_core  # noqa: E402
+import bench_cran  # noqa: E402
 
 
 @pytest.fixture(scope="module")
@@ -121,3 +122,21 @@ class TestPerfSmoke:
                   for key in ("cluster_variables", "cluster_chain",
                               "cluster_replicas", "cluster_sweeps")))
         assert entry["speedup"] >= 0.85
+
+
+class TestTracingOverhead:
+    """Lifecycle tracing must observe the serving path, not slow it down."""
+
+    def test_trace_overhead_within_bar_and_bit_identical(self):
+        entry = bench_cran.bench_trace_overhead(bench_cran.SCALES["quick"])
+        assert entry["detections_identical"]
+        # Every lifecycle event was recorded: admit + complete per job,
+        # plus the four pack span events amortised over the pack's fill.
+        assert entry["events_per_job"] >= 2.0
+        # The acceptance bar: tracing costs at most ~5% throughput.  Both
+        # sides are single-shot wall timings of a seconds-scale replay, so
+        # give one retry before calling an over-bar ratio a regression.
+        if entry["overhead_fraction"] > 0.05:
+            entry = bench_cran.bench_trace_overhead(
+                bench_cran.SCALES["quick"])
+        assert entry["overhead_fraction"] <= 0.05

@@ -26,9 +26,18 @@ Finally the same load is offered through the :class:`IngressGateway` by one
 concurrent producer thread per cell, showing the admission-controlled merge
 front end — still bit-identical to the serial replay.
 
+The last leg turns on per-job lifecycle tracing (``tracing=True``): the run
+is replayed once more with a :class:`~repro.cran.tracing.TraceRecorder`
+attached, the per-stage latency breakdown (queue/dispatch/overhead/anneal)
+is printed via :mod:`repro.obs.report`, and the trace is written both as
+JSONL (for ``python -m repro.obs.report``) and as a Chrome trace JSON you
+can load in Perfetto / ``chrome://tracing`` — with decode results still
+bit-identical to the untraced passes.
+
 Run with::
 
     python examples/cran_serving.py [--bursts 8] [--max-batch 8] [--workers 2]
+                                    [--trace-dir DIR]
 """
 
 from __future__ import annotations
@@ -89,6 +98,9 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=2,
                         help="worker processes for the mode='process' pass")
     parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("--trace-dir", default=None,
+                        help="directory for the traced leg's JSONL and "
+                             "Chrome trace dumps (default: skip writing)")
     args = parser.parse_args()
 
     from repro.annealer import backends
@@ -161,6 +173,30 @@ def main() -> None:
           f"{ingress['late_restamped']} re-stamped, backlog max "
           f"{ingress['backlog_max']}; decode results identical: "
           f"{identical_bits(serial_report, gateway_report)}")
+
+    # Observability: replay once more with lifecycle tracing on and show
+    # where each job's latency went.  Tracing is pure observation — the
+    # decode results stay bit-identical.
+    from repro.obs import build_report, render, write_chrome_trace, write_jsonl
+
+    traced_report = CranService(decoder, max_batch=args.max_batch,
+                                max_wait_us=max_wait_us,
+                                tracing=True).run(jobs)
+    print(f"\nTraced replay: {len(traced_report.trace)} lifecycle events, "
+          f"decode results identical: "
+          f"{identical_bits(batched_report, traced_report)}\n")
+    print(render(build_report(traced_report.trace, worst=3)))
+    if args.trace_dir is not None:
+        from pathlib import Path
+
+        trace_dir = Path(args.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        jsonl = write_jsonl(trace_dir / "cran_trace.jsonl",
+                            traced_report.trace)
+        chrome = write_chrome_trace(trace_dir / "cran_trace.chrome.json",
+                                    traced_report.trace)
+        print(f"\nTrace written: {jsonl} (python -m repro.obs.report) and "
+              f"{chrome} (load in Perfetto / chrome://tracing)")
 
 
 if __name__ == "__main__":

@@ -80,6 +80,7 @@ from typing import Dict, NamedTuple, Optional, Tuple
 import numpy as np
 
 from repro.exceptions import AnnealerError
+from repro.obs.profiling import PROFILER
 
 #: Valid values of the ``backend=`` knob of the samplers.
 BACKENDS = ("auto", "numpy", "numba", "cext")
@@ -165,49 +166,51 @@ def warmup(backend: str) -> None:
     backend = resolve_backend(backend)
     if backend in _WARMED or backend == "numpy":
         return
-    spins = np.ones((2, 2))
-    fields = spins.copy()
-    matrix = np.zeros((2, 2))
-    order = np.arange(2, dtype=np.int64)
-    temperatures = np.array([1.0])
-    rng = np.random.default_rng(0)
-    dense_sweep(backend, spins, fields, matrix, order, temperatures, rng)
-    members = np.arange(2, dtype=np.int64)
-    class_starts = np.array([0, 1, 2], dtype=np.int64)
-    data = np.zeros(0)
-    indices = np.zeros(0, dtype=np.int64)
-    indptr = np.zeros(3, dtype=np.int64)
-    scratch = np.empty((2, 1))
-    colour_sweep(backend, spins, np.zeros(2), members, class_starts,
-                 data, indices, indptr, scratch, temperatures, rng)
-    clusters = ClusterDescriptor(
-        members=members, cluster_starts=np.array([0, 2], dtype=np.int64),
-        data=data, indices=indices, indptr=indptr,
-        edge_i=np.zeros(0, dtype=np.int64),
-        edge_j=np.zeros(0, dtype=np.int64),
-        edge_starts=np.zeros(2, dtype=np.int64),
-        edge_values=np.zeros(0))
-    cluster_sweep(backend, spins, np.zeros(2), clusters, temperatures, rng)
-    fused_dense_cluster_sweep(backend, spins, fields, matrix, order,
-                              np.zeros(2), clusters, temperatures, rng)
-    fused_colour_cluster_sweep(backend, spins, np.zeros(2), members,
-                               class_starts, data, indices, indptr, scratch,
-                               clusters, temperatures, rng)
-    # The engine's multi-block paths pass non-contiguous column slices;
-    # warm those array layouts too, or numba would JIT a second
-    # specialization inside the first timed multi-block anneal.
-    combined = np.ones((2, 4))
-    view = combined[:, 1:3]
-    fields_view = combined.copy()[:, 1:3]
-    dense_sweep(backend, view, fields_view, matrix, order, temperatures, rng)
-    colour_sweep(backend, view, np.zeros(2), members, class_starts,
-                 data, indices, indptr, scratch, temperatures, rng)
-    cluster_sweep(backend, view, np.zeros(2), clusters, temperatures, rng)
-    fused_dense_cluster_sweep(backend, view, fields_view, matrix, order,
-                              np.zeros(2), clusters, temperatures, rng)
-    fused_colour_cluster_sweep(backend, view, np.zeros(2), members,
-                               class_starts, data, indices, indptr, scratch,
-                               clusters, temperatures, rng)
+    with PROFILER.phase("backend.warmup", backend):
+        spins = np.ones((2, 2))
+        fields = spins.copy()
+        matrix = np.zeros((2, 2))
+        order = np.arange(2, dtype=np.int64)
+        temperatures = np.array([1.0])
+        rng = np.random.default_rng(0)
+        dense_sweep(backend, spins, fields, matrix, order, temperatures, rng)
+        members = np.arange(2, dtype=np.int64)
+        class_starts = np.array([0, 1, 2], dtype=np.int64)
+        data = np.zeros(0)
+        indices = np.zeros(0, dtype=np.int64)
+        indptr = np.zeros(3, dtype=np.int64)
+        scratch = np.empty((2, 1))
+        colour_sweep(backend, spins, np.zeros(2), members, class_starts,
+                     data, indices, indptr, scratch, temperatures, rng)
+        clusters = ClusterDescriptor(
+            members=members, cluster_starts=np.array([0, 2], dtype=np.int64),
+            data=data, indices=indices, indptr=indptr,
+            edge_i=np.zeros(0, dtype=np.int64),
+            edge_j=np.zeros(0, dtype=np.int64),
+            edge_starts=np.zeros(2, dtype=np.int64),
+            edge_values=np.zeros(0))
+        cluster_sweep(backend, spins, np.zeros(2), clusters, temperatures, rng)
+        fused_dense_cluster_sweep(backend, spins, fields, matrix, order,
+                                  np.zeros(2), clusters, temperatures, rng)
+        fused_colour_cluster_sweep(backend, spins, np.zeros(2), members,
+                                   class_starts, data, indices, indptr,
+                                   scratch, clusters, temperatures, rng)
+        # The engine's multi-block paths pass non-contiguous column slices;
+        # warm those array layouts too, or numba would JIT a second
+        # specialization inside the first timed multi-block anneal.
+        combined = np.ones((2, 4))
+        view = combined[:, 1:3]
+        fields_view = combined.copy()[:, 1:3]
+        dense_sweep(backend, view, fields_view, matrix, order, temperatures,
+                    rng)
+        colour_sweep(backend, view, np.zeros(2), members, class_starts,
+                     data, indices, indptr, scratch, temperatures, rng)
+        cluster_sweep(backend, view, np.zeros(2), clusters, temperatures, rng)
+        fused_dense_cluster_sweep(backend, view, fields_view, matrix, order,
+                                  np.zeros(2), clusters, temperatures, rng)
+        fused_colour_cluster_sweep(backend, view, np.zeros(2), members,
+                                   class_starts, data, indices, indptr,
+                                   scratch, clusters, temperatures, rng)
     _WARMED.add(backend)
 
 

@@ -76,6 +76,7 @@ from scipy import sparse
 from repro.annealer import backends
 from repro.exceptions import AnnealerError
 from repro.ising.model import IsingModel
+from repro.obs.profiling import PROFILER
 from repro.utils.random import RandomState, ensure_rng
 from repro.utils.validation import check_integer_in_range
 
@@ -999,42 +1000,51 @@ class BlockDiagonalSampler:
                 )
 
         backend = self.selected_backend
+        # Wall-time attribution of the sweep loop per kernel/backend; the
+        # phase is a no-op unless the global profiler is enabled and never
+        # touches RNG state, so trajectories are identical either way.
+        sweep_phase = PROFILER.phase("engine.sweep", self.selected_kernel,
+                                     backend)
         if self.selected_kernel == "dense":
-            if backend == "numpy":
-                self._dense_sweep_loop(spins, temperatures, rngs)
-            else:
-                self._dense_sweep_compiled(spins, temperatures, rngs, backend)
+            with sweep_phase:
+                if backend == "numpy":
+                    self._dense_sweep_loop(spins, temperatures, rngs)
+                else:
+                    self._dense_sweep_compiled(spins, temperatures, rngs,
+                                               backend)
             return spins.astype(np.int8)
         if backend != "numpy":
-            self._colour_sweep_compiled(spins, temperatures, rngs,
-                                        num_replicas, backend)
+            with sweep_phase:
+                self._colour_sweep_compiled(spins, temperatures, rngs,
+                                            num_replicas, backend)
             return spins.astype(np.int8)
 
-        for temperature in temperatures:
-            for group, operator, width in zip(self.classes,
-                                              self.class_operators,
-                                              self._class_widths):
-                # Local field of every variable in the group, per replica:
-                # (N x R) -> (blocks*|class| x R), then transpose.
-                fields = (operator @ spins.T).T + self.linear[group]
-                delta = -2.0 * spins[:, group] * fields
-                accept = delta <= 0.0
-                uphill = ~accept
-                for b, rng in enumerate(rngs):
-                    segment = slice(b * width, (b + 1) * width)
-                    uphill_b = uphill[:, segment]
-                    count = int(np.count_nonzero(uphill_b))
-                    if count:
-                        # delta > 0 on the uphill subset, acceptance
-                        # probability exp(-delta / T).
-                        accept[:, segment][uphill_b] = (
-                            rng.random(count)
-                            < np.exp(-delta[:, segment][uphill_b]
-                                     / temperature))
-                flips = np.where(accept, -1.0, 1.0)
-                spins[:, group] *= flips
-            if self._cluster_operators:
-                self._cluster_sweep(spins, temperature, rngs)
+        with sweep_phase:
+            for temperature in temperatures:
+                for group, operator, width in zip(self.classes,
+                                                  self.class_operators,
+                                                  self._class_widths):
+                    # Local field of every variable in the group, per replica:
+                    # (N x R) -> (blocks*|class| x R), then transpose.
+                    fields = (operator @ spins.T).T + self.linear[group]
+                    delta = -2.0 * spins[:, group] * fields
+                    accept = delta <= 0.0
+                    uphill = ~accept
+                    for b, rng in enumerate(rngs):
+                        segment = slice(b * width, (b + 1) * width)
+                        uphill_b = uphill[:, segment]
+                        count = int(np.count_nonzero(uphill_b))
+                        if count:
+                            # delta > 0 on the uphill subset, acceptance
+                            # probability exp(-delta / T).
+                            accept[:, segment][uphill_b] = (
+                                rng.random(count)
+                                < np.exp(-delta[:, segment][uphill_b]
+                                         / temperature))
+                    flips = np.where(accept, -1.0, 1.0)
+                    spins[:, group] *= flips
+                if self._cluster_operators:
+                    self._cluster_sweep(spins, temperature, rngs)
 
         return spins.astype(np.int8)
 

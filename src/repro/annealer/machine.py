@@ -35,6 +35,7 @@ from repro.annealer.unembed import UnembeddingReport, unembed_samples
 from repro.exceptions import AnnealerError
 from repro.ising.model import IsingModel
 from repro.ising.solver import SolverResult, aggregate_samples
+from repro.obs.profiling import PROFILER
 from repro.utils.random import RandomState, child_rngs, ensure_rng
 from repro.utils.validation import check_integer_in_range, check_positive
 
@@ -362,12 +363,15 @@ class QuantumAnnealerSimulator:
 
         if embedding is None:
             embedding = self.embedding_for(num_logical)
-        embedded = [
-            embed_ising(ising, embedding,
-                        chain_strength=parameters.chain_strength,
-                        extended_range=parameters.extended_range)
-            for ising in isings
-        ]
+        # PROFILER phases only read the wall clock (no-ops when disabled);
+        # they never touch RNG state, so seeded outputs are unaffected.
+        with PROFILER.phase("machine.embed"):
+            embedded = [
+                embed_ising(ising, embedding,
+                            chain_strength=parameters.chain_strength,
+                            extended_range=parameters.extended_range)
+                for ising in isings
+            ]
         temperatures = parameters.schedule.temperature_profile(
             sweeps_per_us=self.sweeps_per_us,
             hot=self.hot_temperature,
@@ -394,29 +398,40 @@ class QuantumAnnealerSimulator:
         produced = 0
         while produced < num_anneals:
             batch = min(self.ice_batch_size, num_anneals - produced)
-            perturbed = [self.ice.perturb(item.ising, rng)
-                         for item, rng in zip(embedded, rngs)]
+            with PROFILER.phase("machine.ice"):
+                perturbed = [self.ice.perturb(item.ising, rng)
+                             for item, rng in zip(embedded, rngs)]
             if sampler is not None and sampler.matches_structure(perturbed):
-                sampler.refresh_values(perturbed)
-                samples = sampler.anneal(temperatures, batch, rngs)
+                with PROFILER.phase("machine.sampler_rebind"):
+                    sampler.refresh_values(perturbed)
+                with PROFILER.phase("machine.anneal",
+                                    sampler.selected_kernel,
+                                    sampler.selected_backend):
+                    samples = sampler.anneal(temperatures, batch, rngs)
             else:
                 try:
-                    sampler = BlockDiagonalSampler(perturbed, clusters=clusters,
-                                                   kernel=kernel,
-                                                   backend=backend)
-                    samples = sampler.anneal(temperatures, batch, rngs)
+                    with PROFILER.phase("machine.sampler_build"):
+                        sampler = BlockDiagonalSampler(perturbed,
+                                                       clusters=clusters,
+                                                       kernel=kernel,
+                                                       backend=backend)
+                    with PROFILER.phase("machine.anneal",
+                                        sampler.selected_kernel,
+                                        sampler.selected_backend):
+                        samples = sampler.anneal(temperatures, batch, rngs)
                 except AnnealerError:
                     # An ICE draw cancelled a coupling exactly, so the blocks
                     # no longer share one structure this batch; fall back to
                     # per-problem anneals (identical trajectories, just not
                     # packed).
                     sampler = None
-                    samples = np.concatenate([
-                        IsingSampler(problem, clusters=clusters,
-                                     kernel=kernel, backend=backend).anneal(
-                            temperatures, batch, random_state=rng)
-                        for problem, rng in zip(perturbed, rngs)
-                    ], axis=1)
+                    with PROFILER.phase("machine.anneal", kernel, backend):
+                        samples = np.concatenate([
+                            IsingSampler(problem, clusters=clusters,
+                                         kernel=kernel, backend=backend).anneal(
+                                temperatures, batch, random_state=rng)
+                            for problem, rng in zip(perturbed, rngs)
+                        ], axis=1)
             physical[produced:produced + batch] = samples
             produced += batch
 
@@ -433,13 +448,15 @@ class QuantumAnnealerSimulator:
         results: List[AnnealResult] = []
         for index, (item, rng) in enumerate(zip(embedded, rngs)):
             block = physical[:, index * num_physical:(index + 1) * num_physical]
-            logical_spins, unembedding_report = unembed_samples(
-                item, block, random_state=rng)
+            with PROFILER.phase("machine.unembed"):
+                logical_spins, unembedding_report = unembed_samples(
+                    item, block, random_state=rng)
             # Aggregate through the logical problem's sparse operator instead
             # of densifying its coupling matrix on every run.
-            solutions = aggregate_samples(
-                isings[index], logical_spins,
-                operator=isings[index].coupling_operator())
+            with PROFILER.phase("machine.aggregate"):
+                solutions = aggregate_samples(
+                    isings[index], logical_spins,
+                    operator=isings[index].coupling_operator())
             results.append(AnnealResult(
                 solutions=solutions,
                 embedded=item,

@@ -20,9 +20,19 @@ layer, built on the batched decode substrate underneath it:
   :class:`ServiceReport`;
 * :mod:`repro.cran.gateway` — :class:`IngressGateway`, the thread-safe
   admission-controlled front end merging many concurrent cell feeds into
-  one session.
+  one session;
+* :mod:`repro.cran.tracing` — :class:`TraceRecorder` / :class:`TraceEvent`,
+  structured per-job lifecycle spans on the serving clock (exporters and
+  the breakdown report live in :mod:`repro.obs`).
 """
 
+from repro.cran.tracing import (
+    JobTimeline,
+    TraceEvent,
+    TraceRecorder,
+    job_timelines,
+    pack_spans,
+)
 from repro.cran.gateway import IngressGateway
 from repro.cran.jobs import DecodeJob, JobResult
 from repro.cran.scheduler import (
@@ -63,4 +73,9 @@ __all__ = [
     "ServiceSession",
     "IngressGateway",
     "decode_time_model_for",
+    "TraceEvent",
+    "TraceRecorder",
+    "JobTimeline",
+    "job_timelines",
+    "pack_spans",
 ]

@@ -47,6 +47,11 @@ from typing import Deque, Dict, Hashable, List, Optional
 
 from repro.cran.jobs import DecodeJob
 from repro.cran.service import CranService, ServiceReport, ServiceSession
+from repro.cran.tracing import (
+    EVENT_INGRESS_ADMIT,
+    EVENT_JOB_RESTAMP,
+    EVENT_JOB_SHED,
+)
 from repro.cran.workers import OVERLOAD_POLICIES, POLICY_SHED
 from repro.exceptions import SchedulingError
 from repro.utils.validation import check_integer_in_range
@@ -126,12 +131,21 @@ class IngressGateway:
                 raise SchedulingError(
                     "cannot submit to a closed IngressGateway")
             self._offered += 1
+            # Lock order gateway -> pool is safe here: the pool (which
+            # serialises trace appends) never takes gateway locks.
+            self._session.record_event(EVENT_INGRESS_ADMIT,
+                                       job.arrival_time_us,
+                                       job_id=job.job_id, cell=str(cell))
             shard = self._shards.get(cell)
             if shard is None:
                 shard = self._shards[cell] = deque()
             while self._over_limit_locked(shard):
                 if self.overload_policy == POLICY_SHED:
                     self._shed.append(job)
+                    self._session.record_event(EVENT_JOB_SHED,
+                                               job.arrival_time_us,
+                                               job_id=job.job_id,
+                                               stage="ingress")
                     return False
                 self._space.wait()
                 if self._closing:
@@ -197,21 +211,33 @@ class IngressGateway:
                 # close() surface the original error.
                 with self._lock:
                     self._shed.append(job)
+                self._session.record_event(EVENT_JOB_SHED,
+                                           job.arrival_time_us,
+                                           job_id=job.job_id,
+                                           stage="ingress")
                 continue
             clock = self._session.clock_us
             if job.arrival_time_us < clock:
                 # Arrived behind the merged stream: re-stamp to "now" so the
                 # scheduler clock stays monotone, keep the deadline valid.
+                original_arrival_us = job.arrival_time_us
                 job = replace(job, arrival_time_us=clock,
                               deadline_us=max(job.deadline_us, clock))
                 with self._lock:
                     self._late_restamped += 1
+                self._session.record_event(
+                    EVENT_JOB_RESTAMP, clock, job_id=job.job_id,
+                    original_arrival_us=original_arrival_us)
             try:
                 self._session.submit(job)
             except BaseException as error:  # surfaced by close()
                 with self._lock:
                     self._error = self._error or error
                     self._shed.append(job)
+                self._session.record_event(EVENT_JOB_SHED,
+                                           job.arrival_time_us,
+                                           job_id=job.job_id,
+                                           stage="ingress")
             else:
                 with self._lock:
                     self._dispatched += 1

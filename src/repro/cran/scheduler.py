@@ -67,6 +67,17 @@ class DecodeBatch:
         """Most urgent deadline among the batch's jobs."""
         return min(job.deadline_us for job in self.jobs)
 
+    @property
+    def job_ids(self) -> Tuple[int, ...]:
+        """Member job ids, in the batch's (EDF) packing order."""
+        return tuple(job.job_id for job in self.jobs)
+
+    @property
+    def structure_label(self) -> str:
+        """Human/JSON-friendly structure tag, e.g. ``"2x2/BPSK"``."""
+        num_tx, num_rx, modulation = self.structure_key
+        return f"{num_tx}x{num_rx}/{modulation}"
+
 
 class EDFBatchScheduler:
     """Structure-keyed batching with EDF ordering and bounded wait.

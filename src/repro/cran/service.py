@@ -21,14 +21,16 @@ multi-core process pool) all produce bit-identical per-job detections.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.annealer.parallel import parallelization_factor
 from repro.cran.jobs import DecodeJob, JobResult
 from repro.cran.scheduler import DecodeTimeModel, EDFBatchScheduler
 from repro.cran.telemetry import TelemetryRecorder
+from repro.cran.tracing import EVENT_JOB_ADMIT, TraceEvent, TraceRecorder
 from repro.cran.workers import WorkerPool
 from repro.decoder.quamax import QuAMaxDecoder
 from repro.modulation.constellation import get_constellation
@@ -47,6 +49,10 @@ class ServiceReport:
     #: Wall-clock duration of the replay (seconds) — the *real* decode
     #: throughput, as opposed to the virtual-clock latency accounting.
     wall_time_s: float
+    #: The run's trace event stream (``CranService(tracing=True)``), in
+    #: append order; ``None`` when tracing was off.  Feed it to the
+    #: :mod:`repro.obs` exporters / report.
+    trace: Optional[Tuple[TraceEvent, ...]] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -170,6 +176,14 @@ class ServiceSession:
 
     def __init__(self, service: "CranService"):
         self._telemetry = TelemetryRecorder(window=service.telemetry_window)
+        self._trace = (TraceRecorder(wall_time=service.trace_wall_time)
+                       if service.tracing else None)
+        # Baseline for per-run hit/miss deltas: the decoder's cache counters
+        # are cumulative machine state shared by every run on it.
+        try:
+            self._cache_baseline = dict(service.decoder.sampler_cache_info())
+        except AttributeError:
+            self._cache_baseline = None
         model = service.scheduler_model()
         if (model is not None and service.adaptive_wait
                 and service._decode_time_model is None):
@@ -193,6 +207,7 @@ class ServiceSession:
                                 queue_capacity=service.queue_capacity,
                                 overload_policy=service.overload_policy,
                                 telemetry=self._telemetry,
+                                trace=self._trace,
                                 decoder_factory=service._decoder_factory)
         self._start_wall = time.perf_counter()
         self._report: Optional[ServiceReport] = None
@@ -213,9 +228,31 @@ class ServiceSession:
         """Whether :meth:`close` has completed (the report exists)."""
         return self._report is not None
 
+    @property
+    def trace(self) -> Optional[TraceRecorder]:
+        """The session's trace recorder (``None`` when tracing is off)."""
+        return self._trace
+
+    def record_event(self, name: str, ts_us: float, **kwargs: Any) -> None:
+        """Stamp one trace event through the pool's lock (no-op untraced).
+
+        The ingress gateway records its admit/shed/re-stamp events here so
+        they land in the same serialised stream as the pool's own.
+        """
+        self._pool.record_event(name, ts_us, **kwargs)
+
     # ------------------------------------------------------------------ #
     def submit(self, job: DecodeJob) -> None:
         """Feed one job; jobs must arrive in (arrival time, id) order."""
+        if self._trace is not None:
+            attrs: Dict[str, Any] = {"structure": "%dx%d/%s"
+                                     % job.structure_key}
+            # Unbounded deadlines stay out of the attrs: `inf` is as
+            # JSON-hostile as the NaNs the telemetry snapshot used to emit.
+            if math.isfinite(job.deadline_us):
+                attrs["deadline_us"] = job.deadline_us
+            self._pool.record_event(EVENT_JOB_ADMIT, job.arrival_time_us,
+                                    job_id=job.job_id, **attrs)
         try:
             for batch in self._scheduler.submit(job):
                 self._pool.submit(batch)
@@ -244,11 +281,23 @@ class ServiceSession:
         finally:
             self._pool.close()
         wall_time_s = time.perf_counter() - self._start_wall
+        telemetry = self._telemetry.snapshot()
+        # Surface the counters that used to require poking objects
+        # directly: pool-level worker/shard/steal counters and the
+        # decoder's warm sampler cache.
+        telemetry["workers"] = self._pool.worker_info()
+        if self._cache_baseline is not None:
+            info = dict(self._pool.decoder.sampler_cache_info())
+            # Hits/misses as this run's delta; capacity/entries are current.
+            for key in ("hits", "misses"):
+                info[key] -= self._cache_baseline.get(key, 0)
+            telemetry["sampler_cache"] = info
         self._report = ServiceReport(
             results=self._pool.results(),
             shed_jobs=self._pool.shed_jobs,
-            telemetry=self._telemetry.snapshot(),
+            telemetry=telemetry,
             wall_time_s=wall_time_s,
+            trace=self._trace.events() if self._trace is not None else None,
         )
         return self._report
 
@@ -298,6 +347,16 @@ class CranService:
         ``mode="process"`` scales the pool across cores.
     telemetry_window:
         Rolling window of the latency percentiles (``None`` = all jobs).
+    tracing:
+        When true, every session records per-job lifecycle spans into a
+        :class:`~repro.cran.tracing.TraceRecorder` and the report carries
+        the event stream in :attr:`ServiceReport.trace`.  Traces live on
+        the virtual clock, so with an inline pool they are bit-deterministic
+        and decode results are identical with tracing on or off.
+    trace_wall_time:
+        Additionally annotate ``pack.complete`` events with wall decode
+        seconds.  Off by default — wall values vary run to run, so they
+        would break trace determinism.
     """
 
     def __init__(self, decoder: Optional[QuAMaxDecoder] = None, *,
@@ -313,6 +372,8 @@ class CranService:
                  queue_capacity: int = 16,
                  overload_policy: str = "block",
                  telemetry_window: Optional[int] = None,
+                 tracing: bool = False,
+                 trace_wall_time: bool = False,
                  decoder_factory: Optional[Callable[[], QuAMaxDecoder]] = None):
         self.decoder = decoder or QuAMaxDecoder(kernel=kernel, backend=backend)
         self.max_batch = max_batch
@@ -325,6 +386,8 @@ class CranService:
         self.queue_capacity = queue_capacity
         self.overload_policy = overload_policy
         self.telemetry_window = telemetry_window
+        self.tracing = tracing
+        self.trace_wall_time = trace_wall_time
         self._decoder_factory = decoder_factory
 
     # ------------------------------------------------------------------ #

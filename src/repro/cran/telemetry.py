@@ -239,8 +239,18 @@ class TelemetryRecorder:
         return self.jobs_completed / (span_us * 1e-6)
 
     def snapshot(self) -> dict:
-        """One plain-dict view of every rolling statistic (for reports/JSON)."""
+        """One plain-dict view of every rolling statistic (for reports/JSON).
+
+        Empty series report ``None`` rather than NaN: ``json.dumps`` would
+        happily write a bare ``NaN`` token, which is not valid JSON and
+        blows up every strict consumer downstream.  The snapshot always
+        round-trips through ``json.dumps(..., allow_nan=False)``.
+        """
         latency = self.latency_summary()
+
+        def finite(value: float) -> Optional[float]:
+            return float(value) if np.isfinite(value) else None
+
         queue_delay = np.asarray(self._queue_delays_us, dtype=float)
         return {
             "jobs_completed": self.jobs_completed,
@@ -255,11 +265,12 @@ class TelemetryRecorder:
             "throughput_jobs_per_s": self.throughput_jobs_per_s(),
             "latency_us": {
                 "count": latency.count,
-                "mean": latency.mean_us,
-                **{f"p{q:g}": v for q, v in latency.percentiles_us.items()},
+                "mean": finite(latency.mean_us),
+                **{f"p{q:g}": finite(v)
+                   for q, v in latency.percentiles_us.items()},
             },
             "queue_delay_us_mean": (float(queue_delay.mean())
-                                    if queue_delay.size else float("nan")),
+                                    if queue_delay.size else None),
             "queue_depth_max": self.max_queue_depth(),
             "queue_depth_mean": self.mean_queue_depth(),
             # Amortised per-job decode time at the *observed* pack sizes

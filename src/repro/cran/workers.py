@@ -51,13 +51,24 @@ import copy
 import multiprocessing
 import pickle
 import threading
+import time
 from collections import deque
 from functools import partial
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cran.jobs import JobResult
 from repro.cran.scheduler import DecodeBatch
 from repro.cran.telemetry import TelemetryRecorder
+from repro.cran.tracing import (
+    EVENT_JOB_COMPLETE,
+    EVENT_JOB_SHED,
+    EVENT_PACK_COMPLETE,
+    EVENT_PACK_DISPATCH,
+    EVENT_PACK_FLUSH,
+    EVENT_PACK_START,
+    TraceRecorder,
+)
+from repro.obs.profiling import PROFILER
 from repro.decoder.quamax import QuAMaxDecoder
 from repro.exceptions import SchedulingError
 from repro.utils.validation import check_integer_in_range
@@ -104,14 +115,26 @@ def _pack_service_us(decoder: QuAMaxDecoder, outcomes) -> float:
 def _process_decode_batch(batch: DecodeBatch):
     """Decode one pack in a worker process; results go back via shared memory.
 
-    Returns ``((pickled, shm_name, buffer_sizes), service_us)`` —
-    see :func:`_export_outcomes` / :func:`_import_outcomes`.
+    Returns ``((pickled, shm_name, buffer_sizes), service_us, info)`` —
+    see :func:`_export_outcomes` / :func:`_import_outcomes`.  ``info``
+    carries the pack's wall decode seconds and, when this process's
+    :data:`~repro.obs.profiling.PROFILER` is enabled (inherited via fork),
+    the per-phase wall-time delta the decode accumulated, which the parent
+    merges into its own profiler.
     """
     decoder = _WORKER_DECODER
+    baseline = PROFILER.raw() if PROFILER.enabled else None
+    wall_start = time.perf_counter()
     outcomes = decoder.detect_batch(
         [job.channel_use for job in batch.jobs],
         random_states=[job.rng() for job in batch.jobs])
-    return _export_outcomes(outcomes), _pack_service_us(decoder, outcomes)
+    info: Dict[str, Any] = {"wall_s": time.perf_counter() - wall_start}
+    if baseline is not None:
+        delta = PROFILER.delta_since(baseline)
+        if delta:
+            info["phases"] = delta
+    return (_export_outcomes(outcomes), _pack_service_us(decoder, outcomes),
+            info)
 
 
 def _export_outcomes(outcomes) -> Tuple[bytes, Optional[str], list]:
@@ -213,6 +236,14 @@ class WorkerPool:
     telemetry:
         Recorder the pool reports completed batches and shed jobs into; a
         private one is created when omitted.
+    trace:
+        Optional :class:`~repro.cran.tracing.TraceRecorder` the pool stamps
+        pack/job lifecycle events into (flush, dispatch, worker pickup,
+        completion, sheds) on the same virtual clock as the accounting.
+        The recorder is passive; the pool's own lock serialises every
+        append, and producers record their events through
+        :meth:`record_event` for the same reason.  ``None`` (default)
+        disables tracing at zero cost.
     decoder_factory:
         Optional zero-argument callable building one decoder per worker
         thread (e.g. to give each worker its own annealer instance).
@@ -230,6 +261,7 @@ class WorkerPool:
                  queue_capacity: int = 16,
                  overload_policy: str = POLICY_BLOCK,
                  telemetry: Optional[TelemetryRecorder] = None,
+                 trace: Optional[TraceRecorder] = None,
                  decoder_factory: Optional[Callable[[], QuAMaxDecoder]] = None,
                  autostart: bool = True):
         if overload_policy not in OVERLOAD_POLICIES:
@@ -250,6 +282,7 @@ class WorkerPool:
         self._decoder_factory = decoder_factory
         self.telemetry = telemetry if telemetry is not None \
             else TelemetryRecorder()
+        self.trace = trace
 
         self._lock = threading.Lock()
         # Thread mode: one shard deque per worker, a sticky structure-key
@@ -258,6 +291,7 @@ class WorkerPool:
             deque() for _ in range(max(1, self.num_workers))]
         self._route: Dict[Tuple, int] = {}
         self._next_shard = 0
+        self._shard_routed = [0] * max(1, self.num_workers)
         self._pending = 0
         self._steals = 0
         self._stop = False
@@ -277,7 +311,8 @@ class WorkerPool:
         self._virtual_free = [0.0] * max(1, self.num_workers)
         self._next_submit = 0
         self._next_credit = 0
-        self._decoded: Dict[int, Optional[Tuple[DecodeBatch, list, float]]] = {}
+        self._decoded: Dict[
+            int, Optional[Tuple[DecodeBatch, list, float, dict]]] = {}
         self._threads: List[threading.Thread] = []
         self._started = False
         self._closed = False
@@ -371,6 +406,14 @@ class WorkerPool:
         with self._lock:
             index = self._next_submit
             self._next_submit += 1
+            if self.trace is not None:
+                self.trace.record(
+                    EVENT_PACK_FLUSH, batch.flush_time_us, pack_id=index,
+                    reason=batch.reason, size=batch.size,
+                    structure=batch.structure_label,
+                    job_ids=list(batch.job_ids))
+                self.trace.record(EVENT_PACK_DISPATCH, batch.flush_time_us,
+                                  pack_id=index)
         if self.num_workers and self.mode == MODE_PROCESS:
             return self._submit_process(index, batch)
         if not self.num_workers:
@@ -382,8 +425,7 @@ class WorkerPool:
                 with self._lock:
                     self._decoded[index] = None
                     self._credit_ready_locked()
-                    self._shed_jobs.extend(batch.jobs)
-                    self.telemetry.record_shed(batch.jobs)
+                    self._record_shed_locked(batch, index, "decode_error")
                 raise
             return True
         with self._not_full:
@@ -391,8 +433,7 @@ class WorkerPool:
                 if self.overload_policy == POLICY_SHED:
                     self._decoded[index] = None
                     self._credit_ready_locked()
-                    self._shed_jobs.extend(batch.jobs)
-                    self.telemetry.record_shed(batch.jobs)
+                    self._record_shed_locked(batch, index, "pool")
                     return False
                 if not self._started:
                     # A blocking wait with no running consumer would
@@ -404,8 +445,9 @@ class WorkerPool:
                         "call start() before blocking submissions")
                 while self._pending >= self.queue_capacity:
                     self._not_full.wait()
-            self._shards[self._shard_for_locked(batch.structure_key)].append(
-                (index, batch))
+            shard = self._shard_for_locked(batch.structure_key)
+            self._shards[shard].append((index, batch))
+            self._shard_routed[shard] += 1
             self._pending += 1
             self._not_empty.notify()
         return True
@@ -421,8 +463,7 @@ class WorkerPool:
             elif self._inflight >= self.queue_capacity:
                 self._decoded[index] = None
                 self._credit_ready_locked()
-                self._shed_jobs.extend(batch.jobs)
-                self.telemetry.record_shed(batch.jobs)
+                self._record_shed_locked(batch, index, "pool")
                 return False
             self._inflight += 1
         self._pool.apply_async(
@@ -435,13 +476,14 @@ class WorkerPool:
                            payload) -> None:
         """Pool callback: reattach shared buffers, credit in flush order."""
         try:
-            (pickled, shm_name, sizes), service_us = payload
+            (pickled, shm_name, sizes), service_us, info = payload
             outcomes = _import_outcomes(pickled, shm_name, sizes)
         except BaseException as error:  # surfaced by close()
             self._on_process_error(index, batch, error)
             return
+        PROFILER.merge(info.pop("phases", None))
         with self._space:
-            self._decoded[index] = (batch, outcomes, service_us)
+            self._decoded[index] = (batch, outcomes, service_us, info)
             self._credit_ready_locked()
             self._inflight -= 1
             self._space.notify_all()
@@ -456,8 +498,7 @@ class WorkerPool:
             self._errors.append(error)
             self._decoded[index] = None
             self._credit_ready_locked()
-            self._shed_jobs.extend(batch.jobs)
-            self.telemetry.record_shed(batch.jobs)
+            self._record_shed_locked(batch, index, "process_error")
             self._inflight -= 1
             self._space.notify_all()
 
@@ -470,6 +511,37 @@ class WorkerPool:
         """
         with self._lock:
             self.telemetry.record_queue_depth(now_us, depth)
+
+    def record_event(self, name: str, ts_us: float, *,
+                     job_id: Optional[int] = None,
+                     pack_id: Optional[int] = None,
+                     worker: Optional[int] = None,
+                     **attrs: Any) -> None:
+        """Record one trace event under the pool lock (no-op untraced).
+
+        Producers (session, ingress gateway) stamp their own lifecycle
+        events — ``job.admit``, ``ingress.admit``, ``job.restamp``,
+        gateway-level ``job.shed`` — through here so the append is
+        serialised against the workers' recording, exactly like
+        :meth:`record_queue_depth`.
+        """
+        if self.trace is None:
+            return
+        with self._lock:
+            self.trace.record(name, ts_us, job_id=job_id, pack_id=pack_id,
+                              worker=worker, **attrs)
+
+    def _record_shed_locked(self, batch: DecodeBatch, index: int,
+                            stage: str) -> None:
+        """Account one dropped batch (lock held): shed list, telemetry,
+        and a ``job.shed`` trace event per member."""
+        self._shed_jobs.extend(batch.jobs)
+        self.telemetry.record_shed(batch.jobs)
+        if self.trace is not None:
+            for job in batch.jobs:
+                self.trace.record(EVENT_JOB_SHED, batch.flush_time_us,
+                                  job_id=job.job_id, pack_id=index,
+                                  stage=stage)
 
     # ------------------------------------------------------------------ #
     # Results
@@ -531,6 +603,23 @@ class WorkerPool:
         with self._lock:
             return self._steals
 
+    def worker_info(self) -> Dict[str, Any]:
+        """One-shot snapshot of the pool's worker-level counters.
+
+        ``steal_count``, per-shard routed totals (``shard_batches``) and
+        current occupancy (``shard_depths``) — the numbers the service
+        surfaces under ``telemetry["workers"]``.  Shard counters stay zero
+        for inline and process pools, which have no shard queues.
+        """
+        with self._lock:
+            return {
+                "mode": "inline" if not self.num_workers else self.mode,
+                "num_workers": self.num_workers,
+                "steal_count": self._steals,
+                "shard_batches": list(self._shard_routed),
+                "shard_depths": [len(shard) for shard in self._shards],
+            }
+
     def _worker_loop(self, decoder: QuAMaxDecoder, shard: int) -> None:
         failed = False
         while True:
@@ -551,8 +640,7 @@ class WorkerPool:
                 with self._lock:
                     self._decoded[index] = None
                     self._credit_ready_locked()
-                    self._shed_jobs.extend(batch.jobs)
-                    self.telemetry.record_shed(batch.jobs)
+                    self._record_shed_locked(batch, index, "worker_error")
                 continue
             try:
                 self._decode(decoder, batch, index)
@@ -562,20 +650,21 @@ class WorkerPool:
                     self._errors.append(error)
                     self._decoded[index] = None
                     self._credit_ready_locked()
-                    self._shed_jobs.extend(batch.jobs)
-                    self.telemetry.record_shed(batch.jobs)
+                    self._record_shed_locked(batch, index, "worker_error")
 
     def _decode(self, decoder: QuAMaxDecoder, batch: DecodeBatch,
                 index: int) -> None:
         """Decode one batch, then credit it in submission order."""
+        wall_start = time.perf_counter()
         outcomes = decoder.detect_batch(
             [job.channel_use for job in batch.jobs],
             random_states=[job.rng() for job in batch.jobs])
         # One shared job overhead per pack, plus the amortised compute of
         # every block: this is precisely where batching buys latency.
         service_us = _pack_service_us(decoder, outcomes)
+        info = {"wall_s": time.perf_counter() - wall_start}
         with self._lock:
-            self._decoded[index] = (batch, outcomes, service_us)
+            self._decoded[index] = (batch, outcomes, service_us, info)
             self._credit_ready_locked()
 
     def _credit_ready_locked(self) -> None:
@@ -586,11 +675,12 @@ class WorkerPool:
         deadline statistic — deterministic under threaded execution.
         """
         while self._next_credit in self._decoded:
-            entry = self._decoded.pop(self._next_credit)
+            index = self._next_credit
+            entry = self._decoded.pop(index)
             self._next_credit += 1
             if entry is None:  # shed or failed slot: nothing to credit
                 continue
-            batch, outcomes, service_us = entry
+            batch, outcomes, service_us, info = entry
             machine = min(range(len(self._virtual_free)),
                           key=self._virtual_free.__getitem__)
             start_us = max(batch.flush_time_us, self._virtual_free[machine])
@@ -605,6 +695,28 @@ class WorkerPool:
             ]
             self._results.extend(results)
             self.telemetry.record_batch(results)
+            if self.trace is not None:
+                job_ids = [job.job_id for job in batch.jobs]
+                self.trace.record(EVENT_PACK_START, start_us, pack_id=index,
+                                  worker=machine, job_ids=job_ids)
+                # The service split every member shares: the pack's one
+                # programming/readout overhead vs its amortised compute.
+                overhead_us = service_us - sum(
+                    outcome.compute_time_us for outcome in outcomes)
+                attrs: Dict[str, Any] = {
+                    "job_ids": job_ids, "service_us": service_us,
+                    "overhead_us": overhead_us,
+                    "anneal_us": service_us - overhead_us,
+                }
+                if self.trace.wall_time and info:
+                    attrs["wall_s"] = info.get("wall_s")
+                self.trace.record(EVENT_PACK_COMPLETE, finish_us,
+                                  pack_id=index, worker=machine, **attrs)
+                for result in results:
+                    self.trace.record(EVENT_JOB_COMPLETE, finish_us,
+                                      job_id=result.job.job_id,
+                                      pack_id=index, worker=machine,
+                                      deadline_met=result.deadline_met)
 
     def __repr__(self) -> str:
         mode = ("inline" if not self.num_workers

@@ -34,6 +34,7 @@ from repro.detectors.base import DetectionResult, Detector
 from repro.exceptions import DetectionError
 from repro.metrics.ttb import InstanceSolutionProfile
 from repro.mimo.system import ChannelUse
+from repro.obs.profiling import PROFILER
 from repro.transform.reduction import MLToIsingReducer, ReducedProblem
 from repro.utils.random import RandomState, child_rngs, ensure_rng
 
@@ -133,7 +134,8 @@ class QuAMaxDecoder(Detector):
         parameters = parameters or self.parameters
         rng = ensure_rng(random_state) if random_state is not None else self._rng
 
-        reduced = self._reducer.reduce(channel_use)
+        with PROFILER.phase("decoder.reduce"):
+            reduced = self._reducer.reduce(channel_use)
         run = self.annealer.run(reduced.ising, parameters, random_state=rng,
                                 kernel=self.kernel, backend=self.backend)
         return self._assemble_result(reduced, run, parameters)
@@ -180,8 +182,9 @@ class QuAMaxDecoder(Detector):
                    else self._rng)
             rngs = list(child_rngs(rng, len(channel_uses)))
 
-        reduced = [self._reducer.reduce(channel_use)
-                   for channel_use in channel_uses]
+        with PROFILER.phase("decoder.reduce"):
+            reduced = [self._reducer.reduce(channel_use)
+                       for channel_use in channel_uses]
         groups: Dict[Tuple[int, frozenset], List[int]] = {}
         for index, problem in enumerate(reduced):
             key = (problem.num_variables,

@@ -1,0 +1,48 @@
+"""Observability for the C-RAN serving stack: exporters, profiling, report.
+
+The structured events themselves are recorded by
+:class:`repro.cran.tracing.TraceRecorder` (inside the serving layer); this
+package holds everything that consumes or augments them:
+
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto), JSONL
+  event dumps, Prometheus text metrics.
+* :mod:`repro.obs.profiling` — the optional process-global wall-time
+  :data:`~repro.obs.profiling.PROFILER` the compute layer reports into.
+* :mod:`repro.obs.report` — the ``python -m repro.obs.report`` per-stage
+  latency breakdown CLI.
+
+Only :mod:`~repro.obs.profiling` (stdlib-only) loads eagerly: the compute
+layer imports :data:`PROFILER` from here, and the exporters import the
+serving layer in turn, so loading them lazily keeps ``repro.annealer ->
+repro.obs`` free of the ``repro.obs -> repro.cran -> repro.decoder ->
+repro.annealer`` cycle.
+"""
+
+from repro.obs.profiling import PROFILER, PhaseProfiler
+
+__all__ = [
+    "PROFILER",
+    "PhaseProfiler",
+    "prometheus_metrics",
+    "read_jsonl",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "build_report",
+    "render",
+]
+
+_EXPORT_NAMES = ("prometheus_metrics", "read_jsonl", "to_chrome_trace",
+                 "to_jsonl", "write_chrome_trace", "write_jsonl")
+_REPORT_NAMES = ("build_report", "render")
+
+
+def __getattr__(name: str):
+    if name in _EXPORT_NAMES:
+        from repro.obs import export
+        return getattr(export, name)
+    if name in _REPORT_NAMES:
+        from repro.obs import report
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,330 @@
+"""Trace and metrics exporters: Chrome trace JSON, JSONL, Prometheus text.
+
+Three wire formats over the same observability data:
+
+* :func:`to_chrome_trace` — the Chrome trace-event format (load in
+  Perfetto / ``chrome://tracing``): one track per virtual QA worker with
+  pack spans split into overhead/anneal slices, one track per cell with
+  the member jobs' queue spans, instant markers for sheds and re-stamps.
+  Virtual µs map directly onto the format's µs timestamps.
+* :func:`to_jsonl` / :func:`read_jsonl` — the lossless structured dump
+  (one event object per line), the canonical on-disk form the
+  ``python -m repro.obs.report`` CLI consumes.
+* :func:`prometheus_metrics` — a Prometheus text-exposition snapshot of
+  the serving counters: jobs/sheds/misses, flush reasons, latency
+  quantiles, sampler-cache hits/misses, worker steals and shard
+  occupancy, per-structure decode-time EWMAs, ingress counters.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.cran.tracing import (
+    EVENT_INGRESS_ADMIT,
+    EVENT_JOB_RESTAMP,
+    EVENT_JOB_SHED,
+    TraceEvent,
+    job_timelines,
+    pack_spans,
+)
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "prometheus_metrics",
+]
+
+#: pid of the single synthetic process every track lives in.
+_PID = 1
+#: tid bases: worker tracks then cell tracks (Perfetto sorts by tid).
+_WORKER_TID_BASE = 1
+_CELL_TID_BASE = 1001
+_MARKER_TID = 2001
+
+
+def _thread_meta(tid: int, name: str) -> Dict[str, Any]:
+    return {"ph": "M", "name": "thread_name", "pid": _PID, "tid": tid,
+            "args": {"name": name}}
+
+
+def _complete(name: str, ts_us: float, dur_us: float, tid: int,
+              args: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    event: Dict[str, Any] = {"ph": "X", "name": name, "cat": "cran",
+                             "pid": _PID, "tid": tid,
+                             "ts": ts_us, "dur": max(dur_us, 0.0)}
+    if args:
+        event["args"] = args
+    return event
+
+
+def to_chrome_trace(events: Sequence[TraceEvent]) -> Dict[str, Any]:
+    """Render a trace-event dict loadable by Perfetto / chrome://tracing.
+
+    Tracks: one per virtual QA worker (pack spans, with overhead/anneal
+    sub-slices nested inside), one per cell/user (member jobs' queue
+    spans), and a marker track with shed / re-stamp instants.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    workers_seen: Dict[int, int] = {}
+    cells_seen: Dict[Any, int] = {}
+
+    def worker_tid(worker: Optional[int]) -> int:
+        key = -1 if worker is None else int(worker)
+        if key not in workers_seen:
+            tid = _WORKER_TID_BASE + len(workers_seen)
+            workers_seen[key] = tid
+            label = "worker ?" if worker is None else f"worker {key}"
+            trace_events.append(_thread_meta(tid, label))
+        return workers_seen[key]
+
+    def cell_tid(cell: Any) -> int:
+        if cell not in cells_seen:
+            tid = _CELL_TID_BASE + len(cells_seen)
+            cells_seen[cell] = tid
+            trace_events.append(_thread_meta(tid, f"cell {cell}"))
+        return cells_seen[cell]
+
+    timelines = job_timelines(events)
+    packs = pack_spans(events)
+
+    # Pack spans on worker tracks, overhead/anneal nested inside.
+    for pack in sorted(packs.values(), key=lambda p: p["pack_id"]):
+        if pack["start_us"] is None or pack["finish_us"] is None:
+            continue
+        tid = worker_tid(pack["worker"])
+        start, finish = pack["start_us"], pack["finish_us"]
+        args = {"pack_id": pack["pack_id"], "reason": pack["reason"],
+                "structure": pack["structure"],
+                "jobs": list(pack["job_ids"])}
+        trace_events.append(_complete(
+            f"pack {pack['pack_id']} ({pack['reason']})",
+            start, finish - start, tid, args))
+        overhead = pack.get("overhead_us")
+        if overhead is not None:
+            overhead = min(float(overhead), finish - start)
+            trace_events.append(_complete("overhead", start, overhead, tid))
+            trace_events.append(_complete("anneal", start + overhead,
+                                          finish - start - overhead, tid))
+
+    # Queue spans (admit -> flush) on per-cell tracks.
+    cell_of: Dict[int, Any] = {}
+    for event in events:
+        if event.name == EVENT_INGRESS_ADMIT and event.job_id is not None:
+            cell_of[event.job_id] = event.attrs.get("cell")
+    for timeline in sorted(timelines.values(), key=lambda t: t.job_id):
+        if timeline.admit_us is None or timeline.flush_us is None:
+            continue
+        cell = cell_of.get(timeline.job_id, "-")
+        trace_events.append(_complete(
+            f"job {timeline.job_id} queued",
+            timeline.admit_us, timeline.flush_us - timeline.admit_us,
+            cell_tid(cell),
+            {"pack_id": timeline.pack_id, "reason": timeline.flush_reason}))
+
+    # Instant markers: sheds and late re-stamps.
+    marker_meta_added = False
+    for event in events:
+        if event.name not in (EVENT_JOB_SHED, EVENT_JOB_RESTAMP):
+            continue
+        if not marker_meta_added:
+            trace_events.append(_thread_meta(_MARKER_TID, "markers"))
+            marker_meta_added = True
+        trace_events.append({
+            "ph": "i", "s": "g", "cat": "cran",
+            "name": f"{event.name} job {event.job_id}",
+            "pid": _PID, "tid": _MARKER_TID, "ts": event.ts_us,
+            "args": dict(event.attrs),
+        })
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "virtual µs (C-RAN serving clock)"},
+    }
+
+
+def write_chrome_trace(path: Union[str, Path],
+                       events: Sequence[TraceEvent]) -> Path:
+    """Write :func:`to_chrome_trace` output as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(events), allow_nan=False)
+                    + "\n", encoding="utf-8")
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# JSONL
+# --------------------------------------------------------------------------- #
+
+def to_jsonl(events: Sequence[TraceEvent]) -> str:
+    """One JSON object per line, in append order (lossless round-trip)."""
+    return "".join(json.dumps(event.to_dict(), allow_nan=False) + "\n"
+                   for event in events)
+
+
+def write_jsonl(path: Union[str, Path],
+                events: Sequence[TraceEvent]) -> Path:
+    """Write :func:`to_jsonl` output; returns the path."""
+    path = Path(path)
+    path.write_text(to_jsonl(events), encoding="utf-8")
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> List[TraceEvent]:
+    """Load a JSONL event dump back into :class:`TraceEvent` objects."""
+    events: List[TraceEvent] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------------- #
+
+def _metric_line(name: str, value: Any,
+                 labels: Optional[Dict[str, Any]] = None) -> Optional[str]:
+    if value is None:
+        return None
+    value = float(value)
+    if not math.isfinite(value):
+        return None
+    if labels:
+        rendered = ",".join(f'{key}="{item}"'
+                            for key, item in labels.items())
+        return f"{name}{{{rendered}}} {value:g}"
+    return f"{name} {value:g}"
+
+
+def prometheus_metrics(telemetry: Union[Dict[str, Any], Any]) -> str:
+    """Prometheus text-format snapshot of a service's telemetry.
+
+    Accepts either a :class:`~repro.cran.service.ServiceReport` or its
+    ``telemetry`` dict (:meth:`TelemetryRecorder.snapshot`, possibly
+    enriched with the ``workers`` / ``sampler_cache`` / ``ingress``
+    sections the session and gateway add).  Sections that are absent are
+    simply skipped, so a bare recorder snapshot renders too.
+    """
+    snapshot = getattr(telemetry, "telemetry", telemetry)
+    lines: List[str] = []
+
+    def emit(name: str, kind: str, help_text: str,
+             samples: Iterable[Optional[str]]) -> None:
+        rendered = [sample for sample in samples if sample is not None]
+        if not rendered:
+            return
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(rendered)
+
+    emit("cran_jobs_completed_total", "counter", "Jobs decoded.",
+         [_metric_line("cran_jobs_completed_total",
+                       snapshot.get("jobs_completed"))])
+    emit("cran_jobs_shed_total", "counter",
+         "Jobs dropped by overload policies.",
+         [_metric_line("cran_jobs_shed_total", snapshot.get("jobs_shed"))])
+    emit("cran_batches_decoded_total", "counter", "Packs decoded.",
+         [_metric_line("cran_batches_decoded_total",
+                       snapshot.get("batches_decoded"))])
+    emit("cran_deadline_misses_total", "counter",
+         "Completed jobs that missed their deadline.",
+         [_metric_line("cran_deadline_misses_total",
+                       snapshot.get("deadline_misses"))])
+    emit("cran_flush_reason_total", "counter",
+         "Packs flushed, by scheduler flush reason.",
+         [_metric_line("cran_flush_reason_total", count, {"reason": reason})
+          for reason, count in (snapshot.get("flush_reasons") or {}).items()])
+    emit("cran_batch_fill_total", "counter",
+         "Packs decoded, by batch fill.",
+         [_metric_line("cran_batch_fill_total", count, {"size": size})
+          for size, count in
+          (snapshot.get("batch_fill_histogram") or {}).items()])
+    emit("cran_throughput_jobs_per_s", "gauge",
+         "Completed jobs per virtual second.",
+         [_metric_line("cran_throughput_jobs_per_s",
+                       snapshot.get("throughput_jobs_per_s"))])
+
+    latency = snapshot.get("latency_us") or {}
+    emit("cran_latency_us", "gauge",
+         "Rolling latency percentiles (virtual µs).",
+         [_metric_line("cran_latency_us", latency.get(key),
+                       {"quantile": key[1:]})
+          for key in sorted(latency) if key.startswith("p")])
+    emit("cran_latency_mean_us", "gauge", "Rolling mean latency (µs).",
+         [_metric_line("cran_latency_mean_us", latency.get("mean"))])
+    emit("cran_queue_delay_mean_us", "gauge",
+         "Mean scheduler queueing delay (µs).",
+         [_metric_line("cran_queue_delay_mean_us",
+                       snapshot.get("queue_delay_us_mean"))])
+    emit("cran_queue_depth", "gauge", "Sampled scheduler backlog.",
+         [_metric_line("cran_queue_depth", snapshot.get("queue_depth_max"),
+                       {"stat": "max"}),
+          _metric_line("cran_queue_depth", snapshot.get("queue_depth_mean"),
+                       {"stat": "mean"})])
+    emit("cran_decode_time_per_job_us", "gauge",
+         "Per-structure amortised decode-time EWMA (µs/job).",
+         [_metric_line("cran_decode_time_per_job_us", value,
+                       {"structure": structure})
+          for structure, value in
+          (snapshot.get("decode_time_per_job_us") or {}).items()])
+
+    cache = snapshot.get("sampler_cache") or {}
+    emit("cran_sampler_cache_hits_total", "counter",
+         "Warm sampler cache hits.",
+         [_metric_line("cran_sampler_cache_hits_total", cache.get("hits"))])
+    emit("cran_sampler_cache_misses_total", "counter",
+         "Warm sampler cache misses.",
+         [_metric_line("cran_sampler_cache_misses_total",
+                       cache.get("misses"))])
+    emit("cran_sampler_cache_entries", "gauge",
+         "Samplers currently cached.",
+         [_metric_line("cran_sampler_cache_entries", cache.get("entries"))])
+
+    workers = snapshot.get("workers") or {}
+    emit("cran_worker_steals_total", "counter",
+         "Batches stolen from another worker's shard.",
+         [_metric_line("cran_worker_steals_total",
+                       workers.get("steal_count"))])
+    emit("cran_worker_shard_batches_total", "counter",
+         "Batches routed to each worker shard.",
+         [_metric_line("cran_worker_shard_batches_total", count,
+                       {"worker": index})
+          for index, count in
+          enumerate(workers.get("shard_batches") or [])])
+    emit("cran_worker_shard_depth", "gauge",
+         "Batches pending in each worker shard.",
+         [_metric_line("cran_worker_shard_depth", depth, {"worker": index})
+          for index, depth in
+          enumerate(workers.get("shard_depths") or [])])
+
+    ingress = snapshot.get("ingress") or {}
+    emit("cran_ingress_offered_total", "counter",
+         "Jobs offered at the ingress gateway.",
+         [_metric_line("cran_ingress_offered_total", ingress.get("offered"))])
+    emit("cran_ingress_dispatched_total", "counter",
+         "Jobs dispatched into the serving session.",
+         [_metric_line("cran_ingress_dispatched_total",
+                       ingress.get("dispatched"))])
+    emit("cran_ingress_shed_total", "counter",
+         "Jobs shed at the admission bound.",
+         [_metric_line("cran_ingress_shed_total",
+                       ingress.get("gateway_shed"))])
+    emit("cran_ingress_late_restamped_total", "counter",
+         "Jobs re-stamped after arriving behind the merged stream.",
+         [_metric_line("cran_ingress_late_restamped_total",
+                       ingress.get("late_restamped"))])
+    emit("cran_ingress_backlog_max", "gauge",
+         "Largest gateway backlog observed.",
+         [_metric_line("cran_ingress_backlog_max",
+                       ingress.get("backlog_max"))])
+
+    return "\n".join(lines) + "\n"

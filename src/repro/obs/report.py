@@ -1,0 +1,200 @@
+"""Per-stage latency breakdown of a serving trace.
+
+``python -m repro.obs.report trace.jsonl`` reads a JSONL event dump (from
+:func:`repro.obs.export.write_jsonl` or the ``trace`` field of a
+:class:`~repro.cran.service.ServiceReport`) and prints:
+
+* a per-stage table — count / mean / p50 / p95 / p99 / max virtual µs for
+  each lifecycle stage (queue, dispatch, overhead, anneal) plus the
+  end-to-end latency, with the share of total latency each stage carries;
+* a critical-path summary of the worst-p99 jobs: which stage dominates
+  each of the slowest jobs, with their pack, worker, flush reason, and
+  batch fill;
+* shed accounting, by stage;
+* an accounting check: the largest |Σ stages − latency| residual over all
+  completed jobs (should be ~0 µs — the stages are an exact decomposition).
+
+The same machinery is importable (:func:`build_report`, :func:`render`)
+for tests and for the examples.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.cran.tracing import (
+    JOB_STAGES,
+    TraceEvent,
+    job_timelines,
+    percentile,
+)
+
+__all__ = ["build_report", "render", "main"]
+
+
+def _series_summary(values: Sequence[float]) -> Dict[str, float]:
+    return {
+        "count": len(values),
+        "total_us": float(sum(values)),
+        "mean_us": float(sum(values) / len(values)) if values else 0.0,
+        "p50_us": percentile(values, 50.0) if values else 0.0,
+        "p95_us": percentile(values, 95.0) if values else 0.0,
+        "p99_us": percentile(values, 99.0) if values else 0.0,
+        "max_us": max(values) if values else 0.0,
+    }
+
+
+def build_report(events: Sequence[TraceEvent],
+                 worst: int = 5) -> Dict[str, Any]:
+    """Aggregate a trace into the per-stage breakdown structure.
+
+    Returns a plain dict: ``stages`` (one summary per
+    :data:`~repro.cran.tracing.JOB_STAGES` entry plus ``latency``),
+    ``critical_path`` (the *worst* slowest completed jobs with their
+    dominant stage), ``sheds`` (counts by stage), ``jobs`` (completed /
+    shed / incomplete counts) and ``max_accounting_error_us``.
+    """
+    timelines = job_timelines(events)
+    per_stage: Dict[str, List[float]] = {stage: [] for stage in JOB_STAGES}
+    latencies: List[float] = []
+    decomposed: List[Dict[str, Any]] = []
+    shed_by_stage: Dict[str, int] = {}
+    incomplete = 0
+    max_error = 0.0
+
+    for timeline in timelines.values():
+        if timeline.shed:
+            stage = timeline.shed_stage or "unknown"
+            shed_by_stage[stage] = shed_by_stage.get(stage, 0) + 1
+            continue
+        stages = timeline.stages_us()
+        latency = timeline.latency_us
+        if stages is None or latency is None:
+            incomplete += 1
+            continue
+        latencies.append(latency)
+        for stage in JOB_STAGES:
+            per_stage[stage].append(stages[stage])
+        max_error = max(max_error,
+                        abs(sum(stages.values()) - latency))
+        dominant = max(JOB_STAGES, key=lambda name: stages[name])
+        decomposed.append({
+            "job_id": timeline.job_id,
+            "latency_us": latency,
+            "stages_us": stages,
+            "dominant_stage": dominant,
+            "pack_id": timeline.pack_id,
+            "worker": timeline.worker,
+            "flush_reason": timeline.flush_reason,
+            "batch_size": timeline.batch_size,
+            "deadline_met": timeline.deadline_met,
+        })
+
+    decomposed.sort(key=lambda entry: (-entry["latency_us"],
+                                       entry["job_id"]))
+    total_latency = sum(latencies)
+    stages_summary: Dict[str, Dict[str, float]] = {}
+    for stage in JOB_STAGES:
+        summary = _series_summary(per_stage[stage])
+        summary["share"] = (summary["total_us"] / total_latency
+                            if total_latency else 0.0)
+        stages_summary[stage] = summary
+    latency_summary = _series_summary(latencies)
+    latency_summary["share"] = 1.0 if latencies else 0.0
+    stages_summary["latency"] = latency_summary
+
+    return {
+        "stages": stages_summary,
+        "critical_path": decomposed[:max(worst, 0)],
+        "sheds": shed_by_stage,
+        "jobs": {
+            "completed": len(latencies),
+            "shed": sum(shed_by_stage.values()),
+            "incomplete": incomplete,
+        },
+        "max_accounting_error_us": max_error,
+    }
+
+
+def render(report: Dict[str, Any]) -> str:
+    """Format :func:`build_report` output as the CLI's text tables."""
+    lines: List[str] = []
+    jobs = report["jobs"]
+    lines.append(
+        f"jobs: {jobs['completed']} completed, {jobs['shed']} shed, "
+        f"{jobs['incomplete']} incomplete spans")
+    lines.append("")
+    header = (f"{'stage':<10} {'count':>6} {'mean':>10} {'p50':>10} "
+              f"{'p95':>10} {'p99':>10} {'max':>10} {'share':>7}")
+    lines.append("per-stage latency breakdown (virtual µs)")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for stage in (*JOB_STAGES, "latency"):
+        entry = report["stages"][stage]
+        lines.append(
+            f"{stage:<10} {entry['count']:>6d} {entry['mean_us']:>10.1f} "
+            f"{entry['p50_us']:>10.1f} {entry['p95_us']:>10.1f} "
+            f"{entry['p99_us']:>10.1f} {entry['max_us']:>10.1f} "
+            f"{entry['share']:>6.1%}")
+    lines.append("")
+
+    critical = report["critical_path"]
+    if critical:
+        lines.append(f"critical path — {len(critical)} slowest jobs")
+        for entry in critical:
+            stages = entry["stages_us"]
+            split = " ".join(f"{stage}={stages[stage]:.0f}"
+                             for stage in JOB_STAGES)
+            deadline = ""
+            if entry["deadline_met"] is not None:
+                deadline = ("  deadline met" if entry["deadline_met"]
+                            else "  DEADLINE MISSED")
+            lines.append(
+                f"  job {entry['job_id']}: {entry['latency_us']:.0f} µs, "
+                f"dominant={entry['dominant_stage']} ({split}) "
+                f"pack={entry['pack_id']} worker={entry['worker']} "
+                f"flush={entry['flush_reason']} "
+                f"fill={entry['batch_size']}{deadline}")
+        lines.append("")
+
+    if report["sheds"]:
+        shed = ", ".join(f"{stage}: {count}"
+                         for stage, count in sorted(report["sheds"].items()))
+        lines.append(f"sheds by stage — {shed}")
+        lines.append("")
+
+    lines.append(
+        f"accounting check: max |Σ stages − latency| = "
+        f"{report['max_accounting_error_us']:.3f} µs")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Per-stage latency breakdown of a serving trace "
+                    "(JSONL event dump).")
+    parser.add_argument("trace", help="path to a JSONL trace event dump")
+    parser.add_argument("--worst", type=int, default=5,
+                        help="slowest jobs to show on the critical path "
+                             "(default: 5)")
+    options = parser.parse_args(argv)
+
+    from repro.obs.export import read_jsonl
+
+    events = read_jsonl(options.trace)
+    if not events:
+        print("trace is empty — nothing to report", file=sys.stderr)
+        return 1
+    try:
+        print(render(build_report(events, worst=options.worst)))
+    except BrokenPipeError:
+        # Reader (e.g. `| head`) closed the pipe early — not an error.
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,5 +1,6 @@
 """Tests for the worker pool, telemetry and the end-to-end CranService."""
 
+import json
 import math
 
 import numpy as np
@@ -292,7 +293,12 @@ class TestTelemetryRecorder:
         snapshot = TelemetryRecorder().snapshot()
         assert snapshot["jobs_completed"] == 0
         assert snapshot["throughput_jobs_per_s"] == 0.0
-        assert math.isnan(snapshot["latency_us"]["mean"])
+        # Empty series report None, not NaN — the snapshot must stay
+        # strict-JSON-safe (json.dumps(..., allow_nan=False)).
+        assert snapshot["latency_us"]["mean"] is None
+        assert snapshot["latency_us"]["p99"] is None
+        assert snapshot["queue_delay_us_mean"] is None
+        json.dumps(snapshot, allow_nan=False)
 
 
 class TestDecodeTimeEwma:
@@ -438,7 +444,13 @@ class TestCranService:
             assert a.finish_time_us == b.finish_time_us
             np.testing.assert_array_equal(a.result.detection.bits,
                                           b.result.detection.bits)
-        assert report.telemetry == batch_report.telemetry
+        # The sampler-cache section reflects the shared decoder's warm-cache
+        # state, so the second replay legitimately hits where the first
+        # missed; everything the session itself accounts must match exactly.
+        def scrub(telemetry):
+            return {key: value for key, value in telemetry.items()
+                    if key != "sampler_cache"}
+        assert scrub(report.telemetry) == scrub(batch_report.telemetry)
 
     def test_deterministic_replay(self, decoder, traffic):
         service = CranService(decoder, max_batch=4, max_wait_us=5_000.0)

@@ -1,0 +1,119 @@
+"""The optional phase profiler: off by default, exact, bit-stream-neutral.
+
+The compute layer (machine, engine, backends, decoder) is instrumented
+with ``PROFILER.phase(...)`` hooks.  These tests pin the contract: a
+disabled profiler is a shared no-op (zero allocation per hook), enabling
+it attributes wall time to the expected phases, worker-style deltas merge
+losslessly — and, the property everything else depends on, profiling never
+perturbs a seeded decode's bit stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.annealer.chimera import ChimeraGraph
+from repro.annealer.machine import AnnealerParameters, QuantumAnnealerSimulator
+from repro.mimo.system import MimoUplink
+from repro.decoder.quamax import QuAMaxDecoder
+from repro.obs.profiling import PROFILER, PhaseProfiler
+
+
+@pytest.fixture(autouse=True)
+def clean_global_profiler():
+    """Leave the process-global profiler exactly as we found it."""
+    was_enabled = PROFILER.enabled
+    baseline = PROFILER.raw()
+    yield
+    PROFILER.disable()
+    PROFILER.reset()
+    PROFILER.merge(baseline)
+    if was_enabled:
+        PROFILER.enable()
+
+
+class TestPhaseProfiler:
+    def test_disabled_by_default_returns_shared_noop(self):
+        profiler = PhaseProfiler()
+        assert not profiler.enabled
+        first = profiler.phase("a")
+        second = profiler.phase("b", "detail")
+        # One shared no-op object: the disabled hook never allocates.
+        assert first is second
+        with first:
+            pass
+        assert profiler.snapshot() == {}
+
+    def test_accumulates_counts_and_wall_time(self):
+        profiler = PhaseProfiler()
+        profiler.enable()
+        for _ in range(3):
+            with profiler.phase("stage"):
+                pass
+        snapshot = profiler.snapshot()
+        assert snapshot["stage"]["count"] == 3
+        assert snapshot["stage"]["total_s"] >= 0.0
+        assert snapshot["stage"]["mean_s"] == pytest.approx(
+            snapshot["stage"]["total_s"] / 3)
+
+    def test_details_format_lazily_into_the_name(self):
+        profiler = PhaseProfiler()
+        profiler.enable()
+        with profiler.phase("engine.sweep", "colour", "cext"):
+            pass
+        assert list(profiler.snapshot()) == ["engine.sweep[colour/cext]"]
+
+    def test_merge_and_delta_round_trip(self):
+        local = PhaseProfiler()
+        local.enable()
+        with local.phase("decode"):
+            pass
+        baseline = local.raw()
+        with local.phase("decode"):
+            pass
+        with local.phase("sweep"):
+            pass
+        delta = local.delta_since(baseline)
+        assert {name: count for name, (count, _) in delta.items()} == \
+            {"decode": 1, "sweep": 1}
+        # The worker-pool path: ship the delta, merge it into another
+        # profiler, arrive at the same counts.
+        parent = PhaseProfiler()
+        parent.merge(baseline)
+        parent.merge(delta)
+        assert {name: count for name, (count, _) in parent.raw().items()} \
+            == {name: count for name, (count, _) in local.raw().items()}
+        parent.merge(None)  # no-op
+        parent.reset()
+        assert parent.raw() == {}
+
+
+class TestComputeLayerHooks:
+    def test_profiled_decode_attributes_expected_phases(self):
+        decoder = QuAMaxDecoder(
+            QuantumAnnealerSimulator(ChimeraGraph.ideal(4, 4)),
+            AnnealerParameters(num_anneals=6))
+        use = MimoUplink(num_users=2, constellation="BPSK").transmit(
+            random_state=3)
+        PROFILER.reset()
+        PROFILER.enable()
+        decoder.detect_with_run(use, random_state=11)
+        PROFILER.disable()
+        phases = PROFILER.snapshot()
+        prefixes = {name.split("[")[0] for name in phases}
+        assert {"decoder.reduce", "machine.embed", "machine.anneal",
+                "engine.sweep", "machine.unembed"} <= prefixes
+        assert all(entry["count"] >= 1 for entry in phases.values())
+
+    def test_profiling_is_bit_stream_neutral(self):
+        decoder = QuAMaxDecoder(
+            QuantumAnnealerSimulator(ChimeraGraph.ideal(4, 4)),
+            AnnealerParameters(num_anneals=6))
+        use = MimoUplink(num_users=2, constellation="QPSK").transmit(
+            random_state=4)
+        plain = decoder.detect_with_run(use, random_state=21)
+        PROFILER.enable()
+        profiled = decoder.detect_with_run(use, random_state=21)
+        PROFILER.disable()
+        np.testing.assert_array_equal(plain.detection.bits,
+                                      profiled.detection.bits)
+        assert plain.detection.metric == profiled.detection.metric
