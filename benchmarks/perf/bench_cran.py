@@ -31,6 +31,13 @@ Two measurements over a synthetic Argos-like trace workload:
   identical virtual-clock telemetry, with the wall-clock cost of recording
   the full lifecycle event stream pinned (the perf-smoke bar holds it to a
   few percent of throughput).
+* ``cran_fault_recovery`` — the saturating batched load replayed clean
+  versus under a seeded per-pack decode-error :class:`FaultPlan` with
+  retries enabled (the rate is set so a handful of the run's packs
+  actually fail): no job is lost (``completed + shed == submitted``),
+  completed detections stay bit-identical (retries re-use the jobs'
+  private seeds), and the pair records the wall-clock cost of the retry
+  round trips (the perf-smoke bar bounds the slowdown).
 
 Results are *merged* into ``BENCH_core.json`` (next to this file by default)
 alongside the core benchmarks, preserving whatever entries are already there.
@@ -62,7 +69,9 @@ SCALES = {
                   sweep_bursts=4, deadline_us=120_000.0,
                   process_workers=(1, 2, 4), process_bursts=4,
                   adaptive_interarrival_us=40_000.0, adaptive_bursts=6,
-                  adaptive_deadline_us=60_000.0),
+                  adaptive_deadline_us=60_000.0,
+                  fault_pack_error_rate=0.25, fault_seed=0,
+                  fault_retries=3),
     "full": dict(num_users=3, num_bs_antennas=12, num_subcarriers=16,
                  num_frames=2, num_bursts=16, burst_subcarriers=4,
                  max_batch=16, num_anneals=50, max_wait_us=200_000.0,
@@ -70,7 +79,9 @@ SCALES = {
                  sweep_bursts=8, deadline_us=120_000.0,
                  process_workers=(1, 2, 4), process_bursts=12,
                  adaptive_interarrival_us=100_000.0, adaptive_bursts=12,
-                 adaptive_deadline_us=150_000.0),
+                 adaptive_deadline_us=150_000.0,
+                 fault_pack_error_rate=0.25, fault_seed=0,
+                 fault_retries=3),
 }
 
 
@@ -409,6 +420,69 @@ def bench_trace_overhead(knobs: dict, seed: int = 0) -> dict:
     }
 
 
+def bench_fault_recovery(knobs: dict, seed: int = 0) -> dict:
+    """Clean vs. seeded pack-failure serving with retries, saturating load.
+
+    The faulty side injects seeded decode errors on a fraction of the
+    packs and lets the session's retry layer requeue the failed jobs
+    (ample retry budget, generous deadlines, so nothing is shed).  The
+    contract under measurement: zero lost jobs, bit-identical completed
+    detections, and a bounded wall-clock cost for the recovery round trips.
+    """
+    import numpy as np
+
+    from repro.cran.faults import FaultPlan
+    from repro.cran.service import CranService
+
+    trace = _make_trace(knobs, seed)
+    decoder = _make_decoder(knobs["num_anneals"])
+    jobs = _make_jobs(knobs, trace, mean_interarrival_us=10.0,
+                      num_bursts=knobs["num_bursts"], seed=seed)
+    # The plan seed is part of the scale configuration: it is chosen so
+    # the run's few pack indices actually draw failures at the configured
+    # rate (a handful of packs flush per run, so an unlucky seed would
+    # measure a no-op).
+    plan = FaultPlan(seed=knobs["fault_seed"],
+                     decode_error_rate=knobs["fault_pack_error_rate"])
+    clean = CranService(decoder, max_batch=knobs["max_batch"],
+                        max_wait_us=knobs["max_wait_us"])
+    faulty = CranService(decoder, max_batch=knobs["max_batch"],
+                         max_wait_us=knobs["max_wait_us"],
+                         fault_plan=plan, max_retries=knobs["fault_retries"])
+    # Warm the embedding/sampler caches so the pair times steady state.
+    clean.run(jobs[:1])
+    before_s, clean_report = _timed(clean.run, jobs)
+    after_s, faulty_report = _timed(faulty.run, jobs)
+    clean_bits = {r.job.job_id: r.result.detection.bits
+                  for r in clean_report.results}
+    identical = all(
+        np.array_equal(clean_bits[r.job.job_id], r.result.detection.bits)
+        for r in faulty_report.results)
+    faults = faulty_report.telemetry["faults"]
+    return {
+        "params": {
+            "num_jobs": len(jobs),
+            "max_batch": knobs["max_batch"],
+            "num_anneals": knobs["num_anneals"],
+            "pack_error_rate": knobs["fault_pack_error_rate"],
+            "max_retries": knobs["fault_retries"],
+        },
+        "before_s": before_s,
+        "after_s": after_s,
+        "jobs_per_s_before": len(jobs) / before_s,
+        "jobs_per_s_after": len(jobs) / after_s,
+        "slowdown_fraction": after_s / before_s - 1.0,
+        "p99_latency_us_before": clean_report.telemetry["latency_us"]["p99"],
+        "p99_latency_us_after": faulty_report.telemetry["latency_us"]["p99"],
+        "packs_failed": faults["packs_failed"],
+        "jobs_retried": faults["jobs_retried"],
+        "jobs_shed": len(faulty_report.shed_jobs),
+        "no_jobs_lost": (faulty_report.jobs_completed
+                         + len(faulty_report.shed_jobs) == len(jobs)),
+        "detections_identical": identical,
+    }
+
+
 def run_suite(scale: str = "quick") -> dict:
     """Run the C-RAN benchmarks at *scale* and return their entries."""
     knobs = SCALES[scale]
@@ -419,6 +493,7 @@ def run_suite(scale: str = "quick") -> dict:
         "cran_process_scaling": bench_process_scaling(knobs),
         "cran_adaptive_wait": bench_adaptive_wait(knobs),
         "cran_trace_overhead": bench_trace_overhead(knobs),
+        "cran_fault_recovery": bench_fault_recovery(knobs),
     }
 
 
@@ -492,6 +567,13 @@ def main() -> None:
           f"  on {overhead['jobs_per_s_after']:8.1f} jobs/s  overhead "
           f"{overhead['overhead_fraction'] * 100:+.1f}%  "
           f"{overhead['events_per_job']:.1f} events/job")
+    recovery = entries["cran_fault_recovery"]
+    print(f"cran_faults       clean {recovery['jobs_per_s_before']:8.1f} "
+          f"jobs/s  faulty {recovery['jobs_per_s_after']:8.1f} jobs/s  "
+          f"slowdown {recovery['slowdown_fraction'] * 100:+.1f}%  "
+          f"retried {recovery['jobs_retried']}  "
+          f"lost {'0' if recovery['no_jobs_lost'] else '!'}  "
+          f"bits {'ok' if recovery['detections_identical'] else 'DIFF'}")
     print(f"wrote {args.output}")
 
 

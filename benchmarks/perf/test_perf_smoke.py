@@ -140,3 +140,23 @@ class TestTracingOverhead:
             entry = bench_cran.bench_trace_overhead(
                 bench_cran.SCALES["quick"])
         assert entry["overhead_fraction"] <= 0.05
+
+
+class TestFaultRecovery:
+    """Retrying ~5% failed packs must not lose jobs, change bits, or cost
+    more than the retried work itself."""
+
+    def test_fault_recovery_within_bar_and_lossless(self):
+        entry = bench_cran.bench_fault_recovery(bench_cran.SCALES["quick"])
+        assert entry["no_jobs_lost"]
+        assert entry["detections_identical"]
+        assert entry["packs_failed"] >= 1
+        assert entry["jobs_retried"] >= 1
+        # The acceptance bar: recovering from ~5% pack failures costs at
+        # most ~50% throughput (the retried packs decode twice, plus the
+        # requeue round trips).  Single-shot wall timings — give one retry
+        # before calling an over-bar ratio a regression.
+        if entry["slowdown_fraction"] > 0.5:
+            entry = bench_cran.bench_fault_recovery(
+                bench_cran.SCALES["quick"])
+        assert entry["slowdown_fraction"] <= 0.5

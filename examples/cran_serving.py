@@ -26,6 +26,13 @@ Finally the same load is offered through the :class:`IngressGateway` by one
 concurrent producer thread per cell, showing the admission-controlled merge
 front end — still bit-identical to the serial replay.
 
+A fault-injection leg then replays the load under a seeded
+:class:`~repro.cran.faults.FaultPlan` — worker crashes and decode errors on
+a fraction of the packs — with supervision restarting crashed workers and
+the deadline-aware retry layer requeueing failed jobs: no job is lost
+(completed + shed == submitted) and the completed bits still match the
+fault-free replay, because retries re-use each job's private seed.
+
 The last leg turns on per-job lifecycle tracing (``tracing=True``): the run
 is replayed once more with a :class:`~repro.cran.tracing.TraceRecorder`
 attached, the per-stage latency breakdown (queue/dispatch/overhead/anneal)
@@ -173,6 +180,31 @@ def main() -> None:
           f"{ingress['late_restamped']} re-stamped, backlog max "
           f"{ingress['backlog_max']}; decode results identical: "
           f"{identical_bits(serial_report, gateway_report)}")
+
+    # Fault tolerance: replay the same load under a seeded chaos plan —
+    # worker crashes and decode errors on a fraction of the packs, with
+    # supervision restarting crashed workers and the retry layer requeueing
+    # failed jobs through the EDF scheduler.  Nothing is lost (completed +
+    # shed == submitted) and retried decodes re-use each job's private
+    # seed, so the bits still match the fault-free replay.
+    from repro.cran import FaultPlan
+
+    plan = FaultPlan(seed=args.seed, crash_rate=0.15, decode_error_rate=0.15)
+    faulty_report = CranService(decoder, max_batch=args.max_batch,
+                                max_wait_us=max_wait_us,
+                                num_workers=args.workers, mode="thread",
+                                fault_plan=plan, max_retries=3,
+                                restart_budget=8).run(jobs)
+    describe("faulty", faulty_report)
+    faults = faulty_report.telemetry["faults"]
+    lossless = (faulty_report.jobs_completed
+                + len(faulty_report.shed_jobs) == len(jobs))
+    print(f"\nFault injection: {faults['packs_failed']} packs failed "
+          f"({faults['injected']}), {faults['jobs_retried']} jobs retried, "
+          f"{faults['worker_restarts']} workers restarted, "
+          f"{len(faulty_report.shed_jobs)} shed; no job lost: {lossless}; "
+          f"decode results identical: "
+          f"{identical_bits(serial_report, faulty_report)}")
 
     # Observability: replay once more with lifecycle tracing on and show
     # where each job's latency went.  Tracing is pure observation — the

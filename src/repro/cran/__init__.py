@@ -23,7 +23,12 @@ layer, built on the batched decode substrate underneath it:
   one session;
 * :mod:`repro.cran.tracing` — :class:`TraceRecorder` / :class:`TraceEvent`,
   structured per-job lifecycle spans on the serving clock (exporters and
-  the breakdown report live in :mod:`repro.obs`).
+  the breakdown report live in :mod:`repro.obs`);
+* :mod:`repro.cran.faults` — :class:`FaultPlan` / :class:`BrownoutConfig`,
+  seeded deterministic fault injection (crashes, decode errors,
+  stragglers, gateway drops) and the overload circuit breaker behind the
+  stack's fault tolerance (worker supervision, deadline-aware retry,
+  admission brownout).
 """
 
 from repro.cran.tracing import (
@@ -32,6 +37,14 @@ from repro.cran.tracing import (
     TraceRecorder,
     job_timelines,
     pack_spans,
+)
+from repro.cran.faults import (
+    BrownoutConfig,
+    BrownoutController,
+    FaultPlan,
+    InjectedFault,
+    PackFault,
+    WorkerCrash,
 )
 from repro.cran.gateway import IngressGateway
 from repro.cran.jobs import DecodeJob, JobResult
@@ -73,6 +86,12 @@ __all__ = [
     "ServiceSession",
     "IngressGateway",
     "decode_time_model_for",
+    "FaultPlan",
+    "PackFault",
+    "InjectedFault",
+    "WorkerCrash",
+    "BrownoutConfig",
+    "BrownoutController",
     "TraceEvent",
     "TraceRecorder",
     "JobTimeline",

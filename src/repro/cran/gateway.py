@@ -92,6 +92,11 @@ class IngressGateway:
                                    "per_cell_limit", per_cell_limit,
                                    minimum=1))
         self.overload_policy = overload_policy
+        # Injected ingress submission errors (FaultPlan.gateway_fault) are
+        # decided by job id, so the drop set is deterministic whatever the
+        # producer interleaving.
+        self._faults = service.fault_plan
+        self._gateway_faults = 0
         self._session: ServiceSession = service.session()
 
         self._lock = threading.Lock()
@@ -216,6 +221,18 @@ class IngressGateway:
                                            job_id=job.job_id,
                                            stage="ingress")
                 continue
+            if (self._faults is not None
+                    and self._faults.gateway_fault(job.job_id)):
+                # Injected ingress submission error: the hand-off to the
+                # session is lost, the job terminates as a gateway shed.
+                with self._lock:
+                    self._shed.append(job)
+                    self._gateway_faults += 1
+                self._session.record_event(EVENT_JOB_SHED,
+                                           job.arrival_time_us,
+                                           job_id=job.job_id,
+                                           stage="gateway_fault")
+                continue
             clock = self._session.clock_us
             if job.arrival_time_us < clock:
                 # Arrived behind the merged stream: re-stamp to "now" so the
@@ -257,6 +274,7 @@ class IngressGateway:
                 "offered": self._offered,
                 "dispatched": self._dispatched,
                 "gateway_shed": len(self._shed),
+                "gateway_faults": self._gateway_faults,
                 "late_restamped": self._late_restamped,
                 "backlog_max": self._backlog_max,
                 "cells": len(self._shards),

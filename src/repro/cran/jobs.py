@@ -61,6 +61,10 @@ class DecodeJob:
         with :meth:`rng` inside any batch is bit-for-bit identical to a
         serial ``detect_with_run`` using the same stream.  When omitted the
         job id is used, keeping manually constructed workloads replayable.
+    retries:
+        How many times this job has been requeued after a pack failure.
+        The seed is carried across retries unchanged, so a retried decode
+        is bit-identical to the first attempt.
     """
 
     job_id: int
@@ -71,6 +75,7 @@ class DecodeJob:
     arrival_time_us: float
     deadline_us: float = math.inf
     seed: JobSeed = None
+    retries: int = 0
 
     def __post_init__(self) -> None:
         if self.arrival_time_us < 0:
@@ -81,6 +86,9 @@ class DecodeJob:
             raise SchedulingError(
                 f"deadline_us ({self.deadline_us}) precedes arrival_time_us "
                 f"({self.arrival_time_us})")
+        if self.retries < 0:
+            raise SchedulingError(
+                f"retries must be non-negative, got {self.retries}")
         if self.seed is None:
             # The stream must be re-creatable (serial verification, replay),
             # so an omitted seed falls back to the job's unique id rather

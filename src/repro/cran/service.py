@@ -23,17 +23,25 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.annealer.parallel import parallelization_factor
+from repro.cran.faults import BrownoutConfig, BrownoutController, FaultPlan
 from repro.cran.jobs import DecodeJob, JobResult
 from repro.cran.scheduler import DecodeTimeModel, EDFBatchScheduler
 from repro.cran.telemetry import TelemetryRecorder
-from repro.cran.tracing import EVENT_JOB_ADMIT, TraceEvent, TraceRecorder
+from repro.cran.tracing import (
+    EVENT_BROWNOUT_CLOSE,
+    EVENT_BROWNOUT_OPEN,
+    EVENT_JOB_ADMIT,
+    TraceEvent,
+    TraceRecorder,
+)
 from repro.cran.workers import WorkerPool
 from repro.decoder.quamax import QuAMaxDecoder
 from repro.modulation.constellation import get_constellation
+from repro.utils.validation import check_integer_in_range
 
 
 @dataclass(frozen=True)
@@ -200,6 +208,23 @@ class ServiceSession:
             max_batch=service.max_batch,
             max_wait_us=service.max_wait_us,
             decode_time_model=model)
+        # Fault tolerance: failed packs are collected (not shed) whenever a
+        # retry layer can pick them up — a configured fault plan or a
+        # non-zero retry budget both imply one.
+        self._max_retries = service.max_retries
+        self._fault_tolerant = (service.fault_plan is not None
+                                or service.max_retries > 0)
+        self._brownout = (BrownoutController(service.brownout)
+                          if service.brownout is not None else None)
+        if self._fault_tolerant or self._brownout is not None:
+            # The deadline-aware give-up threshold: a job whose slack is
+            # below its own modelled single-job decode time cannot finish
+            # in time, so retrying (or even admitting) it wastes a slot.
+            base = service.scheduler_model()
+            self._give_up_model = (base if base is not None
+                                   else decode_time_model_for(service.decoder))
+        else:
+            self._give_up_model = None
         self._pool = WorkerPool(service.decoder,
                                 num_workers=service.num_workers,
                                 mode=service.mode,
@@ -208,7 +233,10 @@ class ServiceSession:
                                 overload_policy=service.overload_policy,
                                 telemetry=self._telemetry,
                                 trace=self._trace,
-                                decoder_factory=service._decoder_factory)
+                                decoder_factory=service._decoder_factory,
+                                faults=service.fault_plan,
+                                restart_budget=service.restart_budget,
+                                collect_failures=self._fault_tolerant)
         self._start_wall = time.perf_counter()
         self._report: Optional[ServiceReport] = None
 
@@ -254,13 +282,84 @@ class ServiceSession:
             self._pool.record_event(EVENT_JOB_ADMIT, job.arrival_time_us,
                                     job_id=job.job_id, **attrs)
         try:
+            if self._brownout is not None and self._brownout_shed(job):
+                return
             for batch in self._scheduler.submit(job):
                 self._pool.submit(batch)
             self._pool.record_queue_depth(job.arrival_time_us,
                                           self._scheduler.queue_depth)
+            if self._fault_tolerant and not self._pool.num_workers:
+                # Inline pools fail synchronously, so the retry layer runs
+                # per submission — this is what keeps inline fault runs a
+                # bit-deterministic function of the offered load.
+                while self._handle_failures():
+                    pass
         except BaseException:
             self._pool.close()
             raise
+
+    def _brownout_shed(self, job: DecodeJob) -> bool:
+        """Advance the brownout breaker at this arrival; shed the job when
+        the breaker is open and the job is already hopeless."""
+        now_us = job.arrival_time_us
+        transition = self._brownout.update(
+            now_us, queue_depth=self._scheduler.queue_depth,
+            shed_rate=self._telemetry.shed_rate())
+        if transition is not None:
+            self._pool.record_brownout(transition)
+            self._pool.record_event(
+                EVENT_BROWNOUT_OPEN if transition == "open"
+                else EVENT_BROWNOUT_CLOSE,
+                now_us, depth=self._scheduler.queue_depth)
+        if not self._brownout.active:
+            return False
+        slack = job.deadline_us - now_us
+        if math.isinf(slack):
+            # Best-effort jobs are never hopeless; brownout only protects
+            # deadline traffic from futile work.
+            return False
+        # Already-hopeless test: the job's own modelled decode, inflated by
+        # the backlog it would queue behind (in units of full packs).
+        backlog = self._scheduler.queue_depth
+        needed = self._give_up_model(job.structure_key, 1) * (
+            1.0 + backlog / float(max(1, self._scheduler.max_batch)))
+        if slack >= needed:
+            return False
+        self._pool.shed_job(job, "brownout", now_us)
+        return True
+
+    def _handle_failures(self) -> int:
+        """Requeue the pool's failed packs; returns how many jobs were
+        resubmitted (0 = the failure backlog is fully resolved).
+
+        Per job: give up when its retry budget is spent (shed stage
+        ``retry_budget``) or its remaining slack is below the modelled
+        single-job decode time (shed stage ``retry_deadline``); otherwise
+        re-stamp it at the current virtual clock with ``retries + 1`` and
+        feed it back through the EDF scheduler.  A retried decode is
+        bit-identical to the first attempt — the job's private seed rides
+        along unchanged.
+        """
+        resubmitted = 0
+        for _index, batch, stage in self._pool.take_failed():
+            for job in batch.jobs:
+                now_us = max(self._scheduler.clock_us, batch.flush_time_us)
+                if job.retries >= self._max_retries:
+                    self._pool.shed_job(job, "retry_budget", now_us)
+                    continue
+                if (math.isfinite(job.deadline_us)
+                        and job.deadline_us - now_us
+                        < self._give_up_model(job.structure_key, 1)):
+                    self._pool.shed_job(job, "retry_deadline", now_us)
+                    continue
+                retry = replace(job, arrival_time_us=now_us,
+                                retries=job.retries + 1)
+                self._pool.record_retry(retry, now_us, attempt=retry.retries,
+                                        stage=stage)
+                resubmitted += 1
+                for flushed in self._scheduler.submit(retry):
+                    self._pool.submit(flushed)
+        return resubmitted
 
     def close(self) -> ServiceReport:
         """Drain the scheduler, stop the pool and return the report.
@@ -273,11 +372,22 @@ class ServiceSession:
         if self._report is not None:
             return self._report
         try:
-            pending = self._scheduler.queue_depth
-            for batch in self._scheduler.drain():
-                pending -= batch.size
-                self._pool.submit(batch)
-                self._pool.record_queue_depth(batch.flush_time_us, pending)
+            while True:
+                pending = self._scheduler.queue_depth
+                for batch in self._scheduler.drain():
+                    pending -= batch.size
+                    self._pool.submit(batch)
+                    self._pool.record_queue_depth(batch.flush_time_us,
+                                                  pending)
+                if not self._fault_tolerant:
+                    break
+                # Concurrent pools report failures asynchronously: wait for
+                # every in-flight pack to credit or fail, requeue, and keep
+                # draining until a round resolves without resubmissions.
+                # (Per-job retry budgets bound the loop.)
+                self._pool.wait_idle()
+                if not self._handle_failures():
+                    break
         finally:
             self._pool.close()
         wall_time_s = time.perf_counter() - self._start_wall
@@ -357,6 +467,28 @@ class CranService:
         Additionally annotate ``pack.complete`` events with wall decode
         seconds.  Off by default — wall values vary run to run, so they
         would break trace determinism.
+    fault_plan:
+        Optional :class:`~repro.cran.faults.FaultPlan` injecting seeded,
+        deterministic worker crashes / decode errors / stragglers (by pack
+        submission index) and gateway submission errors (by job id).
+        Configuring a plan turns on failure collection: failed packs feed
+        the retry layer instead of shedding immediately.
+    max_retries:
+        Per-job requeue budget after pack failures.  A failed job whose
+        budget is spent sheds with stage ``retry_budget``; one whose slack
+        no longer covers its modelled decode sheds with stage
+        ``retry_deadline``.  Retried decodes are bit-identical to the first
+        attempt (the job's private seed rides along unchanged).
+    restart_budget:
+        How many dead workers the pool's supervision may respawn over a
+        session (``worker.restart`` trace events); see
+        :class:`~repro.cran.workers.WorkerPool`.
+    brownout:
+        Optional :class:`~repro.cran.faults.BrownoutConfig` enabling the
+        overload circuit breaker: when the scheduler backlog trips the open
+        threshold, already-hopeless jobs (slack below their modelled decode
+        inflated by the backlog) shed at admission with stage ``brownout``
+        until the backlog drains below the close threshold.
     """
 
     def __init__(self, decoder: Optional[QuAMaxDecoder] = None, *,
@@ -374,7 +506,11 @@ class CranService:
                  telemetry_window: Optional[int] = None,
                  tracing: bool = False,
                  trace_wall_time: bool = False,
-                 decoder_factory: Optional[Callable[[], QuAMaxDecoder]] = None):
+                 decoder_factory: Optional[Callable[[], QuAMaxDecoder]] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 max_retries: int = 0,
+                 restart_budget: int = 0,
+                 brownout: Optional[BrownoutConfig] = None):
         self.decoder = decoder or QuAMaxDecoder(kernel=kernel, backend=backend)
         self.max_batch = max_batch
         self.max_wait_us = max_wait_us
@@ -389,6 +525,11 @@ class CranService:
         self.tracing = tracing
         self.trace_wall_time = trace_wall_time
         self._decoder_factory = decoder_factory
+        self.fault_plan = fault_plan
+        self.max_retries = check_integer_in_range("max_retries", max_retries,
+                                                  minimum=0)
+        self.restart_budget = restart_budget
+        self.brownout = brownout
 
     # ------------------------------------------------------------------ #
     def scheduler_model(self) -> Optional[DecodeTimeModel]:

@@ -91,6 +91,14 @@ class TelemetryRecorder:
         self.jobs_shed = 0
         self.deadline_misses = 0
         self.batches_decoded = 0
+        #: Fault-tolerance counters (all zero in a fault-free run).
+        self.packs_failed = 0
+        self.pack_failed_jobs = 0
+        self.jobs_retried = 0
+        self.worker_restarts = 0
+        self.brownout_openings = 0
+        self._shed_stages: Counter = Counter()
+        self._faults_injected: Counter = Counter()
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -132,13 +140,39 @@ class TelemetryRecorder:
             self._last_finish_us = max(self._last_finish_us,
                                        result.finish_time_us)
 
-    def record_shed(self, jobs: Iterable[DecodeJob]) -> None:
-        """Record jobs dropped by the overload policy."""
-        self.jobs_shed += sum(1 for _ in jobs)
+    def record_shed(self, jobs: Iterable[DecodeJob],
+                    stage: Optional[str] = None) -> None:
+        """Record jobs dropped by the overload/fault-tolerance policy."""
+        count = sum(1 for _ in jobs)
+        self.jobs_shed += count
+        if stage is not None and count:
+            self._shed_stages[stage] += count
 
     def record_queue_depth(self, now_us: float, depth: int) -> None:
         """Sample the scheduler's pending-job count at *now_us*."""
         self._queue_depth_samples.append((float(now_us), int(depth)))
+
+    def record_pack_failed(self, num_jobs: int) -> None:
+        """Record one failed pack handed to the retry layer."""
+        self.packs_failed += 1
+        self.pack_failed_jobs += int(num_jobs)
+
+    def record_retry(self) -> None:
+        """Record one job requeued after a pack failure."""
+        self.jobs_retried += 1
+
+    def record_worker_restart(self) -> None:
+        """Record supervision respawning a dead worker."""
+        self.worker_restarts += 1
+
+    def record_fault(self, kind: str) -> None:
+        """Record one injected fault, by kind (parent-side accounting)."""
+        self._faults_injected[kind] += 1
+
+    def record_brownout(self, transition: str) -> None:
+        """Record a brownout breaker transition (``open`` / ``close``)."""
+        if transition == "open":
+            self.brownout_openings += 1
 
     # ------------------------------------------------------------------ #
     # Reporting
@@ -281,5 +315,17 @@ class TelemetryRecorder:
                 f"{key[0]}x{key[1]}:{key[2]}":
                     value / self._decode_size_ewma[key]
                 for key, value in sorted(self._decode_service_ewma_us.items())
+            },
+            # Always present (all-zero without a fault plan) so snapshots of
+            # equivalent runs compare equal whether or not faults were
+            # configured on either side.
+            "faults": {
+                "packs_failed": self.packs_failed,
+                "pack_failed_jobs": self.pack_failed_jobs,
+                "jobs_retried": self.jobs_retried,
+                "worker_restarts": self.worker_restarts,
+                "brownout_openings": self.brownout_openings,
+                "injected": dict(sorted(self._faults_injected.items())),
+                "shed_stages": dict(sorted(self._shed_stages.items())),
             },
         }

@@ -43,12 +43,17 @@ __all__ = [
     "EVENT_INGRESS_ADMIT",
     "EVENT_JOB_ADMIT",
     "EVENT_JOB_RESTAMP",
+    "EVENT_JOB_RETRY",
     "EVENT_JOB_SHED",
     "EVENT_JOB_COMPLETE",
     "EVENT_PACK_FLUSH",
     "EVENT_PACK_DISPATCH",
     "EVENT_PACK_START",
     "EVENT_PACK_COMPLETE",
+    "EVENT_PACK_FAILED",
+    "EVENT_WORKER_RESTART",
+    "EVENT_BROWNOUT_OPEN",
+    "EVENT_BROWNOUT_CLOSE",
     "JOB_STAGES",
     "TraceEvent",
     "TraceRecorder",
@@ -68,6 +73,19 @@ EVENT_PACK_FLUSH = "pack.flush"
 EVENT_PACK_DISPATCH = "pack.dispatch"
 EVENT_PACK_START = "pack.start"
 EVENT_PACK_COMPLETE = "pack.complete"
+
+#: Fault-tolerance events.  None of them appear in a fault-free run:
+#: ``pack.failed`` is the non-terminal counterpart of ``job.shed`` (the
+#: pack's jobs are handed to the retry layer rather than dropped),
+#: ``job.retry`` marks a requeue (the job's later pack events overwrite its
+#: flush/start/finish stamps, so a completed timeline reflects the last
+#: attempt), ``worker.restart`` marks supervision respawning a dead worker,
+#: and the ``brownout.*`` pair brackets an open overload circuit breaker.
+EVENT_JOB_RETRY = "job.retry"
+EVENT_PACK_FAILED = "pack.failed"
+EVENT_WORKER_RESTART = "worker.restart"
+EVENT_BROWNOUT_OPEN = "brownout.open"
+EVENT_BROWNOUT_CLOSE = "brownout.close"
 
 #: Per-job latency stages, in lifecycle order.  Their sum is the job's
 #: end-to-end latency (finish − arrival) by construction.
@@ -199,6 +217,8 @@ class JobTimeline:
     admit_count: int = 0
     complete_count: int = 0
     shed_count: int = 0
+    #: Requeues after pack failures (``job.retry`` events).
+    retry_count: int = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -283,6 +303,8 @@ def job_timelines(events: Sequence[TraceEvent]) -> Dict[int, JobTimeline]:
             entry.complete_count += 1
             if "deadline_met" in event.attrs:
                 entry.deadline_met = bool(event.attrs["deadline_met"])
+        elif event.name == EVENT_JOB_RETRY:
+            timeline(event.job_id).retry_count += 1
         elif event.name == EVENT_JOB_SHED:
             entry = timeline(event.job_id)
             entry.shed = True

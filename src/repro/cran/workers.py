@@ -43,6 +43,18 @@ overhead is paid once per *batch* instead of once per *job*.
 Decode correctness is independent of all of this: every job consumes its own
 private random stream, so results are bit-for-bit those of serial decoding
 no matter how jobs were batched, queued or interleaved.
+
+Failure is a first-class outcome.  With ``collect_failures=True`` a failed
+pack is not shed: its slot credits as empty and the pack is parked on a
+failure list (``pack.failed`` trace event) that the serving session drains
+through :meth:`WorkerPool.take_failed` to requeue the jobs.  Dead workers
+are supervised: a crashed thread worker is respawned on its shard (bounded
+by ``restart_budget``, traced as ``worker.restart``) instead of silently
+draining the shard into sheds, and a crashed process worker is respawned by
+:mod:`multiprocessing` itself while the pool mirrors the same budget
+accounting.  A seeded :class:`~repro.cran.faults.FaultPlan` can inject
+crashes, decode errors and stragglers deterministically by submission index,
+so the same plan produces the same accounting in all three modes.
 """
 
 from __future__ import annotations
@@ -56,21 +68,33 @@ from collections import deque
 from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.cran.jobs import JobResult
+from repro.cran.faults import (
+    FAULT_CRASH,
+    FAULT_DECODE_ERROR,
+    FAULT_SLOW,
+    FaultPlan,
+    InjectedFault,
+    PackFault,
+    WorkerCrash,
+)
+from repro.cran.jobs import DecodeJob, JobResult
 from repro.cran.scheduler import DecodeBatch
 from repro.cran.telemetry import TelemetryRecorder
 from repro.cran.tracing import (
     EVENT_JOB_COMPLETE,
+    EVENT_JOB_RETRY,
     EVENT_JOB_SHED,
     EVENT_PACK_COMPLETE,
     EVENT_PACK_DISPATCH,
+    EVENT_PACK_FAILED,
     EVENT_PACK_FLUSH,
     EVENT_PACK_START,
+    EVENT_WORKER_RESTART,
     TraceRecorder,
 )
 from repro.obs.profiling import PROFILER
 from repro.decoder.quamax import QuAMaxDecoder
-from repro.exceptions import SchedulingError
+from repro.exceptions import SchedulingError, WorkerPoolError
 from repro.utils.validation import check_integer_in_range
 
 #: Overload policies of the bounded submission queue.
@@ -91,12 +115,39 @@ MODES = (MODE_THREAD, MODE_PROCESS)
 #: The per-process decoder replica, built once by the pool initializer.
 _WORKER_DECODER: Optional[QuAMaxDecoder] = None
 
+#: The per-process fault plan (``None`` in fault-free pools); decisions are
+#: keyed by submission index, so the worker reaches the same verdicts as
+#: the parent's accounting.
+_WORKER_FAULTS: Optional[FaultPlan] = None
 
-def _process_worker_init(payload: Tuple[str, object]) -> None:
-    """Build this worker process's decoder from the shipped spec."""
-    global _WORKER_DECODER
-    kind, value = payload
+
+def _process_worker_init(payload: Tuple[str, object, Optional[FaultPlan]]) \
+        -> None:
+    """Build this worker process's decoder (and fault plan) from the spec."""
+    global _WORKER_DECODER, _WORKER_FAULTS
+    kind, value, faults = payload
     _WORKER_DECODER = value() if kind == "factory" else value
+    _WORKER_FAULTS = faults
+
+
+def _raise_pack_fault(faults: Optional[FaultPlan],
+                      index: int) -> Optional[PackFault]:
+    """Raise the fault a plan injects into pack *index*, if fatal.
+
+    ``worker_crash`` raises :class:`WorkerCrash` and ``decode_error`` raises
+    :class:`InjectedFault`; a ``slow`` fault is returned instead so the
+    caller can inflate the pack's virtual service time after decoding.
+    """
+    if faults is None:
+        return None
+    fault = faults.pack_fault(index)
+    if fault is None:
+        return None
+    if fault.kind == FAULT_CRASH:
+        raise WorkerCrash(f"injected worker crash decoding pack {index}")
+    if fault.kind == FAULT_DECODE_ERROR:
+        raise InjectedFault(f"injected decode error on pack {index}")
+    return fault
 
 
 def _pack_service_us(decoder: QuAMaxDecoder, outcomes) -> float:
@@ -112,7 +163,7 @@ def _pack_service_us(decoder: QuAMaxDecoder, outcomes) -> float:
             + sum(outcome.compute_time_us for outcome in outcomes))
 
 
-def _process_decode_batch(batch: DecodeBatch):
+def _process_decode_batch(index: int, batch: DecodeBatch):
     """Decode one pack in a worker process; results go back via shared memory.
 
     Returns ``((pickled, shm_name, buffer_sizes), service_us, info)`` —
@@ -121,8 +172,16 @@ def _process_decode_batch(batch: DecodeBatch):
     :data:`~repro.obs.profiling.PROFILER` is enabled (inherited via fork),
     the per-phase wall-time delta the decode accumulated, which the parent
     merges into its own profiler.
+
+    An injected crash or decode error raises out of here and reaches the
+    parent through the pool's ``error_callback`` (rather than killing the
+    OS process, whose ``apply_async`` result would never fire) — the
+    :mod:`multiprocessing` pool already maintains its worker set through
+    literal deaths, while the exception path keeps the pack's accounting
+    deterministic and identical to the threaded mode.
     """
     decoder = _WORKER_DECODER
+    fault = _raise_pack_fault(_WORKER_FAULTS, index)
     baseline = PROFILER.raw() if PROFILER.enabled else None
     wall_start = time.perf_counter()
     outcomes = decoder.detect_batch(
@@ -133,8 +192,12 @@ def _process_decode_batch(batch: DecodeBatch):
         delta = PROFILER.delta_since(baseline)
         if delta:
             info["phases"] = delta
-    return (_export_outcomes(outcomes), _pack_service_us(decoder, outcomes),
-            info)
+    service_us = _pack_service_us(decoder, outcomes)
+    if fault is not None:
+        # A "slow" fault: the decode is correct, the straggler only shows
+        # up in the virtual service time.
+        service_us *= fault.factor
+    return _export_outcomes(outcomes), service_us, info
 
 
 def _export_outcomes(outcomes) -> Tuple[bytes, Optional[str], list]:
@@ -192,11 +255,20 @@ def _import_outcomes(pickled: bytes, shm_name: Optional[str],
     finally:
         # Drop every exported view before closing, or close() would fail;
         # unlink unconditionally so a parent-side failure (unpickling,
-        # deep copy) cannot leak the segment.
+        # deep copy) cannot leak the segment.  Each cleanup step is guarded
+        # separately: a failed unpickle can leave live views pinning the
+        # mapping (close() raises BufferError), and unlink must still run —
+        # exactly once — without masking the original error.
         attached = None
         views.clear()
-        segment.close()
-        segment.unlink()
+        try:
+            segment.close()
+        except BufferError:
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
     return outcomes
 
 
@@ -252,6 +324,24 @@ class WorkerPool:
         ``False`` to fill the queue deterministically before draining; with
         no worker running, a submission past capacity sheds (shed policy) or
         raises (block policy — it would otherwise deadlock the producer).
+    faults:
+        Optional :class:`~repro.cran.faults.FaultPlan` injecting worker
+        crashes, decode errors and stragglers deterministically by
+        submission index (process pools ship the plan to their workers, so
+        worker-side decisions match the parent's accounting).
+    restart_budget:
+        How many dead workers supervision may respawn over the pool's
+        lifetime.  Within budget a crashed thread worker is replaced on its
+        shard (``worker.restart`` trace event) instead of entering the
+        legacy drain mode; process crashes draw on the same budget for
+        identical cross-mode accounting (the :mod:`multiprocessing` pool
+        maintains its worker set regardless).
+    collect_failures:
+        When true, a failed pack is *not* shed: its submission slot credits
+        as empty and the pack is parked for :meth:`take_failed`
+        (``pack.failed`` trace event), letting the serving session requeue
+        the jobs.  Off by default — without a retry layer on top, failures
+        keep their legacy shed-and-raise semantics.
     """
 
     def __init__(self, decoder: Optional[QuAMaxDecoder] = None, *,
@@ -263,7 +353,10 @@ class WorkerPool:
                  telemetry: Optional[TelemetryRecorder] = None,
                  trace: Optional[TraceRecorder] = None,
                  decoder_factory: Optional[Callable[[], QuAMaxDecoder]] = None,
-                 autostart: bool = True):
+                 autostart: bool = True,
+                 faults: Optional[FaultPlan] = None,
+                 restart_budget: int = 0,
+                 collect_failures: bool = False):
         if overload_policy not in OVERLOAD_POLICIES:
             raise SchedulingError(
                 f"overload_policy must be one of {OVERLOAD_POLICIES}, got "
@@ -283,6 +376,10 @@ class WorkerPool:
         self.telemetry = telemetry if telemetry is not None \
             else TelemetryRecorder()
         self.trace = trace
+        self.faults = faults
+        self.restart_budget = check_integer_in_range(
+            "restart_budget", restart_budget, minimum=0)
+        self.collect_failures = bool(collect_failures)
 
         self._lock = threading.Lock()
         # Thread mode: one shard deque per worker, a sticky structure-key
@@ -304,6 +401,13 @@ class WorkerPool:
         self._results: List[JobResult] = []
         self._shed_jobs: List = []
         self._errors: List[BaseException] = []
+        # Failed packs parked for the retry layer: (submission index,
+        # batch, failure stage).  Only populated when collect_failures.
+        self._failed: List[Tuple[int, DecodeBatch, str]] = []
+        self._restarts_left = self.restart_budget
+        # Signalled whenever crediting catches up with submission — the
+        # retry layer's wait_idle() barrier.
+        self._idle = threading.Condition(self._lock)
         # One virtual QA machine per worker (at least one for inline mode);
         # entry k is the time machine k becomes free.  Batches are credited
         # in submission order: decoded-but-out-of-turn batches wait in
@@ -346,26 +450,39 @@ class WorkerPool:
                 pass
             # Workers rebuild the decoder from a pickled spec: the factory
             # when one was given (one decoder per process, like the threaded
-            # decoder_factory), else the configured decoder itself.
-            payload = (("factory", self._decoder_factory)
+            # decoder_factory), else the configured decoder itself.  The
+            # fault plan rides along so worker-side injection decisions
+            # match the parent's accounting.
+            payload = (("factory", self._decoder_factory, self.faults)
                        if self._decoder_factory is not None
-                       else ("decoder", self.decoder))
+                       else ("decoder", self.decoder, self.faults))
             self._pool = context.Pool(processes=self.num_workers,
                                       initializer=_process_worker_init,
                                       initargs=(payload,))
             return
         for index in range(self.num_workers):
-            decoder = (self._decoder_factory()
-                       if self._decoder_factory is not None else self.decoder)
-            thread = threading.Thread(target=self._worker_loop,
-                                      args=(decoder, index),
-                                      name=f"cran-worker-{index}",
-                                      daemon=True)
+            self._spawn_worker(index)
+
+    def _spawn_worker(self, shard: int) -> None:
+        """Start one draining thread on *shard* (initial start or respawn)."""
+        decoder = (self._decoder_factory()
+                   if self._decoder_factory is not None else self.decoder)
+        thread = threading.Thread(target=self._worker_loop,
+                                  args=(decoder, shard),
+                                  name=f"cran-worker-{shard}",
+                                  daemon=True)
+        with self._lock:
             self._threads.append(thread)
-            thread.start()
+        thread.start()
 
     def close(self) -> None:
-        """Stop accepting batches, drain the backlog and join the workers."""
+        """Stop accepting batches, drain the backlog and join the workers.
+
+        A single recorded worker error is re-raised as-is; two or more are
+        aggregated into a :class:`~repro.exceptions.WorkerPoolError` whose
+        message lists every one of them, so no failure is masked by
+        whichever thread happened to record first.
+        """
         if self._closed:
             return
         self._closed = True
@@ -381,10 +498,29 @@ class WorkerPool:
                 with self._lock:
                     self._stop = True
                     self._not_empty.notify_all()
-                for thread in self._threads:
-                    thread.join()
+                while True:
+                    # A worker crashing while the backlog drains can spawn
+                    # a replacement after a join pass; loop until no new
+                    # thread appeared (replacements observe _stop and exit
+                    # once their shard is empty).
+                    with self._lock:
+                        threads = list(self._threads)
+                    for thread in threads:
+                        thread.join()
+                    with self._lock:
+                        if len(self._threads) == len(threads):
+                            break
+        with self._lock:
+            # Failures nobody collected degrade to sheds so every submitted
+            # job stays accounted (complete + shed == submitted).
+            for index, batch, stage in sorted(self._failed,
+                                              key=lambda item: item[0]):
+                self._record_shed_locked(batch, index, stage)
+            self._failed.clear()
         if self._errors:
-            raise self._errors[0]
+            if len(self._errors) == 1:
+                raise self._errors[0]
+            raise WorkerPoolError(self._errors)
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -406,6 +542,14 @@ class WorkerPool:
         with self._lock:
             index = self._next_submit
             self._next_submit += 1
+            if self.faults is not None:
+                # Parent-side accounting of the fault the plan *assigns* to
+                # this submission index — recomputed here (one draw, keyed
+                # by index) so the injected-fault telemetry is identical
+                # whichever mode actually hits the fault.
+                assigned = self.faults.pack_fault(index)
+                if assigned is not None:
+                    self.telemetry.record_fault(assigned.kind)
             if self.trace is not None:
                 self.trace.record(
                     EVENT_PACK_FLUSH, batch.flush_time_us, pack_id=index,
@@ -419,6 +563,18 @@ class WorkerPool:
         if not self.num_workers:
             try:
                 self._decode(self.decoder, batch, index)
+            except InjectedFault as error:
+                if not self.collect_failures:
+                    with self._lock:
+                        self._decoded[index] = None
+                        self._credit_ready_locked()
+                        self._record_shed_locked(batch, index, "decode_error")
+                    raise
+                stage = (FAULT_CRASH if isinstance(error, WorkerCrash)
+                         else FAULT_DECODE_ERROR)
+                with self._lock:
+                    self._record_failed_locked(batch, index, stage)
+                return True
             except BaseException:
                 # Free the submission slot so later batches still credit if
                 # the caller treats the failure as transient and keeps going.
@@ -467,7 +623,7 @@ class WorkerPool:
                 return False
             self._inflight += 1
         self._pool.apply_async(
-            _process_decode_batch, (batch,),
+            _process_decode_batch, (index, batch),
             callback=partial(self._on_process_result, index, batch),
             error_callback=partial(self._on_process_error, index, batch))
         return True
@@ -490,15 +646,27 @@ class WorkerPool:
 
     def _on_process_error(self, index: int, batch: DecodeBatch,
                           error: BaseException) -> None:
-        """Pool error callback: account the pack as shed, keep the slot
-        order intact, and surface the error at close()."""
+        """Pool error callback: park the pack for the retry layer (when
+        collecting failures) or account it as shed, keep the slot order
+        intact, and surface non-injected errors at close()."""
         if not isinstance(error, BaseException):
             error = SchedulingError(f"process worker failed: {error!r}")
+        crash = isinstance(error, WorkerCrash)
+        injected = isinstance(error, InjectedFault)
         with self._space:
-            self._errors.append(error)
-            self._decoded[index] = None
-            self._credit_ready_locked()
-            self._record_shed_locked(batch, index, "process_error")
+            if injected and self.collect_failures:
+                self._record_failed_locked(
+                    batch, index, FAULT_CRASH if crash else FAULT_DECODE_ERROR)
+            else:
+                self._errors.append(error)
+                self._decoded[index] = None
+                self._credit_ready_locked()
+                self._record_shed_locked(batch, index, "process_error")
+            if crash:
+                # The multiprocessing pool maintains its own worker set
+                # through deaths; the budget/trace accounting here mirrors
+                # the threaded supervision so both modes report identically.
+                self._note_restart_locked(batch, index, worker=None)
             self._inflight -= 1
             self._space.notify_all()
 
@@ -536,12 +704,101 @@ class WorkerPool:
         """Account one dropped batch (lock held): shed list, telemetry,
         and a ``job.shed`` trace event per member."""
         self._shed_jobs.extend(batch.jobs)
-        self.telemetry.record_shed(batch.jobs)
+        self.telemetry.record_shed(batch.jobs, stage=stage)
         if self.trace is not None:
             for job in batch.jobs:
                 self.trace.record(EVENT_JOB_SHED, batch.flush_time_us,
                                   job_id=job.job_id, pack_id=index,
                                   stage=stage)
+
+    def _record_failed_locked(self, batch: DecodeBatch, index: int,
+                              stage: str) -> None:
+        """Park one failed pack for the retry layer (lock held).
+
+        The submission slot credits as empty so later packs keep flowing;
+        the pack's jobs stay *unaccounted* (neither completed nor shed)
+        until :meth:`take_failed` hands them to the caller — or
+        :meth:`close` sheds whatever nobody collected.
+        """
+        self._decoded[index] = None
+        self._credit_ready_locked()
+        self._failed.append((index, batch, stage))
+        self.telemetry.record_pack_failed(batch.size)
+        if self.trace is not None:
+            self.trace.record(EVENT_PACK_FAILED, batch.flush_time_us,
+                              pack_id=index, stage=stage,
+                              job_ids=list(batch.job_ids))
+
+    def _note_restart_locked(self, batch: DecodeBatch, index: int,
+                             worker: Optional[int]) -> bool:
+        """Spend one restart-budget slot on a dead worker (lock held).
+
+        Returns whether supervision may respawn (budget not exhausted);
+        records the restart in telemetry and as a ``worker.restart`` trace
+        event stamped at the failing pack's flush time.
+        """
+        if self._restarts_left <= 0:
+            return False
+        self._restarts_left -= 1
+        self.telemetry.record_worker_restart()
+        if self.trace is not None:
+            self.trace.record(EVENT_WORKER_RESTART, batch.flush_time_us,
+                              pack_id=index, worker=worker,
+                              remaining=self._restarts_left)
+        return True
+
+    def take_failed(self) -> List[Tuple[int, DecodeBatch, str]]:
+        """Drain the parked failures, in submission order.
+
+        Returns ``(submission index, batch, failure stage)`` triples and
+        clears the list; the caller owns the jobs from here (requeue, shed,
+        ...).  Submission-order sorting keeps the retry layer's
+        resubmission stream — and with it every retry stamp — identical
+        whatever order concurrent workers recorded the failures in.
+        """
+        with self._lock:
+            failed = sorted(self._failed, key=lambda item: item[0])
+            self._failed.clear()
+        return failed
+
+    def wait_idle(self) -> None:
+        """Block until every submitted pack has been credited or failed.
+
+        The retry layer's barrier: after this, :meth:`take_failed` has
+        seen every failure of the packs submitted so far.  Inline pools
+        are idle by construction, and a pool whose workers were never
+        started would wait forever — both return immediately.
+        """
+        if not self.num_workers or not self._started:
+            return
+        with self._idle:
+            while self._next_credit < self._next_submit:
+                self._idle.wait()
+
+    def shed_job(self, job: DecodeJob, stage: str, ts_us: float) -> None:
+        """Account one producer-side dropped job (brownout admission shed,
+        retry give-up) in the same stream as the pool's own sheds."""
+        with self._lock:
+            self._shed_jobs.append(job)
+            self.telemetry.record_shed((job,), stage=stage)
+            if self.trace is not None:
+                self.trace.record(EVENT_JOB_SHED, ts_us, job_id=job.job_id,
+                                  stage=stage)
+
+    def record_retry(self, job: DecodeJob, ts_us: float, attempt: int,
+                     stage: str) -> None:
+        """Record one requeued job (telemetry counter + ``job.retry``
+        trace event) under the pool lock."""
+        with self._lock:
+            self.telemetry.record_retry()
+            if self.trace is not None:
+                self.trace.record(EVENT_JOB_RETRY, ts_us, job_id=job.job_id,
+                                  attempt=attempt, stage=stage)
+
+    def record_brownout(self, transition: str) -> None:
+        """Record a brownout breaker transition under the pool lock."""
+        with self._lock:
+            self.telemetry.record_brownout(transition)
 
     # ------------------------------------------------------------------ #
     # Results
@@ -635,26 +892,53 @@ class WorkerPool:
             index, batch = item
             if failed:
                 # Keep draining so blocked producers never deadlock on a
-                # dead worker; the undecoded jobs are accounted as shed and
-                # the original error is raised by close().
+                # dead worker; the undecoded packs stay accounted — parked
+                # for the retry layer when collecting failures, shed
+                # otherwise — and the original error is raised by close().
                 with self._lock:
-                    self._decoded[index] = None
-                    self._credit_ready_locked()
-                    self._record_shed_locked(batch, index, "worker_error")
+                    if self.collect_failures:
+                        self._record_failed_locked(batch, index,
+                                                   "worker_error")
+                    else:
+                        self._decoded[index] = None
+                        self._credit_ready_locked()
+                        self._record_shed_locked(batch, index, "worker_error")
                 continue
             try:
                 self._decode(decoder, batch, index)
-            except BaseException as error:  # surfaced by close()
-                failed = True
+            except Exception as error:
+                # Exception, not BaseException: a KeyboardInterrupt must
+                # propagate and kill the worker loudly rather than being
+                # folded into the fault accounting.
+                crash = isinstance(error, WorkerCrash)
+                injected = isinstance(error, InjectedFault)
+                respawn = False
                 with self._lock:
-                    self._errors.append(error)
-                    self._decoded[index] = None
-                    self._credit_ready_locked()
-                    self._record_shed_locked(batch, index, "worker_error")
+                    if injected and self.collect_failures:
+                        self._record_failed_locked(
+                            batch, index,
+                            FAULT_CRASH if crash else FAULT_DECODE_ERROR)
+                    else:
+                        self._errors.append(error)  # surfaced by close()
+                        self._decoded[index] = None
+                        self._credit_ready_locked()
+                        self._record_shed_locked(batch, index, "worker_error")
+                    if crash or not injected:
+                        # The worker is dead.  Within budget, supervision
+                        # respawns it on the same shard; past it, this loop
+                        # degrades to the legacy drain mode above.
+                        respawn = self._note_restart_locked(batch, index,
+                                                            worker=shard)
+                        if not respawn:
+                            failed = True
+                if respawn:
+                    self._spawn_worker(shard)
+                    return
 
     def _decode(self, decoder: QuAMaxDecoder, batch: DecodeBatch,
                 index: int) -> None:
         """Decode one batch, then credit it in submission order."""
+        fault = _raise_pack_fault(self.faults, index)
         wall_start = time.perf_counter()
         outcomes = decoder.detect_batch(
             [job.channel_use for job in batch.jobs],
@@ -662,6 +946,9 @@ class WorkerPool:
         # One shared job overhead per pack, plus the amortised compute of
         # every block: this is precisely where batching buys latency.
         service_us = _pack_service_us(decoder, outcomes)
+        if fault is not None:
+            # Injected straggler: correct decode, inflated virtual service.
+            service_us *= fault.factor
         info = {"wall_s": time.perf_counter() - wall_start}
         with self._lock:
             self._decoded[index] = (batch, outcomes, service_us, info)
@@ -674,6 +961,13 @@ class WorkerPool:
         keeps the virtual-machine assignment — and with it every latency and
         deadline statistic — deterministic under threaded execution.
         """
+        try:
+            self._drain_credits_locked()
+        finally:
+            if self._next_credit >= self._next_submit:
+                self._idle.notify_all()
+
+    def _drain_credits_locked(self) -> None:
         while self._next_credit in self._decoded:
             index = self._next_credit
             entry = self._decoded.pop(index)

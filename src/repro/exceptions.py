@@ -51,3 +51,19 @@ class ExperimentError(ReproError):
 class SchedulingError(ReproError):
     """The C-RAN serving layer (scheduler, worker pool, traffic generator)
     was misconfigured or received an invalid job."""
+
+
+class WorkerPoolError(SchedulingError):
+    """Multiple worker failures surfaced together at ``WorkerPool.close()``.
+
+    The individual exceptions are kept on :attr:`errors` (in the order they
+    were recorded) and every one of them is listed in the message, so no
+    failure is masked by whichever happened to be recorded first.
+    """
+
+    def __init__(self, errors):
+        self.errors = list(errors)
+        summary = "; ".join(f"{type(error).__name__}: {error}"
+                            for error in self.errors)
+        super().__init__(
+            f"{len(self.errors)} worker errors during the run: {summary}")

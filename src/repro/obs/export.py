@@ -24,9 +24,14 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.cran.tracing import (
+    EVENT_BROWNOUT_CLOSE,
+    EVENT_BROWNOUT_OPEN,
     EVENT_INGRESS_ADMIT,
     EVENT_JOB_RESTAMP,
+    EVENT_JOB_RETRY,
     EVENT_JOB_SHED,
+    EVENT_PACK_FAILED,
+    EVENT_WORKER_RESTART,
     TraceEvent,
     job_timelines,
     pack_spans,
@@ -128,17 +133,27 @@ def to_chrome_trace(events: Sequence[TraceEvent]) -> Dict[str, Any]:
             cell_tid(cell),
             {"pack_id": timeline.pack_id, "reason": timeline.flush_reason}))
 
-    # Instant markers: sheds and late re-stamps.
+    # Instant markers: sheds, re-stamps, and the fault-tolerance events
+    # (retries, pack failures, worker restarts, brownout transitions).
+    marker_events = (EVENT_JOB_SHED, EVENT_JOB_RESTAMP, EVENT_JOB_RETRY,
+                     EVENT_PACK_FAILED, EVENT_WORKER_RESTART,
+                     EVENT_BROWNOUT_OPEN, EVENT_BROWNOUT_CLOSE)
     marker_meta_added = False
     for event in events:
-        if event.name not in (EVENT_JOB_SHED, EVENT_JOB_RESTAMP):
+        if event.name not in marker_events:
             continue
         if not marker_meta_added:
             trace_events.append(_thread_meta(_MARKER_TID, "markers"))
             marker_meta_added = True
+        if event.job_id is not None:
+            name = f"{event.name} job {event.job_id}"
+        elif event.pack_id is not None:
+            name = f"{event.name} pack {event.pack_id}"
+        else:
+            name = event.name
         trace_events.append({
             "ph": "i", "s": "g", "cat": "cran",
-            "name": f"{event.name} job {event.job_id}",
+            "name": name,
             "pid": _PID, "tid": _MARKER_TID, "ts": event.ts_us,
             "args": dict(event.attrs),
         })
@@ -306,6 +321,32 @@ def prometheus_metrics(telemetry: Union[Dict[str, Any], Any]) -> str:
           for index, depth in
           enumerate(workers.get("shard_depths") or [])])
 
+    faults = snapshot.get("faults") or {}
+    emit("cran_packs_failed_total", "counter",
+         "Packs that failed decoding and were handed to the retry layer.",
+         [_metric_line("cran_packs_failed_total",
+                       faults.get("packs_failed"))])
+    emit("cran_jobs_retried_total", "counter",
+         "Jobs requeued after a pack failure.",
+         [_metric_line("cran_jobs_retried_total",
+                       faults.get("jobs_retried"))])
+    emit("cran_worker_restarts_total", "counter",
+         "Dead workers respawned by supervision.",
+         [_metric_line("cran_worker_restarts_total",
+                       faults.get("worker_restarts"))])
+    emit("cran_brownout_openings_total", "counter",
+         "Overload brownout circuit-breaker openings.",
+         [_metric_line("cran_brownout_openings_total",
+                       faults.get("brownout_openings"))])
+    emit("cran_faults_injected_total", "counter",
+         "Faults assigned by the configured fault plan, by kind.",
+         [_metric_line("cran_faults_injected_total", count, {"kind": kind})
+          for kind, count in (faults.get("injected") or {}).items()])
+    emit("cran_shed_stage_total", "counter",
+         "Shed jobs, by lifecycle stage.",
+         [_metric_line("cran_shed_stage_total", count, {"stage": stage})
+          for stage, count in (faults.get("shed_stages") or {}).items()])
+
     ingress = snapshot.get("ingress") or {}
     emit("cran_ingress_offered_total", "counter",
          "Jobs offered at the ingress gateway.",
@@ -318,6 +359,10 @@ def prometheus_metrics(telemetry: Union[Dict[str, Any], Any]) -> str:
          "Jobs shed at the admission bound.",
          [_metric_line("cran_ingress_shed_total",
                        ingress.get("gateway_shed"))])
+    emit("cran_ingress_gateway_faults_total", "counter",
+         "Jobs dropped at ingress by injected submission errors.",
+         [_metric_line("cran_ingress_gateway_faults_total",
+                       ingress.get("gateway_faults"))])
     emit("cran_ingress_late_restamped_total", "counter",
          "Jobs re-stamped after arriving behind the merged stream.",
          [_metric_line("cran_ingress_late_restamped_total",

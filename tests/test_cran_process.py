@@ -107,6 +107,26 @@ class TestSharedMemoryChannel:
         assert shm_name is None
         assert _import_outcomes(pickled, shm_name, sizes) == ["no", "arrays", 7]
 
+    def test_failed_unpickle_still_unlinks_the_segment(self, monkeypatch):
+        from multiprocessing import shared_memory
+
+        pickled, shm_name, sizes = _export_outcomes(
+            [np.arange(64, dtype=np.float64)])
+        assert shm_name is not None
+
+        def corrupt_loads(data, buffers=None):
+            raise ValueError("corrupt result payload")
+
+        monkeypatch.setattr("repro.cran.workers.pickle.loads", corrupt_loads)
+        # The parent-side failure propagates unmasked...
+        with pytest.raises(ValueError, match="corrupt result payload"):
+            _import_outcomes(pickled, shm_name, sizes)
+        # ...and the segment was unlinked exactly once regardless: there is
+        # nothing left to attach to (no leak), and a second unlink inside
+        # the cleanup would have raised out of the first call already.
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=shm_name)
+
 
 class TestProcessPool:
     def test_invalid_mode_rejected(self, decoder):
