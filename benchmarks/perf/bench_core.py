@@ -26,6 +26,12 @@ its own perf trajectory:
   the 128-variable path-chain workload annealed through the numpy
   single-spin+cluster reference loops versus the fused compiled cluster
   kernels (``backend="auto"``), bit-identical seeded samples;
+* ``replica_parallel`` — the counter-RNG throughput pair: the same dense
+  replica-batched anneal on the best compiled backend under the sequential
+  draw discipline versus ``rng="counter"`` at 1/2/4 kernel threads; records
+  per-thread-count timings, bit-identity across thread counts, and
+  ``cpu_cores`` so the >1.5x throughput bar is only asserted on multi-core
+  machines;
 * ``annealer_engine`` — one ICE-batch cycle of the machine model: rebuilding
   the :class:`IsingSampler` (colour classes + CSR slicing) per batch versus
   rebinding the cached structure with :meth:`IsingSampler.refresh_values`;
@@ -65,7 +71,8 @@ SCALES = {
                   chunk_subcarriers=12, chunk_frame_bytes=3, chunk_size=2,
                   chunk_anneals=50,
                   cluster_variables=96, cluster_chain=16,
-                  cluster_replicas=32, cluster_sweeps=50),
+                  cluster_replicas=32, cluster_sweeps=50,
+                  rp_variables=16, rp_replicas=64, rp_sweeps=80),
     "full": dict(sa_variables=24, sa_reads=100, sa_sweeps=200,
                  dense_variables=24, dense_replicas=100, dense_sweeps=200,
                  engine_users=4, engine_batches=12, engine_anneals=25,
@@ -73,7 +80,8 @@ SCALES = {
                  chunk_subcarriers=16, chunk_frame_bytes=3, chunk_size=2,
                  chunk_anneals=100,
                  cluster_variables=128, cluster_chain=16,
-                 cluster_replicas=96, cluster_sweeps=150),
+                 cluster_replicas=96, cluster_sweeps=150,
+                 rp_variables=24, rp_replicas=128, rp_sweeps=200),
 }
 
 
@@ -332,6 +340,78 @@ def bench_cluster_sweep_compiled(num_variables: int, chain_length: int,
     return entry
 
 
+def bench_replica_parallel(num_variables: int, num_replicas: int,
+                           num_sweeps: int, thread_counts=(1, 2, 4),
+                           seed: int = 0) -> dict:
+    """Sequential-discipline anneal vs. counter-mode threaded anneal.
+
+    The acceptance pair of the counter-RNG contract: the same dense
+    replica-batched anneal on the best compiled backend, first under the
+    sequential draw discipline (one generator per block — inherently
+    serial), then under ``rng="counter"`` at 1/2/4 kernel threads.  The
+    counter stream is a different exact stream, so no cross-discipline
+    bit-identity is asserted — the structural guard is that the counter
+    samples are bit-identical across *all* thread counts.  Thread speedups
+    are meaningful only on multi-core machines; ``cpu_cores`` is recorded
+    so consumers (perf smoke, CI) can gate the throughput bar on it.
+    """
+    import os
+
+    from repro.annealer import backends
+    from repro.annealer.engine import IsingSampler
+    from repro.ising.solver import geometric_temperature_schedule
+
+    ising = _dense_ising(num_variables, seed)
+    temperatures = geometric_temperature_schedule(num_sweeps, 5.0, 0.05)
+    resolved = backends.resolve_backend("auto")
+    entry = {
+        "params": {"num_variables": num_variables,
+                   "num_replicas": num_replicas, "num_sweeps": num_sweeps,
+                   "thread_counts": list(thread_counts)},
+        "cpu_cores": os.cpu_count() or 1,
+        "openmp_enabled": backends.openmp_enabled(),
+        "numba_available": backends.numba_available(),
+        "cext_available": backends.cext_available(),
+        "compiled_backend": resolved if resolved != "numpy" else None,
+        "compiled_available": resolved != "numpy",
+    }
+    sequential = IsingSampler(ising, kernel="dense", backend=resolved)
+    sequential.anneal(temperatures[:2], 2, random_state=seed)
+    before_s, _ = _timed(sequential.anneal, temperatures, num_replicas,
+                         seed + 1)
+    entry["before_s"] = before_s
+    if resolved == "numpy":
+        entry["after_s"] = None
+        entry["speedup"] = None
+        entry["threads"] = None
+        entry["samples_identical_across_threads"] = None
+        return entry
+    reference_spins = None
+    times = {}
+    identical = True
+    for threads in thread_counts:
+        sampler = IsingSampler(ising, kernel="dense", backend=resolved,
+                               rng="counter", threads=threads)
+        sampler.anneal(temperatures[:2], 2, random_state=seed)
+        time_s, spins = _timed(sampler.anneal, temperatures, num_replicas,
+                               seed + 1)
+        if reference_spins is None:
+            reference_spins = spins
+        elif not np.array_equal(spins, reference_spins):
+            identical = False
+        times[int(threads)] = time_s
+    serial_counter_s = times[thread_counts[0]]
+    entry["threads"] = {
+        str(threads): {"time_s": time_s,
+                       "speedup_vs_counter_serial": serial_counter_s / time_s}
+        for threads, time_s in times.items()}
+    after_s = min(times.values())
+    entry["after_s"] = after_s
+    entry["speedup"] = before_s / after_s
+    entry["samples_identical_across_threads"] = identical
+    return entry
+
+
 def bench_annealer_engine(num_users: int, num_batches: int,
                           anneals_per_batch: int, seed: int = 0) -> dict:
     """Per-ICE-batch sampler rebuild vs. in-place ``refresh_values``."""
@@ -498,6 +578,9 @@ def run_suite(scale: str = "quick") -> dict:
             "cluster_sweep_compiled": bench_cluster_sweep_compiled(
                 knobs["cluster_variables"], knobs["cluster_chain"],
                 knobs["cluster_replicas"], knobs["cluster_sweeps"]),
+            "replica_parallel": bench_replica_parallel(
+                knobs["rp_variables"], knobs["rp_replicas"],
+                knobs["rp_sweeps"]),
             "annealer_engine": bench_annealer_engine(
                 knobs["engine_users"], knobs["engine_batches"],
                 knobs["engine_anneals"]),

@@ -21,6 +21,13 @@ Two measurements over a synthetic Argos-like trace workload:
   ``mode="process"`` worker pools of 1, 2 and 4 processes (plus the inline
   reference), recording the wall-clock jobs/s curve and the machine's core
   count (the curve can only scale to the cores actually present).
+* ``cran_threaded_serving`` — the saturating batched load replayed with
+  counter-mode jobs (``rng_mode="counter"``) through inline services whose
+  kernel-thread budget is 1, 2 and 4 (``threads=``), against the sequential
+  serving baseline: jobs/s per thread count, with completed detections
+  bit-identical across every thread count (the counter contract at the
+  serving layer).  Thread speedups only materialise on multi-core machines;
+  ``cpu_cores`` is recorded alongside the curve.
 * ``cran_adaptive_wait`` — a low offered load with tight deadlines served
   with the fixed ``max_wait_us`` timeout, the analytic deadline-driven
   model, and the online model (``adaptive_wait=True``: per-structure EWMA
@@ -68,6 +75,7 @@ SCALES = {
                   sweep_interarrival_us=(2_000.0, 20_000.0, 60_000.0),
                   sweep_bursts=4, deadline_us=120_000.0,
                   process_workers=(1, 2, 4), process_bursts=4,
+                  serving_threads=(1, 2, 4),
                   adaptive_interarrival_us=40_000.0, adaptive_bursts=6,
                   adaptive_deadline_us=60_000.0,
                   fault_pack_error_rate=0.25, fault_seed=0,
@@ -78,6 +86,7 @@ SCALES = {
                  sweep_interarrival_us=(2_000.0, 20_000.0, 60_000.0),
                  sweep_bursts=8, deadline_us=120_000.0,
                  process_workers=(1, 2, 4), process_bursts=12,
+                 serving_threads=(1, 2, 4),
                  adaptive_interarrival_us=100_000.0, adaptive_bursts=12,
                  adaptive_deadline_us=150_000.0,
                  fault_pack_error_rate=0.25, fault_seed=0,
@@ -313,6 +322,79 @@ def bench_process_scaling(knobs: dict, seed: int = 0) -> dict:
     }
 
 
+def bench_threaded_serving(knobs: dict, seed: int = 0) -> dict:
+    """Counter-mode serving at kernel threads 1/2/4 vs. the sequential baseline.
+
+    The replica-parallel contract measured at the serving layer: the same
+    saturating load, first with default sequential-discipline jobs, then with
+    ``rng_mode="counter"`` jobs through inline services whose per-pack
+    kernel-thread budget (``threads=``) sweeps 1, 2 and 4.  Counter streams
+    are order-independent, so the completed detections must be bit-identical
+    across every thread count; the jobs/s curve is the throughput payoff and
+    only rises past 1 thread on multi-core machines (``cpu_cores`` recorded).
+    """
+    import dataclasses
+    import os
+
+    import numpy as np
+
+    from repro.annealer import backends
+    from repro.cran.service import CranService
+
+    trace = _make_trace(knobs, seed)
+    decoder = _make_decoder(knobs["num_anneals"])
+    jobs = _make_jobs(knobs, trace, mean_interarrival_us=10.0,
+                      num_bursts=knobs["num_bursts"], seed=seed)
+    resolved = backends.resolve_backend("auto")
+    entry = {
+        "params": {
+            "num_jobs": len(jobs),
+            "max_batch": knobs["max_batch"],
+            "num_anneals": knobs["num_anneals"],
+            "serving_threads": list(knobs["serving_threads"]),
+            "cpu_cores": os.cpu_count(),
+        },
+        "openmp_enabled": backends.openmp_enabled(),
+        "compiled_backend": resolved if resolved != "numpy" else None,
+        "compiled_available": resolved != "numpy",
+    }
+    baseline = CranService(decoder, max_batch=knobs["max_batch"],
+                           max_wait_us=knobs["max_wait_us"])
+    # Warm the embedding/sampler caches so every point times steady state.
+    baseline.run(jobs[:1])
+    sequential_s, _ = _timed(baseline.run, jobs)
+    entry["sequential_s"] = sequential_s
+    entry["sequential_jobs_per_s"] = len(jobs) / sequential_s
+    counter_jobs = [dataclasses.replace(job, rng_mode="counter")
+                    for job in jobs]
+    reference_bits = None
+    identical = True
+    points = []
+    for threads in knobs["serving_threads"]:
+        service = CranService(decoder, max_batch=knobs["max_batch"],
+                              max_wait_us=knobs["max_wait_us"],
+                              threads=threads)
+        service.run(counter_jobs[:1])
+        wall_s, report = _timed(service.run, counter_jobs)
+        bits = {r.job.job_id: r.result.detection.bits
+                for r in report.results}
+        if reference_bits is None:
+            reference_bits = bits
+        else:
+            identical = identical and all(
+                np.array_equal(reference_bits[job_id], job_bits)
+                for job_id, job_bits in bits.items())
+        points.append({
+            "threads": threads,
+            "wall_s": wall_s,
+            "wall_jobs_per_s": len(jobs) / wall_s,
+            "speedup_vs_sequential": sequential_s / wall_s,
+        })
+    entry["points"] = points
+    entry["detections_identical_across_threads"] = identical
+    return entry
+
+
 def bench_adaptive_wait(knobs: dict, seed: int = 0) -> dict:
     """Fixed max_wait vs. analytic vs. online adaptive wait, low load.
 
@@ -491,6 +573,7 @@ def run_suite(scale: str = "quick") -> dict:
         "cran_warm_cache": bench_warm_cache(knobs),
         "cran_load_sweep": bench_offered_load_sweep(knobs),
         "cran_process_scaling": bench_process_scaling(knobs),
+        "cran_threaded_serving": bench_threaded_serving(knobs),
         "cran_adaptive_wait": bench_adaptive_wait(knobs),
         "cran_trace_overhead": bench_trace_overhead(knobs),
         "cran_fault_recovery": bench_fault_recovery(knobs),
@@ -556,6 +639,15 @@ def main() -> None:
         print(f"cran_process      {point['num_workers']} workers "
               f"{point['wall_jobs_per_s']:8.1f} jobs/s  "
               f"x{point['speedup_vs_inline']:.2f} vs inline")
+    threaded = entries["cran_threaded_serving"]
+    print(f"cran_threaded     sequential "
+          f"{threaded['sequential_jobs_per_s']:8.1f} jobs/s  "
+          f"(cores={threaded['params']['cpu_cores']}, "
+          f"bits {'ok' if threaded['detections_identical_across_threads'] else 'DIFF'})")
+    for point in threaded["points"]:
+        print(f"cran_threaded     {point['threads']} threads "
+              f"{point['wall_jobs_per_s']:8.1f} jobs/s  "
+              f"x{point['speedup_vs_sequential']:.2f} vs sequential")
     adaptive = entries["cran_adaptive_wait"]
     print(f"cran_adaptive     p99 fixed {adaptive['p99_latency_us_fixed']:10.0f} us"
           f"  analytic {adaptive['p99_latency_us_analytic']:10.0f} us"

@@ -73,7 +73,7 @@ import networkx as nx
 import numpy as np
 from scipy import sparse
 
-from repro.annealer import backends
+from repro.annealer import backends, counter
 from repro.exceptions import AnnealerError
 from repro.ising.model import IsingModel
 from repro.obs.profiling import PROFILER
@@ -212,23 +212,50 @@ class BlockDiagonalSampler:
         requesting an unavailable compiled backend raises
         :class:`AnnealerError` at construction; compiled backends are warmed
         (JIT/compile cache) here so first-anneal timings stay clean.
+    rng:
+        Draw discipline: ``"sequential"`` (default) consumes each block's
+        generator in the reference loops' order — bit-reproducible, but
+        inherently serial per block; ``"counter"`` derives every uniform
+        from a Philox counter addressed by ``(site, sweep, replica,
+        move_tag)`` under a per-block key drawn once per anneal from the
+        block's generator (see :mod:`repro.annealer.counter`) —
+        reproducible under its own discipline, identical across backends
+        *and* thread counts, and the contract that legalises ``threads``.
+    threads:
+        Worker threads for the compiled counter kernels (OpenMP in the
+        cext, ``prange`` in numba); requires ``rng="counter"`` when > 1.
+        The numpy backend ignores it (reference loops are vectorised over
+        replicas already).  The thread count never changes results.
     """
 
     def __init__(self, isings: Sequence[IsingModel],
                  classes: Optional[List[np.ndarray]] = None,
                  clusters: Optional[List[np.ndarray]] = None,
-                 kernel: str = "auto", backend: str = "auto"):
+                 kernel: str = "auto", backend: str = "auto",
+                 rng: str = "sequential", threads: int = 1):
         if kernel not in KERNELS:
             raise AnnealerError(
                 f"kernel must be one of {KERNELS}, got {kernel!r}")
+        if rng not in backends.RNG_MODES:
+            raise AnnealerError(
+                f"rng must be one of {backends.RNG_MODES}, got {rng!r}")
         self.kernel = kernel
         self.backend = backend
+        #: Draw discipline (named ``rng_mode`` internally: ``rng`` stays the
+        #: conventional local name for generator instances).
+        self.rng_mode = rng
+        self.threads = check_integer_in_range("threads", threads, minimum=1)
+        if self.threads > 1 and self.rng_mode != "counter":
+            raise AnnealerError(
+                "threads > 1 requires rng='counter': the sequential "
+                "discipline consumes one generator per block in a defined "
+                "order, which no parallel schedule can reproduce")
         # Resolve eagerly: unknown names and unavailable explicit backends
         # fail loudly here, and the one-time JIT/compile cost is paid at
         # construction instead of inside the first timed anneal.
         resolved = backends.resolve_backend(backend)
         if resolved != "numpy":
-            backends.warmup(resolved)
+            backends.warmup(resolved, rng=self.rng_mode)
         #: Whether cluster flips update the dense kernel's local-field matrix
         #: incrementally (the default) instead of recomputing it after every
         #: sweep; kept as a switch so benchmarks can time the recompute path.
@@ -966,6 +993,61 @@ class BlockDiagonalSampler:
             indices, indptr, scratch, self._cluster_pack_descriptor(),
             temperatures, rngs)
 
+    def _counter_sweeps(self, spins: np.ndarray, temperatures: np.ndarray,
+                        keys: List[int], backend: str) -> None:
+        """Run the whole schedule under the counter (Philox) discipline.
+
+        Dispatches the ``counter_*`` kernels of
+        :mod:`repro.annealer.backends` — per-block single-kernel calls
+        without clusters, the pack-level fused kernels with them.  Every
+        backend implements the identical keyed draw function, so this path
+        is bit-identical across ``backend`` and ``self.threads`` (the
+        numpy branch is the reference).  Cluster flips always maintain the
+        dense kernel's fields incrementally here: the recompute diagnostic
+        of ``incremental_cluster_fields`` is a sequential-mode benchmark
+        switch only.
+        """
+        size = self.block_size
+        threads = self.threads
+        if self.selected_kernel == "dense":
+            coupling = self._dense_coupling_blocks()
+            order = np.ascontiguousarray(np.concatenate(self.block_classes),
+                                         dtype=np.int64)
+            fields = np.empty_like(spins)
+            for b in range(self.num_blocks):
+                segment = slice(b * size, (b + 1) * size)
+                fields[:, segment] = (spins[:, segment] @ coupling[b]
+                                      + self.linear[segment][None, :])
+            if not self._cluster_operators:
+                for b, key in enumerate(keys):
+                    segment = slice(b * size, (b + 1) * size)
+                    backends.counter_dense_sweep(
+                        backend, spins[:, segment], fields[:, segment],
+                        coupling[b], order, temperatures, key,
+                        threads=threads)
+                return
+            backends.counter_pack_fused_dense_cluster_sweep(
+                backend, spins, fields, coupling, order, self.linear,
+                self._cluster_pack_descriptor(), temperatures, keys,
+                threads=threads)
+            return
+        if not self._cluster_operators:
+            members, class_starts, per_block = self._colour_class_csr()
+            for b, key in enumerate(keys):
+                segment = slice(b * size, (b + 1) * size)
+                data, indices, indptr = per_block[b]
+                backends.counter_colour_sweep(
+                    backend, spins[:, segment], self.linear[segment],
+                    members, class_starts, data, indices, indptr,
+                    temperatures, key, threads=threads)
+            return
+        members, class_starts, class_data, indices, indptr = \
+            self._colour_pack_csr()
+        backends.counter_pack_fused_colour_cluster_sweep(
+            backend, spins, self.linear, members, class_starts, class_data,
+            indices, indptr, self._cluster_pack_descriptor(), temperatures,
+            keys, threads=threads)
+
     def _anneal(self, temperatures: Sequence[float], num_replicas: int,
                 rngs: Sequence[np.random.Generator],
                 initial_spins: Optional[np.ndarray]) -> np.ndarray:
@@ -980,17 +1062,32 @@ class BlockDiagonalSampler:
 
         n = self.num_variables
         size = self.block_size
+        counter_keys: Optional[List[int]] = None
+        if self.rng_mode == "counter":
+            # One Philox key per block, drawn from the block's generator
+            # BEFORE any other use: seeding still flows from random_state,
+            # and successive anneal calls (ICE batches) key fresh streams.
+            counter_keys = [counter.block_key(rng) for rng in rngs]
         if initial_spins is None:
-            # The annealer's initial superposition collapses to an unbiased
-            # configuration under thermal sampling; each block draws its own.
-            # Generator.choice over a 2-array IS integers(0, 2) plus a take,
-            # so the direct form consumes the identical stream without
-            # choice's per-call validation overhead.
-            values = np.array([-1.0, 1.0])
             spins = np.empty((num_replicas, n))
-            for b, rng in enumerate(rngs):
-                spins[:, b * size:(b + 1) * size] = values[
-                    rng.integers(0, 2, size=(num_replicas, size))]
+            if counter_keys is not None:
+                # Counter discipline: the initial configuration is a pure
+                # function of the block key, identical for every backend
+                # and thread count.
+                for b, key in enumerate(counter_keys):
+                    spins[:, b * size:(b + 1) * size] = \
+                        counter.counter_initial_spins(key, num_replicas, size)
+            else:
+                # The annealer's initial superposition collapses to an
+                # unbiased configuration under thermal sampling; each block
+                # draws its own.  Generator.choice over a 2-array IS
+                # integers(0, 2) plus a take, so the direct form consumes
+                # the identical stream without choice's per-call validation
+                # overhead.
+                values = np.array([-1.0, 1.0])
+                for b, rng in enumerate(rngs):
+                    spins[:, b * size:(b + 1) * size] = values[
+                        rng.integers(0, 2, size=(num_replicas, size))]
         else:
             spins = np.asarray(initial_spins, dtype=np.float64).copy()
             if spins.shape != (num_replicas, n):
@@ -1000,11 +1097,18 @@ class BlockDiagonalSampler:
                 )
 
         backend = self.selected_backend
-        # Wall-time attribution of the sweep loop per kernel/backend; the
-        # phase is a no-op unless the global profiler is enabled and never
-        # touches RNG state, so trajectories are identical either way.
+        # Wall-time attribution of the sweep loop per kernel/backend/rng/
+        # thread count; the phase is a no-op unless the global profiler is
+        # enabled and never touches RNG state, so trajectories are identical
+        # either way.
         sweep_phase = PROFILER.phase("engine.sweep", self.selected_kernel,
+                                     backend, self.rng_mode,
+                                     f"t{self.threads}")
+        if counter_keys is not None:
+            with sweep_phase:
+                self._counter_sweeps(spins, temperatures, counter_keys,
                                      backend)
+            return spins.astype(np.int8)
         if self.selected_kernel == "dense":
             with sweep_phase:
                 if backend == "numpy":
@@ -1098,9 +1202,11 @@ class IsingSampler(BlockDiagonalSampler):
     def __init__(self, ising: IsingModel,
                  classes: Optional[List[np.ndarray]] = None,
                  clusters: Optional[List[np.ndarray]] = None,
-                 kernel: str = "auto", backend: str = "auto"):
+                 kernel: str = "auto", backend: str = "auto",
+                 rng: str = "sequential", threads: int = 1):
         super().__init__([ising], classes=classes, clusters=clusters,
-                         kernel=kernel, backend=backend)
+                         kernel=kernel, backend=backend, rng=rng,
+                         threads=threads)
         self.ising = ising
         #: Cluster member arrays (same as the block-level clusters).
         self.clusters = self.block_clusters
@@ -1145,9 +1251,12 @@ def batched_metropolis(ising: IsingModel, temperatures: Sequence[float],
                        random_state: RandomState = None,
                        initial_spins: Optional[np.ndarray] = None,
                        kernel: str = "auto",
-                       backend: str = "auto") -> np.ndarray:
+                       backend: str = "auto",
+                       rng: str = "sequential",
+                       threads: int = 1) -> np.ndarray:
     """One-shot convenience wrapper around :class:`IsingSampler`."""
-    sampler = IsingSampler(ising, kernel=kernel, backend=backend)
+    sampler = IsingSampler(ising, kernel=kernel, backend=backend, rng=rng,
+                           threads=threads)
     return sampler.anneal(temperatures, num_replicas,
                           random_state=random_state,
                           initial_spins=initial_spins)

@@ -25,7 +25,7 @@ import numpy as np
 from repro import constants
 from repro.annealer.chimera import ChimeraGraph
 from repro.annealer.embedded import EmbeddedIsing, embed_ising
-from repro.annealer.backends import BACKENDS
+from repro.annealer.backends import BACKENDS, RNG_MODES
 from repro.annealer.embedding import Embedding, TriangleCliqueEmbedder
 from repro.annealer.engine import KERNELS, BlockDiagonalSampler, IsingSampler
 from repro.annealer.ice import ICEModel
@@ -241,13 +241,16 @@ class QuantumAnnealerSimulator:
     def _sampler_cache_key(self, isings: Sequence[IsingModel],
                            embedded_first: EmbeddedIsing,
                            clusters: Sequence[np.ndarray],
-                           kernel: str, backend: str) -> Tuple:
+                           kernel: str, backend: str,
+                           rng: str, threads: int) -> Tuple:
         """Everything that determines a packed sampler's warmed structure."""
         return (
             len(isings),
             embedded_first.num_physical,
             kernel,
             backend,
+            rng,
+            threads,
             frozenset(embedded_first.ising.couplings),
             tuple(tuple(int(q) for q in chain) for chain in clusters),
         )
@@ -257,7 +260,8 @@ class QuantumAnnealerSimulator:
             parameters: Optional[AnnealerParameters] = None,
             random_state: RandomState = None,
             embedding: Optional[Embedding] = None,
-            kernel: str = "auto", backend: str = "auto") -> AnnealResult:
+            kernel: str = "auto", backend: str = "auto",
+            rng: str = "sequential", threads: int = 1) -> AnnealResult:
         """Submit one QA job: embed, anneal ``N_a`` times, unembed, aggregate.
 
         A single-problem job is exactly a one-block :meth:`run_batch`, so the
@@ -281,11 +285,19 @@ class QuantumAnnealerSimulator:
             Kernel implementation passed to the sampler (``"auto"``,
             ``"numpy"``, ``"numba"`` or ``"cext"``); seeded runs are
             bit-identical across backends.
+        rng:
+            Draw discipline passed to the sampler: ``"sequential"``
+            (default, the reference streams) or ``"counter"`` (keyed Philox
+            streams, reproducible under their own discipline and identical
+            across backends and thread counts).
+        threads:
+            Kernel threads for the counter discipline's compiled kernels;
+            requires ``rng="counter"`` when > 1.
         """
         return self.run_batch([logical_ising], parameters=parameters,
                               random_states=[ensure_rng(random_state)],
                               embedding=embedding, kernel=kernel,
-                              backend=backend)[0]
+                              backend=backend, rng=rng, threads=threads)[0]
 
     # ------------------------------------------------------------------ #
     def run_batch(self, logical_isings: Sequence[IsingModel],
@@ -294,7 +306,9 @@ class QuantumAnnealerSimulator:
                   random_state: RandomState = None,
                   embedding: Optional[Embedding] = None,
                   kernel: str = "auto",
-                  backend: str = "auto") -> List[AnnealResult]:
+                  backend: str = "auto",
+                  rng: str = "sequential",
+                  threads: int = 1) -> List[AnnealResult]:
         """Submit several same-size problems as one packed QA job.
 
         This is the Section 5.5 parallelization: small problems leave room on
@@ -333,6 +347,16 @@ class QuantumAnnealerSimulator:
             the same per-problem draw streams, so seeded results are
             bit-identical across backends and this knob is purely about
             where the sweep loop runs.
+        rng:
+            Draw discipline for the packed sampler: ``"sequential"``
+            (default) or ``"counter"``.  The counter discipline keys one
+            Philox stream per block per anneal call, so packed results stay
+            bit-identical to serial submission — and additionally identical
+            across backends and thread counts.
+        threads:
+            Kernel threads for the counter discipline's compiled kernels;
+            requires ``rng="counter"`` when > 1.  Thread count never
+            changes results, only wall-clock.
         """
         parameters = parameters or AnnealerParameters()
         if kernel not in KERNELS:
@@ -341,6 +365,10 @@ class QuantumAnnealerSimulator:
         if backend not in BACKENDS:
             raise AnnealerError(
                 f"backend must be one of {BACKENDS}, got {backend!r}")
+        if rng not in RNG_MODES:
+            raise AnnealerError(
+                f"rng must be one of {RNG_MODES}, got {rng!r}")
+        threads = check_integer_in_range("threads", threads, minimum=1)
         isings = list(logical_isings)
         if not isings:
             raise AnnealerError("run_batch needs at least one problem")
@@ -388,7 +416,7 @@ class QuantumAnnealerSimulator:
         sampler: Optional[BlockDiagonalSampler] = None
         if self.sampler_cache_size:
             cache_key = self._sampler_cache_key(isings, embedded[0], clusters,
-                                                kernel, backend)
+                                                kernel, backend, rng, threads)
             # pop, not get: the caller owns the sampler until reinsertion.
             sampler = self._sampler_cache.pop(cache_key, None)
             if sampler is not None:
@@ -414,7 +442,9 @@ class QuantumAnnealerSimulator:
                         sampler = BlockDiagonalSampler(perturbed,
                                                        clusters=clusters,
                                                        kernel=kernel,
-                                                       backend=backend)
+                                                       backend=backend,
+                                                       rng=rng,
+                                                       threads=threads)
                     with PROFILER.phase("machine.anneal",
                                         sampler.selected_kernel,
                                         sampler.selected_backend):
@@ -428,9 +458,10 @@ class QuantumAnnealerSimulator:
                     with PROFILER.phase("machine.anneal", kernel, backend):
                         samples = np.concatenate([
                             IsingSampler(problem, clusters=clusters,
-                                         kernel=kernel, backend=backend).anneal(
-                                temperatures, batch, random_state=rng)
-                            for problem, rng in zip(perturbed, rngs)
+                                         kernel=kernel, backend=backend,
+                                         rng=rng, threads=threads).anneal(
+                                temperatures, batch, random_state=rng_b)
+                            for problem, rng_b in zip(perturbed, rngs)
                         ], axis=1)
             physical[produced:produced + batch] = samples
             produced += batch
@@ -446,11 +477,11 @@ class QuantumAnnealerSimulator:
             shore_size=self.topology.shore_size,
         )
         results: List[AnnealResult] = []
-        for index, (item, rng) in enumerate(zip(embedded, rngs)):
+        for index, (item, rng_b) in enumerate(zip(embedded, rngs)):
             block = physical[:, index * num_physical:(index + 1) * num_physical]
             with PROFILER.phase("machine.unembed"):
                 logical_spins, unembedding_report = unembed_samples(
-                    item, block, random_state=rng)
+                    item, block, random_state=rng_b)
             # Aggregate through the logical problem's sparse operator instead
             # of densifying its coupling matrix on every run.
             with PROFILER.phase("machine.aggregate"):

@@ -65,6 +65,15 @@ class DecodeJob:
         How many times this job has been requeued after a pack failure.
         The seed is carried across retries unchanged, so a retried decode
         is bit-identical to the first attempt.
+    rng_mode:
+        Draw discipline hint for the decode: ``"sequential"`` (default,
+        the reference streams) or ``"counter"`` (keyed Philox streams,
+        identical across backends and thread counts).  Jobs packed into
+        one batch must agree on it — the scheduler rejects mixed packs.
+    threads:
+        Kernel thread hint for the decode, or ``None`` to accept the
+        worker pool's budget.  Requires ``rng_mode="counter"`` when > 1;
+        thread count never changes a seeded decode in counter mode.
     """
 
     job_id: int
@@ -76,6 +85,8 @@ class DecodeJob:
     deadline_us: float = math.inf
     seed: JobSeed = None
     retries: int = 0
+    rng_mode: str = "sequential"
+    threads: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.arrival_time_us < 0:
@@ -89,6 +100,17 @@ class DecodeJob:
         if self.retries < 0:
             raise SchedulingError(
                 f"retries must be non-negative, got {self.retries}")
+        if self.rng_mode not in ("sequential", "counter"):
+            raise SchedulingError(
+                f"rng_mode must be 'sequential' or 'counter', got "
+                f"{self.rng_mode!r}")
+        if self.threads is not None:
+            if int(self.threads) < 1:
+                raise SchedulingError(
+                    f"threads must be a positive integer, got {self.threads}")
+            if int(self.threads) > 1 and self.rng_mode != "counter":
+                raise SchedulingError(
+                    "threads > 1 requires rng_mode='counter'")
         if self.seed is None:
             # The stream must be re-creatable (serial verification, replay),
             # so an omitted seed falls back to the job's unique id rather

@@ -251,6 +251,18 @@ class EDFBatchScheduler:
             raise SchedulingError(
                 f"job {job.job_id} arrives at {job.arrival_time_us} but the "
                 f"scheduler clock is already at {self._clock_us}")
+        pending = self._groups.get(job.structure_key)
+        if pending and pending[0].rng_mode != job.rng_mode:
+            # A packed batch is decoded as one annealer call, which runs
+            # under a single draw discipline — mixing modes in one pack
+            # would silently decode some members under the wrong streams.
+            # Checked before any flush/clock mutation so a rejected submit
+            # leaves the scheduler exactly as it was.
+            raise SchedulingError(
+                f"job {job.job_id} has rng_mode={job.rng_mode!r} but its "
+                f"structure group already holds pending jobs with "
+                f"rng_mode={pending[0].rng_mode!r}; packs must be "
+                f"rng-homogeneous — drain or flush before switching modes")
         now_us = job.arrival_time_us
         flushed = self._due_batches(now_us, strict=True)
         self._clock_us = now_us

@@ -236,7 +236,8 @@ class ServiceSession:
                                 decoder_factory=service._decoder_factory,
                                 faults=service.fault_plan,
                                 restart_budget=service.restart_budget,
-                                collect_failures=self._fault_tolerant)
+                                collect_failures=self._fault_tolerant,
+                                threads=service.threads)
         self._start_wall = time.perf_counter()
         self._report: Optional[ServiceReport] = None
 
@@ -435,6 +436,16 @@ class CranService:
         decoder (ignored when *decoder* is passed — configure it directly).
         Seeded detections are bit-identical across every kernel/backend
         combination; the knobs only move where the sweep loop runs.
+    rng:
+        Draw discipline of the default decoder (ignored when *decoder* is
+        passed): ``"sequential"`` (default, the reference streams) or
+        ``"counter"`` (keyed Philox streams — identical across backends
+        and thread counts, the mode that legalises threaded kernels).
+        Jobs carrying their own ``rng_mode`` hints override it per pack.
+    threads:
+        Per-worker kernel-thread budget forwarded to the pool (``None``
+        derives it: ``cpu_count // num_workers`` for process pools, else
+        1).  Only effective on counter-mode packs.
     max_batch, max_wait_us:
         Scheduler batching policy (see :class:`EDFBatchScheduler`).
     adaptive_wait:
@@ -494,6 +505,8 @@ class CranService:
     def __init__(self, decoder: Optional[QuAMaxDecoder] = None, *,
                  kernel: str = "auto",
                  backend: str = "auto",
+                 rng: str = "sequential",
+                 threads: Optional[int] = None,
                  max_batch: int = 16,
                  max_wait_us: float = 2_000.0,
                  adaptive_wait: bool = False,
@@ -511,7 +524,9 @@ class CranService:
                  max_retries: int = 0,
                  restart_budget: int = 0,
                  brownout: Optional[BrownoutConfig] = None):
-        self.decoder = decoder or QuAMaxDecoder(kernel=kernel, backend=backend)
+        self.decoder = decoder or QuAMaxDecoder(kernel=kernel, backend=backend,
+                                                rng=rng)
+        self.threads = threads
         self.max_batch = max_batch
         self.max_wait_us = max_wait_us
         self.adaptive_wait = adaptive_wait

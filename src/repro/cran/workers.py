@@ -61,6 +61,7 @@ from __future__ import annotations
 
 import copy
 import multiprocessing
+import os
 import pickle
 import threading
 import time
@@ -92,6 +93,7 @@ from repro.cran.tracing import (
     EVENT_WORKER_RESTART,
     TraceRecorder,
 )
+from repro.annealer.backends import openmp_teams_run
 from repro.obs.profiling import PROFILER
 from repro.decoder.quamax import QuAMaxDecoder
 from repro.exceptions import SchedulingError, WorkerPoolError
@@ -120,14 +122,61 @@ _WORKER_DECODER: Optional[QuAMaxDecoder] = None
 #: the parent's accounting.
 _WORKER_FAULTS: Optional[FaultPlan] = None
 
+#: This worker process's kernel-thread budget (set by the initializer).
+_WORKER_THREADS: int = 1
 
-def _process_worker_init(payload: Tuple[str, object, Optional[FaultPlan]]) \
-        -> None:
-    """Build this worker process's decoder (and fault plan) from the spec."""
-    global _WORKER_DECODER, _WORKER_FAULTS
-    kind, value, faults = payload
+
+def _process_worker_init(
+        payload: Tuple[str, object, Optional[FaultPlan], int]) -> None:
+    """Build this worker process's decoder (and fault plan) from the spec.
+
+    The pool's per-worker kernel-thread budget rides along: it is exported
+    as ``OMP_NUM_THREADS`` / ``NUMBA_NUM_THREADS`` caps *before* the decoder
+    is built (so any lazily imported runtime honours it) — the
+    oversubscription guard that stops ``num_workers`` processes × per-pack
+    OpenMP teams from thrashing the machine.
+    """
+    global _WORKER_DECODER, _WORKER_FAULTS, _WORKER_THREADS
+    kind, value, faults, threads = payload
+    _WORKER_THREADS = max(1, int(threads))
+    os.environ["OMP_NUM_THREADS"] = str(_WORKER_THREADS)
+    os.environ["NUMBA_NUM_THREADS"] = str(_WORKER_THREADS)
     _WORKER_DECODER = value() if kind == "factory" else value
     _WORKER_FAULTS = faults
+
+
+def _batch_decode_hints(batch: DecodeBatch,
+                        default_threads: int) -> Tuple[str, int]:
+    """Resolve one pack's ``(rng, threads)`` decode overrides.
+
+    The scheduler guarantees packs are rng-homogeneous, so the first job
+    speaks for all.  The thread count is the largest per-job hint, falling
+    back to the worker's budget when no job carries one — and clamped to 1
+    under the sequential discipline, whose draw order no parallel schedule
+    can reproduce.
+    """
+    rng_mode = batch.jobs[0].rng_mode
+    hints = [int(job.threads) for job in batch.jobs
+             if job.threads is not None]
+    threads = max(hints) if hints else max(1, int(default_threads))
+    if rng_mode != "counter":
+        threads = 1
+    return rng_mode, threads
+
+
+def _decode_overrides(rng_mode: str, threads: int) -> Dict[str, Any]:
+    """Per-call ``detect_batch`` overrides; empty on the default path.
+
+    Default sequential single-threaded packs keep the historical
+    ``detect_batch(channel_uses, random_states=...)`` call shape, so
+    duck-typed decoder stand-ins that predate the rng/threads knobs keep
+    working; only non-default packs pass the overrides — and a decoder
+    that cannot honour those must fail loudly rather than silently decode
+    under the wrong discipline.
+    """
+    if rng_mode == "sequential" and threads == 1:
+        return {}
+    return {"rng": rng_mode, "threads": threads}
 
 
 def _raise_pack_fault(faults: Optional[FaultPlan],
@@ -182,11 +231,13 @@ def _process_decode_batch(index: int, batch: DecodeBatch):
     """
     decoder = _WORKER_DECODER
     fault = _raise_pack_fault(_WORKER_FAULTS, index)
+    rng_mode, threads = _batch_decode_hints(batch, _WORKER_THREADS)
     baseline = PROFILER.raw() if PROFILER.enabled else None
     wall_start = time.perf_counter()
     outcomes = decoder.detect_batch(
         [job.channel_use for job in batch.jobs],
-        random_states=[job.rng() for job in batch.jobs])
+        random_states=[job.rng() for job in batch.jobs],
+        **_decode_overrides(rng_mode, threads))
     info: Dict[str, Any] = {"wall_s": time.perf_counter() - wall_start}
     if baseline is not None:
         delta = PROFILER.delta_since(baseline)
@@ -342,6 +393,16 @@ class WorkerPool:
         (``pack.failed`` trace event), letting the serving session requeue
         the jobs.  Off by default — without a retry layer on top, failures
         keep their legacy shed-and-raise semantics.
+    threads:
+        Per-worker kernel-thread budget applied to packs that carry no
+        per-job ``threads`` hint (only effective under
+        ``rng_mode="counter"`` jobs — the sequential discipline is
+        clamped to 1).  Default ``None`` derives it: process pools get
+        ``max(1, cpu_count // num_workers)`` so ``num_workers`` OpenMP
+        teams never oversubscribe the machine, every other mode gets 1.
+        Process workers additionally export the budget as
+        ``OMP_NUM_THREADS`` / ``NUMBA_NUM_THREADS`` caps at initializer
+        time.
     """
 
     def __init__(self, decoder: Optional[QuAMaxDecoder] = None, *,
@@ -356,7 +417,8 @@ class WorkerPool:
                  autostart: bool = True,
                  faults: Optional[FaultPlan] = None,
                  restart_budget: int = 0,
-                 collect_failures: bool = False):
+                 collect_failures: bool = False,
+                 threads: Optional[int] = None):
         if overload_policy not in OVERLOAD_POLICIES:
             raise SchedulingError(
                 f"overload_policy must be one of {OVERLOAD_POLICIES}, got "
@@ -380,6 +442,16 @@ class WorkerPool:
         self.restart_budget = check_integer_in_range(
             "restart_budget", restart_budget, minimum=0)
         self.collect_failures = bool(collect_failures)
+        if threads is None:
+            # Oversubscription guard: a process pool's workers each run
+            # their own OpenMP team, so the default budget divides the
+            # machine between them; threaded/inline pools share one
+            # process (and its GIL) and default to serial kernels.
+            if self.num_workers and mode == MODE_PROCESS:
+                threads = max(1, (os.cpu_count() or 1) // self.num_workers)
+            else:
+                threads = 1
+        self.threads = check_integer_in_range("threads", threads, minimum=1)
 
         self._lock = threading.Lock()
         # Thread mode: one shard deque per worker, a sticky structure-key
@@ -437,7 +509,21 @@ class WorkerPool:
             # Linux (fast start, decoder inherited without pickling), spawn
             # on macOS/Windows where forking a threaded/BLAS-active parent
             # is unsafe.  mp_context overrides it explicitly.
-            context = multiprocessing.get_context(self.mp_context)
+            context_name = self.mp_context
+            if context_name is None and openmp_teams_run():
+                # libgomp's worker threads do not survive fork(): once this
+                # process has run a multi-thread OpenMP team (a threaded
+                # counter kernel), a fork-context child deadlocks in its
+                # first parallel region.  Fall back to spawn, where workers
+                # rebuild the decoder from the pickled spec like on
+                # macOS/Windows.
+                try:
+                    if (multiprocessing.get_start_method(allow_none=True)
+                            in (None, "fork")):
+                        context_name = "spawn"
+                except ValueError:
+                    pass
+            context = multiprocessing.get_context(context_name)
             try:
                 # Start the resource tracker *before* forking the pool, so
                 # the workers inherit it: shared-memory segments registered
@@ -453,9 +539,10 @@ class WorkerPool:
             # decoder_factory), else the configured decoder itself.  The
             # fault plan rides along so worker-side injection decisions
             # match the parent's accounting.
-            payload = (("factory", self._decoder_factory, self.faults)
-                       if self._decoder_factory is not None
-                       else ("decoder", self.decoder, self.faults))
+            payload = (
+                ("factory", self._decoder_factory, self.faults, self.threads)
+                if self._decoder_factory is not None
+                else ("decoder", self.decoder, self.faults, self.threads))
             self._pool = context.Pool(processes=self.num_workers,
                                       initializer=_process_worker_init,
                                       initargs=(payload,))
@@ -872,6 +959,7 @@ class WorkerPool:
             return {
                 "mode": "inline" if not self.num_workers else self.mode,
                 "num_workers": self.num_workers,
+                "threads": self.threads,
                 "steal_count": self._steals,
                 "shard_batches": list(self._shard_routed),
                 "shard_depths": [len(shard) for shard in self._shards],
@@ -939,10 +1027,12 @@ class WorkerPool:
                 index: int) -> None:
         """Decode one batch, then credit it in submission order."""
         fault = _raise_pack_fault(self.faults, index)
+        rng_mode, threads = _batch_decode_hints(batch, self.threads)
         wall_start = time.perf_counter()
         outcomes = decoder.detect_batch(
             [job.channel_use for job in batch.jobs],
-            random_states=[job.rng() for job in batch.jobs])
+            random_states=[job.rng() for job in batch.jobs],
+            **_decode_overrides(rng_mode, threads))
         # One shared job overhead per pack, plus the amortised compute of
         # every block: this is precisely where batching buys latency.
         service_us = _pack_service_us(decoder, outcomes)

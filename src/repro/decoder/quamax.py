@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.annealer.backends import BACKENDS
+from repro.annealer.backends import BACKENDS, RNG_MODES
 from repro.annealer.engine import KERNELS
 from repro.annealer.machine import (
     AnnealerParameters,
@@ -91,6 +91,15 @@ class QuAMaxDecoder(Detector):
         ``"numba"`` or ``"cext"``).  Seeded detections are bit-identical
         across backends — the knob only moves the sweep loop between the
         NumPy reference and the compiled implementations.
+    rng:
+        Draw discipline forwarded to the annealer on every run:
+        ``"sequential"`` (default, the reference streams) or ``"counter"``
+        (keyed Philox streams — a different, equally exact stream that is
+        identical across backends and thread counts and legalises
+        ``threads``).
+    threads:
+        Kernel threads forwarded alongside; requires ``rng="counter"``
+        when > 1.  Thread count never changes seeded detections.
     """
 
     name = "quamax"
@@ -98,17 +107,30 @@ class QuAMaxDecoder(Detector):
     def __init__(self, annealer: Optional[QuantumAnnealerSimulator] = None,
                  parameters: Optional[AnnealerParameters] = None,
                  random_state: RandomState = None,
-                 kernel: str = "auto", backend: str = "auto"):
+                 kernel: str = "auto", backend: str = "auto",
+                 rng: str = "sequential", threads: int = 1):
         if kernel not in KERNELS:
             raise DetectionError(
                 f"kernel must be one of {KERNELS}, got {kernel!r}")
         if backend not in BACKENDS:
             raise DetectionError(
                 f"backend must be one of {BACKENDS}, got {backend!r}")
+        if rng not in RNG_MODES:
+            raise DetectionError(
+                f"rng must be one of {RNG_MODES}, got {rng!r}")
+        threads = int(threads)
+        if threads < 1:
+            raise DetectionError("threads must be a positive integer")
+        if threads > 1 and rng != "counter":
+            raise DetectionError(
+                "threads > 1 requires rng='counter' (the sequential draw "
+                "discipline is inherently serial per block)")
         self.annealer = annealer or QuantumAnnealerSimulator()
         self.parameters = parameters or AnnealerParameters()
         self.kernel = kernel
         self.backend = backend
+        self.rng_mode = rng
+        self.threads = threads
         self._rng = ensure_rng(random_state)
         self._reducer = MLToIsingReducer()
 
@@ -137,13 +159,16 @@ class QuAMaxDecoder(Detector):
         with PROFILER.phase("decoder.reduce"):
             reduced = self._reducer.reduce(channel_use)
         run = self.annealer.run(reduced.ising, parameters, random_state=rng,
-                                kernel=self.kernel, backend=self.backend)
+                                kernel=self.kernel, backend=self.backend,
+                                rng=self.rng_mode, threads=self.threads)
         return self._assemble_result(reduced, run, parameters)
 
     def detect_batch(self, channel_uses: Sequence[ChannelUse],
                      parameters: Optional[AnnealerParameters] = None,
                      random_state: RandomState = None,
-                     random_states: Optional[Sequence[RandomState]] = None
+                     random_states: Optional[Sequence[RandomState]] = None,
+                     rng: Optional[str] = None,
+                     threads: Optional[int] = None
                      ) -> List[QuAMaxDetectionResult]:
         """Decode many channel uses, packing same-size problems into QA jobs.
 
@@ -163,6 +188,10 @@ class QuAMaxDecoder(Detector):
         which derives one child per subcarrier of the *whole* frame and
         submits a chunk at a time) pass them via *random_states* instead;
         *random_state* is then ignored.
+
+        *rng* / *threads* override the decoder's configured draw discipline
+        and kernel thread count for this call only — the hook the serving
+        pool uses to honour per-job hints without rebuilding the decoder.
         """
         channel_uses = list(channel_uses)
         if not channel_uses:
@@ -170,6 +199,17 @@ class QuAMaxDecoder(Detector):
         for channel_use in channel_uses:
             self._check_square_or_tall(channel_use)
         parameters = parameters or self.parameters
+        rng_mode = self.rng_mode if rng is None else rng
+        if rng_mode not in RNG_MODES:
+            raise DetectionError(
+                f"rng must be one of {RNG_MODES}, got {rng_mode!r}")
+        threads = self.threads if threads is None else int(threads)
+        if threads < 1:
+            raise DetectionError("threads must be a positive integer")
+        if threads > 1 and rng_mode != "counter":
+            raise DetectionError(
+                "threads > 1 requires rng='counter' (the sequential draw "
+                "discipline is inherently serial per block)")
         if random_states is not None:
             if len(random_states) != len(channel_uses):
                 raise DetectionError(
@@ -196,7 +236,8 @@ class QuAMaxDecoder(Detector):
             runs = self.annealer.run_batch(
                 [reduced[index].ising for index in indices], parameters,
                 random_states=[rngs[index] for index in indices],
-                kernel=self.kernel, backend=self.backend)
+                kernel=self.kernel, backend=self.backend,
+                rng=rng_mode, threads=threads)
             for index, run in zip(indices, runs):
                 results[index] = self._assemble_result(reduced[index], run,
                                                        parameters)
@@ -231,4 +272,5 @@ class QuAMaxDecoder(Detector):
     def __repr__(self) -> str:
         return (f"QuAMaxDecoder(annealer={self.annealer!r}, "
                 f"num_anneals={self.parameters.num_anneals}, "
-                f"kernel={self.kernel!r}, backend={self.backend!r})")
+                f"kernel={self.kernel!r}, backend={self.backend!r}, "
+                f"rng={self.rng_mode!r}, threads={self.threads})")

@@ -305,6 +305,9 @@ def prometheus_metrics(telemetry: Union[Dict[str, Any], Any]) -> str:
          [_metric_line("cran_sampler_cache_entries", cache.get("entries"))])
 
     workers = snapshot.get("workers") or {}
+    emit("cran_worker_threads", "gauge",
+         "Per-worker kernel-thread budget (counter-mode packs).",
+         [_metric_line("cran_worker_threads", workers.get("threads"))])
     emit("cran_worker_steals_total", "counter",
          "Batches stolen from another worker's shard.",
          [_metric_line("cran_worker_steals_total",

@@ -1,0 +1,392 @@
+"""The counter-RNG contract: keyed Philox streams for replica parallelism.
+
+``rng="counter"`` trades the engine's sequential draw discipline (one
+generator per block, draws consumed in sweep order — inherently serial) for
+keyed Philox4x32-10 streams addressed by ``(site, sweep, replica, tag)``
+under a per-block 64-bit key.  Every uniform is a pure function of its
+coordinates, so evaluation order is free — which is exactly what makes
+intra-pack threading legal.  These tests pin the contract:
+
+* the Philox primitive itself (determinism, range, coordinate/key
+  sensitivity, vectorised == scalar);
+* seeded-substream disjointness across blocks and replicas;
+* bit-identical streams across backends (numpy reference vs compiled);
+* bit-identical streams across thread counts (t=1 ≡ t=4);
+* bit-identical decodes across worker-pool modes (inline/thread/process);
+* the guard rails: sequential mode is untouched by any of this, threads > 1
+  without counter mode is rejected at every layer, and mixed-mode packs are
+  rejected by the scheduler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.annealer import counter
+from repro.annealer.backends import available_backends, cext_available
+from repro.annealer.chimera import ChimeraGraph
+from repro.annealer.engine import IsingSampler
+from repro.annealer.machine import AnnealerParameters, QuantumAnnealerSimulator
+from repro.cran.jobs import DecodeJob
+from repro.cran.scheduler import EDFBatchScheduler
+from repro.cran.service import CranService
+from repro.cran.workers import WorkerPool, _batch_decode_hints
+from repro.decoder.quamax import QuAMaxDecoder
+from repro.exceptions import AnnealerError, DetectionError, SchedulingError
+from repro.ising.model import IsingModel
+from repro.ising.solver import (
+    SimulatedAnnealingSolver,
+    geometric_temperature_schedule,
+)
+from repro.mimo.system import MimoUplink
+
+SEED = 2019
+
+COMPILED = [backend for backend in available_backends()
+            if backend != "numpy"]
+
+
+def dense_problem(n=16, seed=SEED):
+    rng = np.random.default_rng(seed)
+    return IsingModel(
+        num_variables=n,
+        linear=rng.normal(size=n),
+        couplings={(i, j): float(rng.normal())
+                   for i in range(n) for j in range(i + 1, n)})
+
+
+def embedded_problem():
+    from cluster_workloads import build_path_chain_problem
+    return build_path_chain_problem(128, 16, SEED, density=0.05)
+
+
+# --------------------------------------------------------------------------- #
+# The Philox primitive
+# --------------------------------------------------------------------------- #
+class TestPhiloxPrimitive:
+    def test_deterministic_and_in_unit_interval(self):
+        sites = np.arange(4096, dtype=np.uint32)
+        u1 = counter.philox_uniform(sites, 3, 7, counter.TAG_SWEEP,
+                                    0xDEADBEEFCAFEF00D)
+        u2 = counter.philox_uniform(sites, 3, 7, counter.TAG_SWEEP,
+                                    0xDEADBEEFCAFEF00D)
+        assert np.array_equal(u1, u2)
+        assert u1.dtype == np.float64
+        assert np.all(u1 >= 0.0) and np.all(u1 < 1.0)
+        # The stream is not degenerate: essentially uniform over [0, 1).
+        assert 0.45 < u1.mean() < 0.55
+
+    def test_vectorised_matches_scalar(self):
+        key = 0x0123456789ABCDEF
+        sites = np.arange(33, dtype=np.uint32)
+        vector = counter.philox_uniform(sites, 5, 2, counter.TAG_CLUSTER, key)
+        scalar = np.array([
+            float(counter.philox_uniform(
+                np.array([site], dtype=np.uint32), 5, 2,
+                counter.TAG_CLUSTER, key)[0])
+            for site in sites])
+        assert np.array_equal(vector, scalar)
+
+    @pytest.mark.parametrize("axis", ["site", "sweep", "replica", "tag",
+                                      "key"])
+    def test_every_coordinate_separates_streams(self, axis):
+        base = dict(site=np.arange(256, dtype=np.uint32), sweep=1, replica=1,
+                    tag=counter.TAG_SWEEP, key=0x1111222233334444)
+        moved = dict(base)
+        if axis == "site":
+            moved["site"] = base["site"] + np.uint32(256)
+        elif axis == "sweep":
+            moved["sweep"] = 2
+        elif axis == "replica":
+            moved["replica"] = 2
+        elif axis == "tag":
+            moved["tag"] = counter.TAG_INIT
+        else:
+            moved["key"] = 0x1111222233334445
+        u_base = counter.philox_uniform(base["site"], base["sweep"],
+                                        base["replica"], base["tag"],
+                                        base["key"])
+        u_moved = counter.philox_uniform(moved["site"], moved["sweep"],
+                                         moved["replica"], moved["tag"],
+                                         moved["key"])
+        # Avalanche: a one-step move in any coordinate decorrelates the
+        # whole vector, not just one entry.
+        assert not np.any(u_base == u_moved)
+
+    def test_block_keys_distinct_and_reproducible(self):
+        keys_a = [counter.block_key(np.random.default_rng(SEED))
+                  for _ in range(1)]
+        parent = np.random.default_rng(SEED)
+        keys = [counter.block_key(parent) for _ in range(64)]
+        assert len(set(keys)) == 64
+        assert keys[0] == keys_a[0]  # same seeding discipline, same keys
+
+    def test_initial_spins_keyed_and_pm_one(self):
+        spins = counter.counter_initial_spins(0xABCD, 8, 32)
+        assert spins.shape == (8, 32)
+        assert set(np.unique(spins)) <= {-1.0, 1.0}
+        assert np.array_equal(spins,
+                              counter.counter_initial_spins(0xABCD, 8, 32))
+        other = counter.counter_initial_spins(0xABCE, 8, 32)
+        assert not np.array_equal(spins, other)
+        # Replicas draw disjoint substreams of the same key.
+        assert not np.array_equal(spins[0], spins[1])
+
+
+# --------------------------------------------------------------------------- #
+# Backend and thread-count equivalence
+# --------------------------------------------------------------------------- #
+class TestCounterEquivalence:
+    @pytest.fixture(scope="class")
+    def schedule(self):
+        return geometric_temperature_schedule(60, 5.0, 0.05)
+
+    def reference_dense(self, schedule):
+        sampler = IsingSampler(dense_problem(), backend="numpy",
+                               rng="counter")
+        return sampler.anneal(schedule, 12, random_state=SEED)
+
+    @pytest.mark.parametrize("backend", COMPILED)
+    def test_dense_backend_equivalence(self, backend, schedule):
+        reference = self.reference_dense(schedule)
+        sampler = IsingSampler(dense_problem(), backend=backend,
+                               rng="counter")
+        assert np.array_equal(sampler.anneal(schedule, 12, random_state=SEED),
+                              reference)
+
+    @pytest.mark.parametrize("backend", COMPILED)
+    def test_dense_thread_independence(self, backend, schedule):
+        reference = self.reference_dense(schedule)
+        for threads in (1, 4):
+            sampler = IsingSampler(dense_problem(), backend=backend,
+                                   rng="counter", threads=threads)
+            assert np.array_equal(
+                sampler.anneal(schedule, 12, random_state=SEED), reference)
+
+    @pytest.mark.parametrize("backend", COMPILED)
+    def test_embedded_cluster_equivalence_and_threads(self, backend,
+                                                      schedule):
+        ising, clusters = embedded_problem()
+        reference = IsingSampler(ising, clusters=clusters, backend="numpy",
+                                 rng="counter").anneal(schedule, 8,
+                                                       random_state=SEED)
+        for threads in (1, 4):
+            sampler = IsingSampler(ising, clusters=clusters, backend=backend,
+                                   rng="counter", threads=threads)
+            assert np.array_equal(
+                sampler.anneal(schedule, 8, random_state=SEED), reference)
+
+    @pytest.mark.parametrize("backend", COMPILED)
+    def test_colour_kernel_equivalence(self, backend, schedule):
+        # A sparse problem dispatches the colour kernel; counter colour
+        # streams must agree with the numpy reference across backends and
+        # thread counts.
+        ising, _clusters = embedded_problem()
+        reference = IsingSampler(ising, kernel="colour", backend="numpy",
+                                 rng="counter").anneal(schedule, 8,
+                                                       random_state=SEED)
+        for threads in (1, 4):
+            sampler = IsingSampler(ising, kernel="colour", backend=backend,
+                                   rng="counter", threads=threads)
+            assert np.array_equal(
+                sampler.anneal(schedule, 8, random_state=SEED), reference)
+
+    def test_solver_counter_mode_backend_identical(self):
+        results = []
+        for backend in available_backends():
+            solver = SimulatedAnnealingSolver(num_sweeps=50, num_reads=20,
+                                              backend=backend, rng="counter",
+                                              threads=2 if backend != "numpy"
+                                              else 1)
+            results.append(solver.sample(dense_problem(), random_state=SEED))
+        first = results[0]
+        for other in results[1:]:
+            assert np.array_equal(first.samples, other.samples)
+            assert np.array_equal(first.energies, other.energies)
+
+    def test_counter_differs_from_sequential_but_both_valid(self, schedule):
+        # Counter mode is a *different* exact stream, not a re-expression of
+        # the sequential one.
+        ising = dense_problem()
+        seq = IsingSampler(ising, backend="numpy").anneal(
+            schedule, 12, random_state=SEED)
+        ctr = IsingSampler(ising, backend="numpy", rng="counter").anneal(
+            schedule, 12, random_state=SEED)
+        assert seq.shape == ctr.shape
+        assert not np.array_equal(seq, ctr)
+
+    def test_sequential_streams_unchanged_by_default(self, schedule):
+        # The default-constructed sampler and an explicit rng="sequential"
+        # one must consume the exact same streams.
+        ising = dense_problem()
+        default = IsingSampler(ising, backend="numpy").anneal(
+            schedule, 12, random_state=SEED)
+        explicit = IsingSampler(ising, backend="numpy",
+                                rng="sequential").anneal(
+            schedule, 12, random_state=SEED)
+        assert np.array_equal(default, explicit)
+
+
+# --------------------------------------------------------------------------- #
+# Substream disjointness across blocks and replicas
+# --------------------------------------------------------------------------- #
+class TestSubstreamDisjointness:
+    def test_pack_blocks_decode_like_singleton_runs(self):
+        # Pack-level evaluation-order independence: annealing B blocks as
+        # one counter-mode pack must reproduce each block annealed alone
+        # with its own stream — the property the sequential discipline
+        # also guarantees, preserved under the counter contract.
+        machine = QuantumAnnealerSimulator(ChimeraGraph.ideal(4, 4))
+        params = AnnealerParameters(num_anneals=10)
+        problems = [dense_problem(seed=SEED + i) for i in range(3)]
+        packed = machine.run_batch(
+            problems, params, random_states=[SEED + 100 + i
+                                             for i in range(3)],
+            rng="counter")
+        for i, problem in enumerate(problems):
+            alone = machine.run(problem, params, random_state=SEED + 100 + i,
+                                rng="counter")
+            assert np.array_equal(packed[i].solutions.samples,
+                                  alone.solutions.samples)
+            assert np.array_equal(packed[i].solutions.energies,
+                                  alone.solutions.energies)
+
+    def test_replica_streams_are_disjoint(self):
+        # No two replicas of a counter anneal may share a trajectory (the
+        # birthday bound at 2^64 keys makes collisions impossible unless
+        # the replica coordinate were ignored).
+        sampler = IsingSampler(dense_problem(), backend="numpy",
+                               rng="counter")
+        spins = sampler.anneal(geometric_temperature_schedule(40, 5.0, 0.5),
+                               16, random_state=SEED)
+        unique = {spin_row.tobytes() for spin_row in np.asarray(spins)}
+        assert len(unique) > 1
+
+
+# --------------------------------------------------------------------------- #
+# Guard rails
+# --------------------------------------------------------------------------- #
+class TestGuards:
+    def test_engine_rejects_threads_without_counter(self):
+        with pytest.raises(AnnealerError, match="rng='counter'"):
+            IsingSampler(dense_problem(), threads=2)
+
+    def test_engine_rejects_unknown_rng(self):
+        with pytest.raises(AnnealerError, match="rng"):
+            IsingSampler(dense_problem(), rng="philox")
+
+    def test_machine_rejects_unknown_rng(self):
+        machine = QuantumAnnealerSimulator(ChimeraGraph.ideal(4, 4))
+        with pytest.raises(AnnealerError, match="rng"):
+            machine.run(dense_problem(), AnnealerParameters(num_anneals=5),
+                        random_state=SEED, rng="philox")
+
+    def test_decoder_rejects_threads_without_counter(self):
+        with pytest.raises(DetectionError, match="rng='counter'"):
+            QuAMaxDecoder(threads=2)
+
+    def test_job_rejects_threads_without_counter(self):
+        link = MimoUplink(num_users=2, constellation="BPSK")
+        use = link.transmit(random_state=np.random.default_rng(0))
+        with pytest.raises(SchedulingError, match="counter"):
+            DecodeJob(job_id=0, user_id=0, frame=0, subcarrier=0,
+                      channel_use=use, arrival_time_us=0.0, threads=2)
+        with pytest.raises(SchedulingError, match="rng_mode"):
+            DecodeJob(job_id=0, user_id=0, frame=0, subcarrier=0,
+                      channel_use=use, arrival_time_us=0.0,
+                      rng_mode="philox")
+
+    def test_scheduler_rejects_mixed_mode_packs(self):
+        link = MimoUplink(num_users=2, constellation="BPSK")
+        rng = np.random.default_rng(0)
+        scheduler = EDFBatchScheduler(max_batch=8, max_wait_us=np.inf)
+        scheduler.submit(DecodeJob(
+            job_id=0, user_id=0, frame=0, subcarrier=0,
+            channel_use=link.transmit(random_state=rng),
+            arrival_time_us=0.0, rng_mode="counter"))
+        with pytest.raises(SchedulingError, match="rng-homogeneous"):
+            scheduler.submit(DecodeJob(
+                job_id=1, user_id=0, frame=0, subcarrier=1,
+                channel_use=link.transmit(random_state=rng),
+                arrival_time_us=1.0, rng_mode="sequential"))
+        # The rejected submit left the scheduler untouched.
+        assert scheduler.queue_depth == 1
+        assert scheduler.jobs_submitted == 1
+
+    def test_batch_hints_clamp_sequential_to_serial(self):
+        link = MimoUplink(num_users=2, constellation="BPSK")
+        rng = np.random.default_rng(0)
+        scheduler = EDFBatchScheduler(max_batch=2, max_wait_us=np.inf)
+        batches = []
+        for i in range(2):
+            batches += scheduler.submit(DecodeJob(
+                job_id=i, user_id=0, frame=0, subcarrier=i,
+                channel_use=link.transmit(random_state=rng),
+                arrival_time_us=float(i)))
+        assert _batch_decode_hints(batches[0], default_threads=8) == \
+            ("sequential", 1)
+
+    def test_pool_derives_process_thread_budget(self):
+        import os
+        decoder = QuAMaxDecoder()
+        pool = WorkerPool(decoder, num_workers=2, mode="process",
+                          autostart=False)
+        expected = max(1, (os.cpu_count() or 1) // 2)
+        assert pool.worker_info()["threads"] == expected
+        override = WorkerPool(decoder, num_workers=2, mode="process",
+                              threads=3, autostart=False)
+        assert override.worker_info()["threads"] == 3
+        inline = WorkerPool(decoder)
+        assert inline.worker_info()["threads"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# Serving-layer identity across pool modes
+# --------------------------------------------------------------------------- #
+class TestServingIdentity:
+    @pytest.fixture(scope="class")
+    def jobs(self):
+        link = MimoUplink(num_users=2, constellation="BPSK")
+        rng = np.random.default_rng(0)
+        return [
+            DecodeJob(job_id=i, user_id=0, frame=0, subcarrier=i,
+                      channel_use=link.transmit(random_state=rng),
+                      arrival_time_us=10.0 * i, deadline_us=10.0 * i + 1e6,
+                      seed=100 + i, rng_mode="counter", threads=2)
+            for i in range(6)
+        ]
+
+    @staticmethod
+    def service():
+        decoder = QuAMaxDecoder(
+            QuantumAnnealerSimulator(ChimeraGraph.ideal(4, 4)),
+            AnnealerParameters(num_anneals=10), rng="counter")
+        return CranService(decoder, max_batch=4)
+
+    @staticmethod
+    def payload(report):
+        return [(r.job.job_id, r.result.detection.bits.tobytes(),
+                 r.result.run.solutions.energies.tobytes())
+                for r in report.results]
+
+    def test_inline_thread_pool_identity(self, jobs):
+        inline = self.service().run(jobs)
+        decoder = QuAMaxDecoder(
+            QuantumAnnealerSimulator(ChimeraGraph.ideal(4, 4)),
+            AnnealerParameters(num_anneals=10), rng="counter")
+        threaded = CranService(decoder, max_batch=4, num_workers=2,
+                               mode="thread").run(jobs)
+        assert self.payload(inline) == self.payload(threaded)
+        assert inline.telemetry["workers"]["threads"] == 1
+
+    @pytest.mark.skipif(not cext_available(),
+                        reason="process identity exercised with the cext")
+    def test_process_pool_identity(self, jobs):
+        inline = self.service().run(jobs)
+        decoder = QuAMaxDecoder(
+            QuantumAnnealerSimulator(ChimeraGraph.ideal(4, 4)),
+            AnnealerParameters(num_anneals=10), backend="cext",
+            rng="counter")
+        process = CranService(decoder, max_batch=4, num_workers=2,
+                              mode="process", threads=2).run(jobs)
+        assert self.payload(inline) == self.payload(process)
+        assert process.telemetry["workers"]["threads"] == 2

@@ -163,6 +163,40 @@ class TestGoldenDigests:
             "occurrences": result.num_occurrences,
         })
 
+    def test_counter_dense_sampler_stream(self, golden):
+        # Freezes the counter-mode (keyed Philox) dense stream: same
+        # problem as the sequential golden above, annealed under
+        # rng="counter".  A *separate* fixture on purpose — the counter
+        # contract is its own exact stream, and any change to the Philox
+        # packing, key derivation or acceptance rule must fail loudly here
+        # without touching the sequential goldens.
+        rng = np.random.default_rng(SEED)
+        n = 16
+        ising = IsingModel(
+            num_variables=n,
+            linear=rng.normal(size=n),
+            couplings={(i, j): float(rng.normal())
+                       for i in range(n) for j in range(i + 1, n)})
+        solver = SimulatedAnnealingSolver(num_sweeps=80, num_reads=40,
+                                          rng="counter")
+        result = solver.sample(ising, random_state=SEED)
+        golden("counter_dense_sampler_stream", {
+            "samples": result.samples,
+            "energies": result.energies,
+            "occurrences": result.num_occurrences,
+        })
+
+    def test_counter_embedded_cluster_sampler_stream(self, golden):
+        # Freezes the counter-mode cluster stream of the embedded
+        # path-chain workload (the fused dense+cluster counter kernels).
+        ising, clusters = _path_chain_embedded_problem()
+        sampler = IsingSampler(ising, clusters=clusters, backend="numpy",
+                               rng="counter")
+        spins = sampler.anneal(
+            geometric_temperature_schedule(50, 5.0, 0.05), 12,
+            random_state=SEED)
+        golden("counter_embedded_cluster_sampler_stream", {"spins": spins})
+
 
 class TestGoldenDigestsAcrossBackends:
     """Every available backend must hash to the very same frozen streams.
@@ -203,6 +237,40 @@ class TestGoldenDigestsAcrossBackends:
             geometric_temperature_schedule(50, 5.0, 0.05), 12,
             random_state=SEED)
         golden("embedded_cluster_sampler_stream", {"spins": spins})
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_counter_dense_sampler_stream_per_backend(self, backend, golden):
+        # The counter contract's cross-backend clause: every backend (at
+        # any thread count — pinned at 2 for compiled ones) must hash to
+        # the same frozen counter stream the numpy reference recorded.
+        rng = np.random.default_rng(SEED)
+        n = 16
+        ising = IsingModel(
+            num_variables=n,
+            linear=rng.normal(size=n),
+            couplings={(i, j): float(rng.normal())
+                       for i in range(n) for j in range(i + 1, n)})
+        solver = SimulatedAnnealingSolver(
+            num_sweeps=80, num_reads=40, backend=backend, rng="counter",
+            threads=1 if backend == "numpy" else 2)
+        result = solver.sample(ising, random_state=SEED)
+        golden("counter_dense_sampler_stream", {
+            "samples": result.samples,
+            "energies": result.energies,
+            "occurrences": result.num_occurrences,
+        })
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_counter_embedded_cluster_stream_per_backend(self, backend,
+                                                         golden):
+        ising, clusters = _path_chain_embedded_problem()
+        sampler = IsingSampler(ising, clusters=clusters, backend=backend,
+                               rng="counter",
+                               threads=1 if backend == "numpy" else 2)
+        spins = sampler.anneal(
+            geometric_temperature_schedule(50, 5.0, 0.05), 12,
+            random_state=SEED)
+        golden("counter_embedded_cluster_sampler_stream", {"spins": spins})
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_decode_subcarriers_per_backend(self, backend, channel_uses,
